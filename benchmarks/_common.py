@@ -1,0 +1,66 @@
+"""Shared benchmark infrastructure.
+
+Each ``bench_*.py`` regenerates one paper table/figure:
+
+- under ``pytest benchmarks/ --benchmark-only`` it runs a scaled-down
+  version of the experiment once per benchmark entry and prints the
+  paper-style table (visible with ``-s``; always written to
+  ``benchmarks/results/``),
+- run directly (``python benchmarks/bench_figXX_*.py``) it executes the
+  full sweep.
+
+Set ``REPRO_BENCH_CORES=1,4,16,64,256`` to override the core-count sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Iterable, List, Optional
+
+from repro.bench.harness import AppRun, run_app
+from repro.config import SystemConfig
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+#: default sweep — big enough to show the paper's shapes, small enough
+#: for a Python-resident simulator
+DEFAULT_CORES = (1, 4, 16, 64)
+QUICK_CORES = (1, 16)
+
+
+def core_counts(quick: bool = False) -> List[int]:
+    env = os.environ.get("REPRO_BENCH_CORES")
+    if env:
+        return [int(x) for x in env.split(",")]
+    return list(QUICK_CORES if quick else DEFAULT_CORES)
+
+
+def config_for(n_cores: int, *, conflict_mode: str = "bloom",
+               use_hints: bool = True, **overrides) -> SystemConfig:
+    return SystemConfig.with_cores(n_cores, conflict_mode=conflict_mode,
+                                   use_hints=use_hints, **overrides)
+
+
+def run_once(app, inp, variant: str, n_cores: int, *,
+             conflict_mode: str = "bloom", use_hints: bool = True,
+             check: bool = True, max_cycles: Optional[int] = None,
+             **build_options) -> AppRun:
+    cfg = config_for(n_cores, conflict_mode=conflict_mode,
+                     use_hints=use_hints)
+    return run_app(app, inp, variant=variant, n_cores=n_cores, config=cfg,
+                   check=check, max_cycles=max_cycles, **build_options)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    print(f"\n===== {name} =====")
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark (simulations are
+    deterministic; repetition only burns time)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

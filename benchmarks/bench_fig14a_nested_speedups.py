@@ -1,0 +1,79 @@
+"""Fig. 14a: flat vs fractal speedups under Bloom-filter and precise
+conflict detection, for the three nesting-limited apps (maxflow,
+labyrinth, bayes).
+
+Paper: flat versions scale to at most 4.9x (Bloom) because their huge
+read/write sets overflow the 2 Kbit signatures; precise detection helps
+flat only partially (parallelism is still missing); fractal versions
+scale to 88x-322x and perform the same under both detection schemes.
+
+Expected shape here: fractal >> flat at the top core count for every app,
+and |fractal(bloom) - fractal(precise)| small while flat(precise) >=
+flat(bloom).
+"""
+
+from _common import core_counts, emit, once, run_once
+from repro.apps import bayes, labyrinth, maxflow
+from repro.bench.report import format_table
+
+APPS = [
+    ("maxflow", maxflow, dict(b=4, layers=4), ("flat", "fractal")),
+    ("labyrinth", labyrinth, dict(x=10, y=10, z=2, n_paths=12),
+     ("hwq", "fractal")),
+    ("bayes", bayes, dict(n_decisions=48), ("hwq", "fractal")),
+]
+
+
+def sweep(cores, apps=APPS, tag=""):
+    rows = []
+    results = {}
+    for name, app, params, (flat_v, frac_v) in apps:
+        inp = app.make_input(**params)
+        base = None
+        for v in (flat_v, frac_v):
+            for mode in ("bloom", "precise"):
+                for n in cores:
+                    run = run_once(app, inp, v, n, conflict_mode=mode)
+                    results[(name, v, mode, n)] = run
+                    if base is None:
+                        base = run.makespan
+        for n in cores:
+            rows.append([
+                name, f"{n}c",
+                f"{base / results[(name, flat_v, 'bloom', n)].makespan:.2f}x",
+                f"{base / results[(name, flat_v, 'precise', n)].makespan:.2f}x",
+                f"{base / results[(name, frac_v, 'bloom', n)].makespan:.2f}x",
+                f"{base / results[(name, frac_v, 'precise', n)].makespan:.2f}x",
+            ])
+    emit(f"fig14a_nested_speedups{tag}",
+         format_table(["app", "cores", "flat/bloom", "flat/precise",
+                       "fractal/bloom", "fractal/precise"], rows))
+    return results
+
+
+def bench_fig14a_maxflow(benchmark):
+    cores = core_counts(quick=True)
+    results = once(benchmark, lambda: sweep(cores, apps=APPS[:1], tag="_maxflow"))
+    top = max(cores)
+    assert (results[("maxflow", "fractal", "bloom", top)].makespan
+            < results[("maxflow", "flat", "bloom", top)].makespan)
+
+
+def bench_fig14a_labyrinth(benchmark):
+    cores = core_counts(quick=True)
+    results = once(benchmark, lambda: sweep(cores, apps=APPS[1:2], tag="_labyrinth"))
+    top = max(cores)
+    assert (results[("labyrinth", "fractal", "bloom", top)].makespan
+            < results[("labyrinth", "hwq", "bloom", top)].makespan)
+
+
+def bench_fig14a_bayes(benchmark):
+    cores = core_counts(quick=True)
+    results = once(benchmark, lambda: sweep(cores, apps=APPS[2:], tag="_bayes"))
+    top = max(cores)
+    assert (results[("bayes", "fractal", "bloom", top)].makespan
+            < results[("bayes", "hwq", "bloom", top)].makespan)
+
+
+if __name__ == "__main__":
+    sweep(core_counts())

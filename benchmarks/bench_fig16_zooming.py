@@ -1,0 +1,70 @@
+"""Fig. 16: zooming overheads on the nested-domain-tree microbenchmark.
+
+Paper: a depth-8 tree with fanout F in 4..12, hardware depth D in 2..8;
+1500-cycle tasks. At 1 core, limiting D costs at most 21% (F=4, D=2) and
+the cost shrinks as F or D grows. At 256 cores small D also costs
+parallelism. Scaled here to a depth-5 tree, F in 2..6, D in 2..5 (the
+paper's 39 M-task tree is beyond a Python-resident simulation; the
+normalized shape is what is compared).
+"""
+
+from _common import core_counts, emit, once
+from repro.apps import zoomtree
+from repro.bench.harness import run_app
+from repro.bench.report import format_table
+from repro.config import SystemConfig
+
+FANOUTS = (2, 3, 4, 6)
+DEPTHS = (2, 3, 4, 5)
+TREE_DEPTH = 5
+
+
+def run_tree(fanout, max_depth, n_cores):
+    inp = zoomtree.make_input(fanout=fanout, depth=TREE_DEPTH)
+    cfg = SystemConfig.with_cores(
+        n_cores, vt_bits=zoomtree.vt_bits_for_depth(max_depth),
+        conflict_mode="precise")
+    run = run_app(zoomtree, inp, variant="fractal", n_cores=n_cores,
+                  config=cfg)
+    zoomtree.check(run.handles, inp)
+    return run
+
+
+def sweep(n_cores, fanouts=FANOUTS):
+    rows = []
+    results = {}
+    for fanout in fanouts:
+        baseline = run_tree(fanout, TREE_DEPTH, n_cores)
+        results[(fanout, TREE_DEPTH)] = baseline
+        row = [f"F={fanout}"]
+        for d in DEPTHS:
+            run = (baseline if d == TREE_DEPTH
+                   else run_tree(fanout, d, n_cores))
+            results[(fanout, d)] = run
+            rel = baseline.makespan / run.makespan
+            row.append(f"{rel:.2f} ({run.stats.zoom_ins}z)")
+        rows.append(row)
+    emit(f"fig16_zooming_{n_cores}c",
+         format_table(["fanout"] + [f"D={d}" for d in DEPTHS], rows))
+    return results
+
+
+def bench_fig16_zooming_1core(benchmark):
+    results = once(benchmark, lambda: sweep(1, fanouts=(2, 4)))
+    for fanout in (2, 4):
+        # performance is monotone in supported depth (Fig. 16a)
+        spans = [results[(fanout, d)].makespan for d in DEPTHS]
+        assert spans[0] >= spans[-1]
+        assert results[(fanout, 2)].stats.zoom_ins > 0
+        assert results[(fanout, TREE_DEPTH)].stats.zoom_ins == 0
+
+
+def bench_fig16_zooming_parallel(benchmark):
+    n = max(core_counts(quick=True))
+    results = once(benchmark, lambda: sweep(n, fanouts=(4,)))
+    assert results[(4, TREE_DEPTH)].stats.tasks_committed > 0
+
+
+if __name__ == "__main__":
+    sweep(1)
+    sweep(max(core_counts()))

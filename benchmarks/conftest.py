@@ -1,0 +1,6 @@
+"""Make the shared bench helpers importable regardless of invocation dir."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure (full sweeps) outside pytest.
+
+Usage:
+    python benchmarks/run_all.py              # default core sweep
+    REPRO_BENCH_CORES=1,4,16,64 python benchmarks/run_all.py
+
+Results land in benchmarks/results/. Expect tens of minutes for the full
+sweep — the quick version is ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import importlib
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+BENCHES = [
+    "bench_table2_config",
+    "bench_table3_inputs",
+    "bench_table4_task_lengths",
+    "bench_fig01_timeline",
+    "bench_fig03_maxflow",
+    "bench_fig04_silo",
+    "bench_fig06_mis",
+    "bench_fig14a_nested_speedups",
+    "bench_fig14b_breakdowns",
+    "bench_fig15a_overserialization",
+    "bench_fig15b_breakdowns",
+    "bench_fig16_zooming",
+    "bench_fig17_stamp",
+    "bench_swarm_suite",
+    "bench_ablation_conflict",
+    "bench_ablation_hints",
+    "bench_ablation_queues",
+    "bench_ablation_gvt",
+    "bench_ablation_flatten",
+]
+
+
+def main():
+    import runpy
+
+    t0 = time.time()
+    for name in BENCHES:
+        print(f"\n########## {name} ##########", flush=True)
+        start = time.time()
+        # every bench module runs its full sweep under __main__ semantics
+        runpy.run_module(name, run_name="__main__")
+        print(f"[{name} done in {time.time() - start:.0f}s]", flush=True)
+    print(f"\nall benches done in {time.time() - t0:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

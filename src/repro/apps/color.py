@@ -1,0 +1,147 @@
+"""Greedy graph coloring with a degree ordering heuristic (paper Sec. 6.2;
+Hasenplaugh et al. [33]; input stands in for SNAP com-youtube).
+
+Nodes are colored in largest-degree-first order (ties by id): each node
+takes the smallest color unused by its already-processed neighbours. The
+rank order makes this a *partially ordered* algorithm — the paper lists
+color as ord-32b -> ord-32b nesting (Table 4).
+
+Variants:
+
+- ``flat`` — one ordered task per node (ts = rank) that atomically reads
+  every neighbour's color and assigns its own.
+- ``fractal`` — each node task opens an ordered subdomain: per-neighbour
+  *gather* tasks (ts 0) read one neighbour color each into an edge-indexed
+  scratch slot, and an *assign* task (ts 1) folds them and writes the
+  node's color.
+- ``swarm`` — swarm-fg: the same fine-grain tasks, but atomicity comes
+  from a disjoint timestamp range per node (rank * W + k), over-serializing
+  the gathers of different nodes against each other.
+
+Because ranks totally order conflicting writes, every variant must produce
+exactly the greedy-by-rank coloring — verified against a plain-Python
+oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import AppError
+from ..graphs import Graph, rmat
+from ..vt import Ordering
+from .common import VARIANTS_ALL, require_variant
+
+NO_COLOR = -1
+#: timestamp slots per node in the swarm variant (gathers + assign)
+_SWARM_STRIDE = 2
+
+
+def make_input(scale: int = 6, edge_factor: int = 4, seed: int = 2) -> Graph:
+    return rmat(scale, edge_factor, seed=seed)
+
+
+def ranks(g: Graph) -> List[int]:
+    """rank[v] = position of v in largest-degree-first order."""
+    order = sorted(range(g.n), key=lambda v: (-g.degree(v), v))
+    rank = [0] * g.n
+    for i, v in enumerate(order):
+        rank[v] = i
+    return rank
+
+
+def reference(g: Graph) -> List[int]:
+    """The greedy-by-rank coloring every variant must match."""
+    rank = ranks(g)
+    order = sorted(range(g.n), key=lambda v: rank[v])
+    color = [NO_COLOR] * g.n
+    for v in order:
+        used = {color[n] for n in g.neighbors(v) if color[n] != NO_COLOR}
+        c = 0
+        while c in used:
+            c += 1
+        color[v] = c
+    return color
+
+
+def build(host, g: Graph, variant: str = "fractal") -> Dict:
+    require_variant(variant, VARIANTS_ALL)
+    color = host.array("color.color", g.n, fill=NO_COLOR)
+    adj = [tuple(g.neighbors(v)) for v in range(g.n)]
+    rank = ranks(g)
+
+    # Edge-indexed scratch for the fractal/swarm gather tasks.
+    offsets = [0] * g.n
+    total = 0
+    for v in range(g.n):
+        offsets[v] = total
+        total += len(adj[v])
+    # one line per gather slot: sibling gathers must not false-share
+    scratch = host.array("color.scratch", max(total, 1) * 8, fill=NO_COLOR)
+
+    def first_free(used) -> int:
+        c = 0
+        while c in used:
+            c += 1
+        return c
+
+    def color_flat(ctx, v):
+        used = set()
+        for ngh in adj[v]:
+            c = color.get(ctx, ngh)
+            if c != NO_COLOR:
+                used.add(c)
+        color.set(ctx, v, first_free(used))
+
+    def gather(ctx, v, k):
+        scratch.set(ctx, (offsets[v] + k) * 8, color.get(ctx, adj[v][k]))
+
+    def assign(ctx, v):
+        used = set()
+        for k in range(len(adj[v])):
+            c = scratch.get(ctx, (offsets[v] + k) * 8)
+            if c != NO_COLOR:
+                used.add(c)
+        color.set(ctx, v, first_free(used))
+
+    def color_fractal(ctx, v):
+        if not adj[v]:
+            color.set(ctx, v, 0)
+            return
+        ctx.create_subdomain(Ordering.ORDERED_32)
+        for k in range(len(adj[v])):
+            ctx.enqueue_sub(gather, v, k, ts=0, hint=adj[v][k], label="gather")
+        ctx.enqueue_sub(assign, v, ts=1, hint=v, label="assign")
+
+    def color_swarm(ctx, v):
+        if not adj[v]:
+            color.set(ctx, v, 0)
+            return
+        base = ctx.timestamp
+        for k in range(len(adj[v])):
+            ctx.enqueue(gather, v, k, ts=base, hint=adj[v][k], label="gather")
+        ctx.enqueue(assign, v, ts=base + 1, hint=v, label="assign")
+
+    fn = {"flat": color_flat, "fractal": color_fractal,
+          "swarm": color_swarm}[variant]
+    for v in range(g.n):
+        ts = rank[v] * (_SWARM_STRIDE if variant == "swarm" else 1)
+        host.enqueue_root(fn, v, ts=ts, hint=v, label="node")
+    return {"color": color, "graph": g}
+
+
+def root_ordering(variant: str) -> Ordering:
+    return Ordering.ORDERED_32
+
+
+def check(handles: Dict, g: Graph) -> int:
+    """Proper coloring matching the greedy oracle; returns color count."""
+    got = handles["color"].snapshot()
+    for u, v in g.edges():
+        if got[u] == got[v]:
+            raise AppError(f"adjacent nodes {u},{v} share color {got[u]}")
+    want = reference(g)
+    if got != want:
+        diffs = [v for v in range(g.n) if got[v] != want[v]][:5]
+        raise AppError(f"coloring differs from greedy oracle at {diffs}")
+    return max(got) + 1 if g.n else 0

@@ -1,0 +1,100 @@
+"""Maximal independent set (paper Sec. 2.3, Listing 1; input: R-MAT).
+
+Given a graph, find a set S such that no two nodes of S are adjacent and
+every node outside S has a neighbour in S.
+
+Variants:
+
+- ``flat`` — one unordered task per node that atomically includes the node
+  and excludes all its neighbours (the PBBS-style TM port).
+- ``fractal`` — Listing 1: an *include* task adds the node and creates an
+  unordered subdomain of per-neighbour *exclude* tasks. The node and its
+  neighbours are still visited atomically, but many fine tasks run in
+  parallel.
+- ``swarm`` — mis-swarm: include tasks carry unique timestamps (node id)
+  and share them with their exclude tasks, over-serializing the root domain
+  (this also makes the result deterministic, paper footnote 1).
+
+Node states: 0 = unvisited, 1 = included, 2 = excluded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import AppError
+from ..graphs import Graph, rmat
+from ..vt import Ordering
+from .common import VARIANTS_ALL, require_variant
+
+UNVISITED, INCLUDED, EXCLUDED = 0, 1, 2
+
+
+def make_input(scale: int = 7, edge_factor: int = 4, seed: int = 1) -> Graph:
+    """An R-MAT graph (the paper uses scale 23; toy default scale 7)."""
+    return rmat(scale, edge_factor, seed=seed)
+
+
+def build(host, g: Graph, variant: str = "fractal") -> Dict:
+    """Allocate state and enqueue one task per node; returns handles."""
+    require_variant(variant, VARIANTS_ALL)
+    state = host.array("mis.state", g.n)
+    adj = [tuple(g.neighbors(v)) for v in range(g.n)]
+
+    def exclude(ctx, v):
+        state.set(ctx, v, EXCLUDED)
+
+    def include_flat(ctx, v):
+        if state.get(ctx, v) == UNVISITED:
+            state.set(ctx, v, INCLUDED)
+            for ngh in adj[v]:
+                state.set(ctx, ngh, EXCLUDED)
+
+    def include_fractal(ctx, v):
+        if state.get(ctx, v) == UNVISITED:
+            state.set(ctx, v, INCLUDED)
+            ctx.create_subdomain(Ordering.UNORDERED)
+            for ngh in adj[v]:
+                ctx.enqueue_sub(exclude, ngh, hint=ngh, label="exclude")
+
+    def include_swarm(ctx, v):
+        if state.get(ctx, v) == UNVISITED:
+            state.set(ctx, v, INCLUDED)
+            for ngh in adj[v]:
+                ctx.enqueue(exclude, ngh, ts=ctx.timestamp, hint=ngh,
+                            label="exclude")
+
+    if variant == "swarm":
+        for v in range(g.n):
+            host.enqueue_root(include_swarm, v, ts=v, hint=v, label="include")
+    elif variant == "fractal":
+        for v in range(g.n):
+            host.enqueue_root(include_fractal, v, hint=v, label="include")
+    else:
+        for v in range(g.n):
+            host.enqueue_root(include_flat, v, hint=v, label="include")
+    return {"state": state, "graph": g}
+
+
+def root_ordering(variant: str) -> Ordering:
+    """Root-domain ordering each variant requires."""
+    return Ordering.ORDERED_32 if variant == "swarm" else Ordering.UNORDERED
+
+
+def check(handles: Dict, g: Graph) -> int:
+    """Verify independence and maximality; returns |S|."""
+    state = handles["state"].snapshot()
+    included = [v for v in range(g.n) if state[v] == INCLUDED]
+    in_set = set(included)
+    for v in range(g.n):
+        if state[v] == UNVISITED:
+            raise AppError(f"node {v} never visited")
+    for v in included:
+        for ngh in g.neighbors(v):
+            if ngh in in_set:
+                raise AppError(f"adjacent nodes {v},{ngh} both included")
+    for v in range(g.n):
+        if v not in in_set:
+            if not any(n in in_set for n in g.neighbors(v)):
+                raise AppError(f"excluded node {v} has no included neighbour")
+    return len(included)

@@ -1,0 +1,238 @@
+"""silo: an in-memory transactional database on TPC-C-style transactions
+(paper Secs. 1, 2.2, 6.2; Tu et al. [61]).
+
+A scaled-down TPC-C: warehouses with districts, customers, per-warehouse
+stock, and an order log. The workload mixes *new-order* transactions
+(allocate an order id from the district, decrement stock per line item,
+write order-line records, finalize the order) and *payment* transactions
+(update warehouse, district, and customer year-to-date balances).
+
+Variants (Figs. 4-5):
+
+- ``flat`` — silo-flat: one unordered task per database transaction (the
+  conventional HTM approach); inter-transaction parallelism only.
+- ``fractal`` — silo-fractal: each transaction opens an ordered subdomain
+  and runs its operations as fine-grain tasks (allocate id at ts 0, line
+  items at ts 1, finalize at ts 2). On a conflict only the touched
+  operation aborts, not the whole transaction.
+- ``swarm`` — silo-swarm (Fig. 5): the same fine-grain tasks in an ordered
+  *root* domain, with a disjoint timestamp range per transaction; the
+  launcher and the transaction code must agree on the range size, which is
+  exactly the composability cost the paper criticizes.
+
+Checked invariants: stock conservation, order-id density, YTD balance
+conservation, and order-line consistency against a serial replay oracle.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..errors import AppError
+from ..vt import Ordering
+from .common import VARIANTS_ALL, require_variant
+
+#: timestamps reserved per transaction in the swarm variant (Fig. 5 uses 10)
+SWARM_TS_PER_TXN = 10
+
+
+@dataclass
+class Txn:
+    kind: str                       # "new_order" | "payment"
+    warehouse: int
+    district: int
+    customer: int
+    items: List[Tuple[int, int]] = field(default_factory=list)  # (item, qty)
+    amount: int = 0
+
+
+@dataclass
+class SiloInput:
+    n_warehouses: int
+    n_districts: int
+    n_customers: int
+    n_items: int
+    initial_stock: int
+    txns: List[Txn]
+
+
+def make_input(n_warehouses: int = 2, n_districts: int = 4,
+               n_customers: int = 16, n_items: int = 64,
+               n_txns: int = 64, items_per_order: int = 4,
+               payment_fraction: float = 0.4, seed: int = 5) -> SiloInput:
+    """A TPC-C-like mix (paper: 4 warehouses, 32 K txns; toy default 64)."""
+    rng = random.Random(seed)
+    txns = []
+    for _ in range(n_txns):
+        wh = rng.randrange(n_warehouses)
+        d = rng.randrange(n_districts)
+        c = rng.randrange(n_customers)
+        if rng.random() < payment_fraction:
+            txns.append(Txn("payment", wh, d, c, amount=rng.randint(1, 500)))
+        else:
+            items = [(rng.randrange(n_items), rng.randint(1, 5))
+                     for _ in range(items_per_order)]
+            txns.append(Txn("new_order", wh, d, c, items=items))
+    return SiloInput(n_warehouses, n_districts, n_customers, n_items,
+                     initial_stock=10_000, txns=txns)
+
+
+def build(host, inp: SiloInput, variant: str = "fractal") -> Dict:
+    require_variant(variant, VARIANTS_ALL)
+    W, D, C, I = (inp.n_warehouses, inp.n_districts, inp.n_customers,
+                  inp.n_items)
+    n_txns = len(inp.txns)
+    # --- tables (line-spread so unrelated rows do not false-share) -------
+    wh_ytd = host.array("silo.wh_ytd", W * 8)
+    dist_next_oid = host.array("silo.dist_next_oid", W * D * 8)
+    dist_ytd = host.array("silo.dist_ytd", W * D * 8)
+    cust_balance = host.array("silo.cust_balance", C * 8)
+    stock = host.array("silo.stock", W * I, fill=inp.initial_stock)
+    orders = host.dict("silo.orders", capacity=n_txns + 1)
+    order_lines = host.dict("silo.order_lines", capacity=n_txns * 8 + 1)
+    # per-transaction scratch (allocated order id), one line each
+    scratch = host.array("silo.scratch", max(n_txns, 1) * 8)
+
+    def d_idx(wh, d):
+        return (wh * D + d) * 8
+
+    # ------------------- fine-grain operations --------------------------
+    def op_alloc_oid(ctx, tid):
+        txn = inp.txns[tid]
+        slot = d_idx(txn.warehouse, txn.district)
+        oid = dist_next_oid.get(ctx, slot)
+        dist_next_oid.set(ctx, slot, oid + 1)
+        scratch.set(ctx, tid * 8, oid)
+
+    def op_line(ctx, tid, k):
+        txn = inp.txns[tid]
+        item, qty = txn.items[k]
+        s_idx = txn.warehouse * I + item
+        q = stock.get(ctx, s_idx)
+        q -= qty
+        if q < 10:
+            q += 91  # TPC-C restock rule
+        stock.set(ctx, s_idx, q)
+        oid = scratch.get(ctx, tid * 8)
+        order_lines.put(ctx, (txn.warehouse, txn.district, oid, k),
+                        (item, qty))
+
+    def op_finalize(ctx, tid):
+        txn = inp.txns[tid]
+        oid = scratch.get(ctx, tid * 8)
+        orders.put(ctx, (txn.warehouse, txn.district, oid),
+                   (txn.customer, len(txn.items)))
+
+    def op_payment(ctx, tid):
+        txn = inp.txns[tid]
+        wh_ytd.add(ctx, txn.warehouse * 8, txn.amount)
+        dist_ytd.add(ctx, d_idx(txn.warehouse, txn.district), txn.amount)
+        cust_balance.add(ctx, txn.customer * 8, -txn.amount)
+
+    # ------------------- transaction drivers ----------------------------
+    def txn_flat(ctx, tid):
+        txn = inp.txns[tid]
+        if txn.kind == "payment":
+            op_payment(ctx, tid)
+        else:
+            op_alloc_oid(ctx, tid)
+            for k in range(len(txn.items)):
+                op_line(ctx, tid, k)
+            op_finalize(ctx, tid)
+
+    def txn_fractal(ctx, tid):
+        txn = inp.txns[tid]
+        ctx.create_subdomain(Ordering.ORDERED_32)
+        if txn.kind == "payment":
+            ctx.enqueue_sub(op_payment, tid, ts=0, hint=txn.warehouse,
+                            label="pay")
+        else:
+            ctx.enqueue_sub(op_alloc_oid, tid, ts=0, hint=txn.warehouse,
+                            label="alloc")
+            for k in range(len(txn.items)):
+                ctx.enqueue_sub(op_line, tid, k, ts=1,
+                                hint=txn.warehouse * I + txn.items[k][0],
+                                label="line")
+            ctx.enqueue_sub(op_finalize, tid, ts=2, hint=txn.warehouse,
+                            label="fin")
+
+    def txn_swarm(ctx, tid):
+        txn = inp.txns[tid]
+        base = ctx.timestamp
+        if txn.kind == "payment":
+            ctx.enqueue(op_payment, tid, ts=base + 1, hint=txn.warehouse,
+                        label="pay")
+        else:
+            ctx.enqueue(op_alloc_oid, tid, ts=base + 1, hint=txn.warehouse,
+                        label="alloc")
+            for k in range(len(txn.items)):
+                ctx.enqueue(op_line, tid, k, ts=base + 2,
+                            hint=txn.warehouse * I + txn.items[k][0],
+                            label="line")
+            ctx.enqueue(op_finalize, tid, ts=base + 3, hint=txn.warehouse,
+                        label="fin")
+
+    if variant == "swarm":
+        for tid in range(n_txns):
+            host.enqueue_root(txn_swarm, tid, ts=tid * SWARM_TS_PER_TXN,
+                              hint=inp.txns[tid].warehouse, label="txn")
+    else:
+        fn = txn_flat if variant == "flat" else txn_fractal
+        for tid in range(n_txns):
+            host.enqueue_root(fn, tid, hint=inp.txns[tid].warehouse,
+                              label="txn")
+    return {
+        "wh_ytd": wh_ytd, "dist_ytd": dist_ytd, "dist_next_oid": dist_next_oid,
+        "cust_balance": cust_balance, "stock": stock, "orders": orders,
+        "order_lines": order_lines, "input": inp,
+    }
+
+
+def root_ordering(variant: str) -> Ordering:
+    return Ordering.ORDERED_64 if variant == "swarm" else Ordering.UNORDERED
+
+
+def check(handles: Dict, inp: SiloInput) -> None:
+    W, D, C, I = (inp.n_warehouses, inp.n_districts, inp.n_customers,
+                  inp.n_items)
+    # --- payment conservation -------------------------------------------
+    total_paid = sum(t.amount for t in inp.txns if t.kind == "payment")
+    got_wh = sum(handles["wh_ytd"].peek(w * 8) for w in range(W))
+    got_dist = sum(handles["dist_ytd"].peek((w * D + d) * 8)
+                   for w in range(W) for d in range(D))
+    got_cust = -sum(handles["cust_balance"].peek(c * 8) for c in range(C))
+    if not (total_paid == got_wh == got_dist == got_cust):
+        raise AppError(
+            f"payment conservation broken: paid={total_paid}, wh={got_wh}, "
+            f"dist={got_dist}, cust={got_cust}")
+    # --- order ids dense per district ------------------------------------
+    new_orders = [t for t in inp.txns if t.kind == "new_order"]
+    per_district: Dict[Tuple[int, int], int] = {}
+    for t in new_orders:
+        per_district[(t.warehouse, t.district)] = per_district.get(
+            (t.warehouse, t.district), 0) + 1
+    for (w, d), count in per_district.items():
+        got = handles["dist_next_oid"].peek((w * D + d) * 8)
+        if got != count:
+            raise AppError(f"district ({w},{d}) next_oid {got} != {count}")
+        for oid in range(count):
+            if handles["orders"].peek((w, d, oid)) is None:
+                raise AppError(f"order ({w},{d},{oid}) missing")
+    # --- stock conservation (mod the restock rule) -----------------------
+    lines = dict(handles["order_lines"].items_nonspec())
+    if len(lines) != sum(len(t.items) for t in new_orders):
+        raise AppError("order-line count mismatch")
+    consumed: Dict[Tuple[int, int], int] = {}
+    for t in new_orders:
+        for (item, qty) in t.items:
+            key = (t.warehouse, item)
+            consumed[key] = consumed.get(key, 0) + qty
+    for (w, item), qty in consumed.items():
+        got = handles["stock"].peek(w * I + item)
+        delta = inp.initial_stock - got
+        # restocks add multiples of 91
+        if (qty - delta) % 91 != 0 or delta > qty:
+            raise AppError(
+                f"stock ({w},{item}): consumed {qty}, delta {delta}")

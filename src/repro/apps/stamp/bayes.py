@@ -1,0 +1,162 @@
+"""STAMP bayes: Bayesian network structure learning.
+
+The learner evaluates edge-insertion decisions on a network over V
+variables. Evaluating a decision requires many probability-estimate
+queries (STAMP answers them from an ADTree; here a shared memoizing query
+cache over precomputed pairwise co-occurrence counts plays that role — see
+DESIGN.md substitutions), then the decision is applied to the shared
+network structure and per-variable log-likelihood words.
+
+- TM/hwq: one transaction per decision, reading the network row, running
+  *all* queries, and applying — long transactions with large footprints
+  that serialize on the network and the cache (the paper's bayes barely
+  scales flat, Fig. 14).
+- fractal: the decision task runs its queries as an unordered subdomain
+  (one fine task per query; a join counter fires the apply continuation),
+  matching Table 4's "unord -> unord" nesting.
+
+Edges are restricted to i < j, so the learned structure is acyclic by
+construction. Checked invariants: the network is exactly the set of
+logged applied decisions, and per-variable likelihood words equal the sum
+of applied gains (conservation).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ...errors import AppError
+from ...vt import Ordering
+from .common import drive_workload, require_stamp_variant
+from ..common import splitmix
+
+
+@dataclass
+class BayesInput:
+    n_vars: int
+    decisions: List[Tuple[int, int]]       # proposed edges (i < j)
+    gains: Dict[Tuple[int, int], int]      # static data-derived gain
+    queries_per_decision: int
+    threshold: int
+
+
+def make_input(n_vars: int = 10, n_decisions: int = 40,
+               queries_per_decision: int = 6, n_records: int = 256,
+               seed: int = 12) -> BayesInput:
+    rng = random.Random(seed)
+    # synthesize records from a random ground-truth DAG, then derive
+    # pairwise agreement counts -> integer gains
+    truth = {(i, j): rng.random() < 0.25
+             for i in range(n_vars) for j in range(i + 1, n_vars)}
+    records = []
+    for _ in range(n_records):
+        row = [rng.randint(0, 1) for _ in range(n_vars)]
+        for (i, j), linked in truth.items():
+            if linked and rng.random() < 0.7:
+                row[j] = row[i]
+        records.append(row)
+    gains = {}
+    for i in range(n_vars):
+        for j in range(i + 1, n_vars):
+            agree = sum(1 for r in records if r[i] == r[j])
+            gains[(i, j)] = abs(2 * agree - n_records)
+    pairs = list(gains)
+    decisions = [pairs[rng.randrange(len(pairs))] for _ in range(n_decisions)]
+    threshold = n_records // 3
+    return BayesInput(n_vars, decisions, gains, queries_per_decision,
+                      threshold)
+
+
+def build(host, inp: BayesInput, variant: str = "fractal") -> Dict:
+    require_stamp_variant(variant)
+    V = inp.n_vars
+    adj = host.array("bayes.adj", V * V)            # 1 = edge present
+    ll = host.array("bayes.ll", V * 8)              # per-var likelihood
+    cache = host.dict("bayes.cache", capacity=4096)
+    applied = host.dict("bayes.applied", capacity=len(inp.decisions) + 1)
+    Q = inp.queries_per_decision
+    # per-decision scratch: Q query-result slots, one cache line each so
+    # parallel queries of one decision never false-share
+    scratch = host.array("bayes.scratch", len(inp.decisions) * Q * 8)
+
+    def run_query(ctx, did, q):
+        """One probability query: memoized in the shared cache."""
+        i, j = inp.decisions[did]
+        key = (i, j, splitmix(did * 131 + q) % 8)
+        hit = cache.get(ctx, key)
+        if hit is None:
+            ctx.compute(120)                       # walk the count tables
+            hit = inp.gains[(i, j)] + (q % 3)
+            cache.put(ctx, key, hit)
+        else:
+            ctx.compute(15)
+        return hit
+
+    def apply_decision(ctx, did):
+        i, j = inp.decisions[did]
+        score = sum(scratch.get(ctx, (did * Q + q) * 8) for q in range(Q))
+        if adj.get(ctx, i * V + j) == 0 and score // Q >= inp.threshold:
+            adj.set(ctx, i * V + j, 1)
+            ll.add(ctx, j * 8, score // Q)
+            applied.put(ctx, did, score // Q)
+
+    def decide_flat(ctx, did):
+        i, j = inp.decisions[did]
+        # read the candidate parents' rows (the network footprint)
+        for k in range(V):
+            adj.get(ctx, i * V + k)
+            adj.get(ctx, k * V + j)
+        for q in range(Q):
+            scratch.set(ctx, (did * Q + q) * 8, run_query(ctx, did, q))
+        apply_decision(ctx, did)
+
+    def query_task(ctx, did, q):
+        scratch.set(ctx, (did * Q + q) * 8, run_query(ctx, did, q))
+
+    def decide_fractal(ctx, did):
+        # Queries are mutually unordered (all at ts 0); the apply
+        # continuation is sequenced after them at ts 1 — the standard
+        # lowering of "unordered loop + continuation".
+        i, j = inp.decisions[did]
+        for k in range(V):
+            adj.get(ctx, i * V + k)
+            adj.get(ctx, k * V + j)
+        ctx.create_subdomain(Ordering.ORDERED_32)
+        for q in range(Q):
+            ctx.enqueue_sub(query_task, did, q, ts=0,
+                            hint=(did * 7 + q) % 64, label="query")
+        ctx.enqueue_sub(apply_decision, did, ts=1, hint=did, label="apply")
+
+    fn = decide_fractal if variant == "fractal" else decide_flat
+    drive_workload(host, len(inp.decisions), fn, variant,
+                   hint_fn=lambda did: inp.decisions[did][0], label="decide")
+    return {"adj": adj, "ll": ll, "applied": applied, "input": inp}
+
+
+def root_ordering(variant: str) -> Ordering:
+    return Ordering.UNORDERED
+
+
+def check(handles: Dict, inp: BayesInput) -> int:
+    V = inp.n_vars
+    adj = handles["adj"]
+    applied = dict(handles["applied"].items_nonspec())
+    # network == applied log
+    edges = {(i, j) for i in range(V) for j in range(V)
+             if adj.peek(i * V + j) == 1}
+    logged = {inp.decisions[did] for did in applied}
+    if edges != logged:
+        raise AppError(f"network edges {edges} != applied log {logged}")
+    for (i, j) in edges:
+        if not i < j:
+            raise AppError(f"edge ({i},{j}) breaks the i<j DAG restriction")
+    # likelihood conservation: ll[j] is the sum of gains applied onto j
+    for j in range(V):
+        want = sum(gain for did, gain in applied.items()
+                   if inp.decisions[did][1] == j)
+        got = handles["ll"].peek(j * 8)
+        if got != want:
+            raise AppError(f"ll[{j}] = {got}, expected {want}")
+    return len(edges)

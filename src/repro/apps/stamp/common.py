@@ -1,0 +1,52 @@
+"""Shared machinery for the STAMP ports (Fig. 17 feature ladder)."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ...errors import AppError
+
+STAMP_VARIANTS = ("tm", "hwq", "fractal")
+
+
+def require_stamp_variant(variant: str, allowed=STAMP_VARIANTS) -> str:
+    if variant not in allowed:
+        raise AppError(f"unknown STAMP variant {variant!r}; pick from {allowed}")
+    return variant
+
+
+def drive_workload(host, n_units: int, unit_fn: Callable, variant: str, *,
+                   hint_fn: Optional[Callable[[int], int]] = None,
+                   n_workers: int = 32, label: str = "txn") -> None:
+    """Feed ``n_units`` work units (ids 0..n-1) to ``unit_fn(ctx, uid)``.
+
+    - ``tm``: the original STAMP shape — worker transactions pull unit ids
+      from a *software* work queue held in transactional memory. Every pop
+      reads and writes the queue head inside the worker's transaction, so
+      concurrent workers serialize through it (the scaling wall the
+      +HWQueues step of Fig. 17 removes).
+    - ``hwq`` / ``fractal``: one hardware-queued task per unit, with
+      spatial hints from ``hint_fn``.
+    """
+    if variant == "tm":
+        queue = host.queue("stamp.workq", capacity=n_units + 1)
+        # pre-fill non-speculatively
+        for uid in range(n_units):
+            queue.mem.poke(queue.region.addr(queue._BUF + uid % queue.capacity),
+                           uid)
+        queue.mem.poke(queue.region.addr(queue._TAIL), n_units)
+
+        def worker(ctx):
+            uid = queue.pop(ctx, default=None)
+            if uid is None:
+                return
+            unit_fn(ctx, uid)
+            ctx.enqueue(worker, label="worker")
+
+        for _ in range(min(n_workers, n_units)):
+            host.enqueue_root(worker, label="worker")
+    else:
+        for uid in range(n_units):
+            host.enqueue_root(unit_fn, uid,
+                              hint=hint_fn(uid) if hint_fn else None,
+                              label=label)

@@ -1,0 +1,103 @@
+"""STAMP intruder: network intrusion detection.
+
+Packets (fragments of per-flow payloads) arrive shuffled. Each capture
+transaction files a fragment into the shared flow table and decrements the
+flow's remaining-fragment counter; the transaction that completes a flow
+reassembles the payload and runs the signature detector over it, recording
+a verdict.
+
+In STAMP the packet stream and reassembly queue are *software* queues; the
+TM variant models exactly that (a queue pop inside every capture
+transaction), and loses scalability to queue-head conflicts — the Fig. 17
+"+HWQueues" step is what rescues intruder.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ...errors import AppError
+from ...vt import Ordering
+from .common import drive_workload, require_stamp_variant
+
+ATTACK_MARKER = "ATTACK"
+_CHARS = "abcdefghijklmnopqrstuvwxyz"
+
+
+@dataclass
+class IntruderInput:
+    packets: List[Tuple[int, int, str]]    # (flow, fragment index, payload)
+    n_flows: int
+    frags_per_flow: int
+    attacks: List[bool]                    # ground truth per flow
+
+
+def make_input(n_flows: int = 24, frags_per_flow: int = 4,
+               frag_len: int = 8, attack_fraction: float = 0.3,
+               seed: int = 10) -> IntruderInput:
+    rng = random.Random(seed)
+    packets = []
+    attacks = []
+    for f in range(n_flows):
+        payload = "".join(rng.choice(_CHARS)
+                          for _ in range(frag_len * frags_per_flow))
+        is_attack = rng.random() < attack_fraction
+        if is_attack:
+            pos = rng.randrange(len(payload) - len(ATTACK_MARKER))
+            payload = (payload[:pos] + ATTACK_MARKER
+                       + payload[pos + len(ATTACK_MARKER):])
+        attacks.append(is_attack)
+        for k in range(frags_per_flow):
+            packets.append((f, k, payload[k * frag_len:(k + 1) * frag_len]))
+    rng.shuffle(packets)
+    return IntruderInput(packets, n_flows, frags_per_flow, attacks)
+
+
+def build(host, inp: IntruderInput, variant: str = "fractal") -> Dict:
+    require_stamp_variant(variant)
+    frags = host.dict("intr.frags", capacity=len(inp.packets) + 1)
+    remaining = host.array("intr.remaining", inp.n_flows * 8,
+                           init=_spread([inp.frags_per_flow] * inp.n_flows))
+    verdict = host.array("intr.verdict", inp.n_flows * 8, fill=-1)
+
+    def detect(ctx, flow):
+        parts = [frags.get(ctx, (flow, k))
+                 for k in range(inp.frags_per_flow)]
+        payload = "".join(parts)
+        ctx.compute(6 * len(payload))
+        verdict.set(ctx, flow * 8, 1 if ATTACK_MARKER in payload else 0)
+
+    def capture(ctx, pid):
+        flow, k, payload = inp.packets[pid]
+        frags.put(ctx, (flow, k), payload)
+        left = remaining.get(ctx, flow * 8) - 1
+        remaining.set(ctx, flow * 8, left)
+        ctx.compute(25)
+        if left == 0:
+            ctx.enqueue(detect, flow, hint=flow, label="detect")
+
+    drive_workload(host, len(inp.packets), capture, variant,
+                   hint_fn=lambda pid: inp.packets[pid][0], label="capture")
+    return {"verdict": verdict, "input": inp}
+
+
+def root_ordering(variant: str) -> Ordering:
+    return Ordering.UNORDERED
+
+
+def _spread(values, scale: int = 8):
+    out = []
+    for v in values:
+        out.append(v)
+        out.extend([0] * (scale - 1))
+    return out
+
+
+def check(handles: Dict, inp: IntruderInput) -> None:
+    for f in range(inp.n_flows):
+        got = handles["verdict"].peek(f * 8)
+        want = 1 if inp.attacks[f] else 0
+        if got != want:
+            raise AppError(f"flow {f}: verdict {got}, expected {want}")

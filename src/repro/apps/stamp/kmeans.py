@@ -1,0 +1,168 @@
+"""STAMP kmeans: transactional k-means clustering.
+
+Points are assigned to their nearest centroid in parallel chunks; each
+assignment transaction folds the point into the cluster's shared
+accumulator — the contended state. Iterations are separated by a
+recompute step, expressed with root-domain timestamps (assignments of
+iteration i at ts 2i, recompute at 2i+1), which models STAMP's barrier
+loop. Integer coordinates keep every variant bit-identical to the oracle.
+
+In the paper, kmeans scales only once spatial hints route same-cluster
+updates to the same tile (Fig. 17, +Hints).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ...errors import AppError
+from ...vt import Ordering
+from .common import require_stamp_variant
+
+
+@dataclass
+class KmeansInput:
+    points: List[Tuple[int, ...]]
+    k: int
+    dim: int
+    iterations: int
+    chunk: int
+
+    @property
+    def n_chunks(self) -> int:
+        return (len(self.points) + self.chunk - 1) // self.chunk
+
+
+def make_input(n_points: int = 96, k: int = 4, dim: int = 3,
+               iterations: int = 3, chunk: int = 4,
+               seed: int = 8) -> KmeansInput:
+    rng = random.Random(seed)
+    centers = [tuple(rng.randint(0, 1000) for _ in range(dim))
+               for _ in range(k)]
+    points = []
+    for _ in range(n_points):
+        c = rng.choice(centers)
+        points.append(tuple(x + rng.randint(-100, 100) for x in c))
+    return KmeansInput(points, k, dim, iterations, chunk)
+
+
+def _nearest(point, centroids) -> int:
+    best, best_d = 0, None
+    for c, cen in enumerate(centroids):
+        d = sum((a - b) * (a - b) for a, b in zip(point, cen))
+        if best_d is None or d < best_d:
+            best, best_d = c, d
+    return best
+
+
+def reference(inp: KmeansInput) -> Tuple[List[Tuple[int, ...]], List[int]]:
+    """Plain-Python oracle with identical integer arithmetic."""
+    centroids = [inp.points[i] for i in range(inp.k)]
+    labels = [0] * len(inp.points)
+    for _ in range(inp.iterations):
+        sums = [[0] * inp.dim for _ in range(inp.k)]
+        counts = [0] * inp.k
+        for i, p in enumerate(inp.points):
+            c = _nearest(p, centroids)
+            labels[i] = c
+            counts[c] += 1
+            for d in range(inp.dim):
+                sums[c][d] += p[d]
+        centroids = [
+            tuple(sums[c][d] // counts[c] if counts[c] else centroids[c][d]
+                  for d in range(inp.dim))
+            for c in range(inp.k)
+        ]
+    return centroids, labels
+
+
+def build(host, inp: KmeansInput, variant: str = "fractal") -> Dict:
+    require_stamp_variant(variant)
+    K, D = inp.k, inp.dim
+    centroid = host.array("km.centroid", K * 8,
+                          init=_pack([inp.points[i] for i in range(K)], D))
+    acc = host.array("km.acc", K * 8)       # accumulator vectors (tuples)
+    count = host.array("km.count", K * 8)
+    labels = host.array("km.labels", len(inp.points))
+
+    def assign_chunk(ctx, it, cid):
+        lo = cid * inp.chunk
+        pts = inp.points[lo:lo + inp.chunk]
+        cens = [centroid.get(ctx, c * 8) for c in range(K)]
+        ctx.compute(8 * len(pts) * K * D)
+        per_cluster: Dict[int, List[int]] = {}
+        for off, p in enumerate(pts):
+            c = _nearest(p, cens)
+            labels.set(ctx, lo + off, c)
+            per_cluster.setdefault(c, []).append(off)
+        for c, offs in per_cluster.items():
+            cur = acc.get(ctx, c * 8)
+            cur = tuple(cur) if cur != 0 else (0,) * D
+            for off in offs:
+                cur = tuple(a + b for a, b in zip(cur, pts[off]))
+            acc.set(ctx, c * 8, cur)
+            count.set(ctx, c * 8, count.get(ctx, c * 8) + len(offs))
+
+    def recompute(ctx, it):
+        for c in range(K):
+            n = count.get(ctx, c * 8)
+            if n:
+                s = acc.get(ctx, c * 8)
+                centroid.set(ctx, c * 8, tuple(x // n for x in s))
+            acc.set(ctx, c * 8, 0)
+            count.set(ctx, c * 8, 0)
+        ctx.compute(10 * K * D)
+
+    # TM mode: the chunk list is consumed through a software queue *within
+    # each iteration*; modeled by serializing chunk claims through a
+    # speculative cursor cell per iteration.
+    cursor = host.array("km.cursor", inp.iterations * 8) \
+        if variant == "tm" else None
+
+    def assign_tm(ctx, it, wid):
+        slot = it * 8
+        cid = cursor.get(ctx, slot)
+        if cid >= inp.n_chunks:
+            return
+        cursor.set(ctx, slot, cid + 1)
+        assign_chunk(ctx, it, cid)
+        ctx.enqueue(assign_tm, it, wid, ts=ctx.timestamp, label="worker")
+
+    for it in range(inp.iterations):
+        if variant == "tm":
+            for wid in range(min(16, inp.n_chunks)):
+                host.enqueue_root(assign_tm, it, wid, ts=2 * it,
+                                  label="worker")
+        else:
+            for cid in range(inp.n_chunks):
+                host.enqueue_root(assign_chunk, it, cid, ts=2 * it,
+                                  hint=cid % inp.k, label="assign")
+        host.enqueue_root(recompute, it, ts=2 * it + 1, label="recompute")
+    return {"centroid": centroid, "labels": labels, "input": inp}
+
+
+def root_ordering(variant: str) -> Ordering:
+    return Ordering.ORDERED_32
+
+
+def _pack(points, dim):
+    out = []
+    for p in points:
+        out.append(tuple(p))
+        out.extend([0] * 7)
+    return out
+
+
+def check(handles: Dict, inp: KmeansInput) -> None:
+    want_centroids, want_labels = reference(inp)
+    for c in range(inp.k):
+        got = handles["centroid"].peek(c * 8)
+        if tuple(got) != want_centroids[c]:
+            raise AppError(f"centroid {c}: {got} != {want_centroids[c]}")
+    got_labels = handles["labels"].snapshot()
+    if got_labels != want_labels:
+        bad = [i for i in range(len(want_labels))
+               if got_labels[i] != want_labels[i]][:5]
+        raise AppError(f"labels differ at {bad}")

@@ -1,0 +1,209 @@
+"""STAMP labyrinth: non-overlapping path routing on a 3D grid (Lee's
+algorithm; paper Secs. 6.1, 6.4).
+
+Each transaction routes one (start, end) pair: a breadth-first expansion
+over unoccupied cells computes distances, then the route is traced back
+and its cells claimed. In the TM/hwq variants the whole router is one
+transaction whose read set is the entire expanded region — the poster
+child for Bloom-filter overflow (Fig. 14). labyrinth-fractal runs the
+expansion *inside an ordered subdomain*, one task per wavefront cell
+(timestamp = BFS level) with a per-transaction distance scratchpad, and a
+final claim task; the route stays atomic, but each task's footprint is a
+handful of lines.
+
+A routing may legitimately fail when earlier routes blocked every path;
+the checker validates claimed paths cell-by-cell and re-routes failures
+against the final grid to confirm they are genuinely blocked.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ...errors import AppError
+from ...graphs import Graph, grid3d
+from ...vt import Ordering
+from .common import drive_workload, require_stamp_variant
+
+FREE, WALL = 0, -1
+
+
+@dataclass
+class LabyrinthInput:
+    grid: Graph
+    dims: Tuple[int, int, int]
+    pairs: List[Tuple[int, int]]
+    walls: List[int]
+
+
+def make_input(x: int = 10, y: int = 10, z: int = 2, n_paths: int = 10,
+               wall_fraction: float = 0.05, seed: int = 11) -> LabyrinthInput:
+    rng = random.Random(seed)
+    grid = grid3d(x, y, z)
+    n = grid.n
+    walls = sorted(rng.sample(range(n), int(n * wall_fraction)))
+    blocked = set(walls)
+    pairs = []
+    while len(pairs) < n_paths:
+        s, t = rng.randrange(n), rng.randrange(n)
+        if s != t and s not in blocked and t not in blocked:
+            pairs.append((s, t))
+            blocked.add(s)
+            blocked.add(t)
+    return LabyrinthInput(grid, (x, y, z), pairs, walls)
+
+
+def build(host, inp: LabyrinthInput, variant: str = "fractal") -> Dict:
+    require_stamp_variant(variant)
+    n = inp.grid.n
+    n_paths = len(inp.pairs)
+    # occupancy: 0 free, -1 wall, path id + 1 when claimed
+    occ_init = [FREE] * n
+    for w in inp.walls:
+        occ_init[w] = WALL
+    occ = host.array("lab.occ", n, init=occ_init)
+    # Endpoints are reserved at workload creation (as in STAMP, where
+    # terminals are pre-marked): no other route may pass through them,
+    # else its claimed cells would be overwritten by the owner.
+    endpoints = frozenset(v for pair in inp.pairs for v in pair)
+    # per-transaction distance scratchpad and result flag
+    # one line per (path, cell) so sibling wavefront tasks never
+    # false-share distance words
+    dist = host.array("lab.dist", n_paths * n * 8, fill=-1)
+    done = host.array("lab.done", n_paths * 8, fill=-1)  # -1 run, 0 fail, 1 ok
+    adj = [tuple(inp.grid.neighbors(v)) for v in range(n)]
+
+    def trace_back(ctx, pid):
+        src, dst = inp.pairs[pid]
+        base = pid * n
+        d = dist.get(ctx, (base + dst) * 8)
+        if d < 0:
+            done.set(ctx, pid * 8, 0)
+            return
+        path = [dst]
+        v = dst
+        while v != src:
+            for ngh in adj[v]:
+                if dist.get(ctx, (base + ngh) * 8) == dist.get(ctx, (base + v) * 8) - 1:
+                    v = ngh
+                    break
+            else:
+                raise AppError("backtrace lost the wavefront")
+            path.append(v)
+        for v in path:
+            if v not in (src, dst) and occ.get(ctx, v) != FREE:
+                # a cell the expansion saw free was claimed meanwhile —
+                # impossible under atomicity; conflicts force a re-run
+                done.set(ctx, pid * 8, 0)
+                return
+        for v in path:
+            occ.set(ctx, v, pid + 1)
+        done.set(ctx, pid * 8, 1)
+        ctx.compute(4 * len(path))
+
+    # ----------------- coarse (tm / hwq) router --------------------------
+    def route_flat(ctx, pid):
+        src, dst = inp.pairs[pid]
+        base = pid * n
+        dist.set(ctx, (base + src) * 8, 0)
+        frontier = [src]
+        level = 0
+        while frontier and dist.get(ctx, (base + dst) * 8) < 0:
+            level += 1
+            nxt = []
+            for v in frontier:
+                for ngh in adj[v]:
+                    if dist.get(ctx, (base + ngh) * 8) >= 0:
+                        continue
+                    if ngh != dst and (ngh in endpoints
+                                       or occ.get(ctx, ngh) != FREE):
+                        continue
+                    dist.set(ctx, (base + ngh) * 8, level)
+                    nxt.append(ngh)
+            frontier = nxt
+            ctx.compute(3 * len(nxt))
+        trace_back(ctx, pid)
+
+    # ----------------- fractal router ------------------------------------
+    def expand(ctx, pid, v, level):
+        base = pid * n
+        if dist.get(ctx, (base + v) * 8) >= 0:
+            return
+        dist.set(ctx, (base + v) * 8, level)
+        ctx.compute(3)
+        dst = inp.pairs[pid][1]
+        if v == dst:
+            return
+        for ngh in adj[v]:
+            if ngh == dst or (ngh not in endpoints
+                              and occ.get(ctx, ngh) == FREE):
+                ctx.enqueue(expand, pid, ngh, level + 1, ts=level + 1,
+                            hint=ngh, label="expand")
+
+    def route_fractal(ctx, pid):
+        src, _dst = inp.pairs[pid]
+        ctx.create_subdomain(Ordering.ORDERED_32)
+        ctx.enqueue_sub(expand, pid, src, 0, ts=0, hint=src, label="expand")
+        ctx.enqueue_sub(trace_back, pid, ts=n + 1, label="claim")
+
+    fn = route_fractal if variant == "fractal" else route_flat
+    drive_workload(host, n_paths, fn, variant,
+                   hint_fn=lambda pid: inp.pairs[pid][0], label="route")
+    return {"occ": occ, "done": done, "input": inp}
+
+
+def root_ordering(variant: str) -> Ordering:
+    return Ordering.UNORDERED
+
+
+def check(handles: Dict, inp: LabyrinthInput) -> int:
+    """Validate claimed paths and failures; returns routed-path count."""
+    n = inp.grid.n
+    occ = handles["occ"].snapshot()
+    routed = 0
+    for w in inp.walls:
+        if occ[w] != WALL:
+            raise AppError(f"wall {w} overwritten")
+    claimed: Dict[int, List[int]] = {}
+    for v in range(n):
+        if occ[v] > 0:
+            claimed.setdefault(occ[v] - 1, []).append(v)
+    for pid, (src, dst) in enumerate(inp.pairs):
+        status = handles["done"].peek(pid * 8)
+        if status == 1:
+            routed += 1
+            cells = set(claimed.get(pid, ()))
+            if src not in cells or dst not in cells:
+                raise AppError(f"path {pid} missing endpoints")
+            # cells must form a connected src->dst path
+            frontier, seen = [src], {src}
+            while frontier:
+                cur = frontier.pop()
+                for ngh in inp.grid.neighbors(cur):
+                    if ngh in cells and ngh not in seen:
+                        seen.add(ngh)
+                        frontier.append(ngh)
+            if dst not in seen:
+                raise AppError(f"path {pid} disconnected")
+        elif status == 0:
+            if pid in claimed:
+                raise AppError(f"failed path {pid} claimed cells")
+            # A failure was blocked at its serialization point, so it must
+            # still be blocked on the (more congested) final grid.
+            endpoints = {v for pair in inp.pairs for v in pair}
+            frontier, seen = [src], {src}
+            while frontier:
+                cur = frontier.pop()
+                for ngh in inp.grid.neighbors(cur):
+                    if ngh == dst:
+                        raise AppError(
+                            f"path {pid} failed but a route exists")
+                    if (ngh not in seen and occ[ngh] == FREE
+                            and ngh not in endpoints):
+                        seen.add(ngh)
+                        frontier.append(ngh)
+        else:
+            raise AppError(f"path {pid} never routed")
+    return routed

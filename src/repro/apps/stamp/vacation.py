@@ -1,0 +1,139 @@
+"""STAMP vacation: a travel reservation system.
+
+Three resource tables (cars, flights, rooms) hold availability and price;
+customer transactions query a handful of random resources per table, book
+the cheapest available one, and record the reservation; management
+transactions add/remove capacity. Transactions are short and mostly
+disjoint, so vacation scales well (293x in Fig. 17) once the software work
+queue is gone.
+
+Checked invariant: per resource, initial capacity == remaining
+availability + live reservations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ...errors import AppError
+from ...vt import Ordering
+from .common import drive_workload, require_stamp_variant
+
+TABLES = ("car", "flight", "room")
+
+
+@dataclass
+class VacationTxn:
+    kind: str                           # "reserve" | "manage"
+    customer: int
+    queries: Dict[str, List[int]] = field(default_factory=dict)
+    table: str = ""
+    resource: int = 0
+    delta: int = 0
+
+
+@dataclass
+class VacationInput:
+    n_resources: int
+    init_capacity: int
+    prices: Dict[str, List[int]]
+    txns: List[VacationTxn]
+
+
+def make_input(n_resources: int = 32, n_txns: int = 64, queries: int = 3,
+               manage_fraction: float = 0.1, init_capacity: int = 5,
+               seed: int = 7) -> VacationInput:
+    rng = random.Random(seed)
+    prices = {t: [rng.randint(50, 500) for _ in range(n_resources)]
+              for t in TABLES}
+    txns = []
+    for i in range(n_txns):
+        if rng.random() < manage_fraction:
+            txns.append(VacationTxn(
+                "manage", customer=i, table=rng.choice(TABLES),
+                resource=rng.randrange(n_resources),
+                delta=rng.choice((1, 1, 1, -1))))
+        else:
+            txns.append(VacationTxn(
+                "reserve", customer=i,
+                queries={t: rng.sample(range(n_resources), queries)
+                         for t in TABLES}))
+    return VacationInput(n_resources, init_capacity, prices, txns)
+
+
+def build(host, inp: VacationInput, variant: str = "fractal") -> Dict:
+    require_stamp_variant(variant)
+    avail = {t: host.array(f"vac.avail.{t}", inp.n_resources * 8,
+                           init=_spread([inp.init_capacity] * inp.n_resources))
+             for t in TABLES}
+    bookings = host.dict("vac.bookings", capacity=len(inp.txns) * 3 + 1)
+
+    def txn(ctx, tid):
+        t = inp.txns[tid]
+        if t.kind == "manage":
+            arr = avail[t.table]
+            cur = arr.get(ctx, t.resource * 8)
+            if cur + t.delta >= 0:
+                arr.set(ctx, t.resource * 8, cur + t.delta)
+            return
+        for table in TABLES:
+            best = None
+            best_price = None
+            for r in t.queries[table]:
+                a = avail[table].get(ctx, r * 8)
+                p = inp.prices[table][r]
+                if a > 0 and (best_price is None or p < best_price):
+                    best, best_price = r, p
+            if best is not None:
+                arr = avail[table]
+                arr.set(ctx, best * 8, arr.get(ctx, best * 8) - 1)
+                bookings.put(ctx, (t.customer, table), best)
+        ctx.compute(60)
+
+    drive_workload(host, len(inp.txns), txn, variant,
+                   hint_fn=lambda tid: inp.txns[tid].customer, label="txn")
+    return {"avail": avail, "bookings": bookings}
+
+
+def root_ordering(variant: str) -> Ordering:
+    return Ordering.UNORDERED
+
+
+def _spread(values, scale: int = 8):
+    out = []
+    for v in values:
+        out.append(v)
+        out.extend([0] * (scale - 1))
+    return out
+
+
+def check(handles: Dict, inp: VacationInput) -> None:
+    booked = {t: [0] * inp.n_resources for t in TABLES}
+    for (customer, table), r in handles["bookings"].items_nonspec():
+        booked[table][r] += 1
+    # reconstruct capacity adjustments from successful manage txns is not
+    # directly observable, so check the weaker-but-sharp direction:
+    # availability plus bookings must never exceed initial capacity plus
+    # total positive adjustments, and never go negative.
+    max_add = {t: [0] * inp.n_resources for t in TABLES}
+    max_sub = {t: [0] * inp.n_resources for t in TABLES}
+    for t in inp.txns:
+        if t.kind == "manage":
+            if t.delta > 0:
+                max_add[t.table][t.resource] += t.delta
+            else:
+                max_sub[t.table][t.resource] -= t.delta
+    for table in TABLES:
+        for r in range(inp.n_resources):
+            a = handles["avail"][table].peek(r * 8)
+            if a < 0:
+                raise AppError(f"negative availability {table}[{r}]")
+            total = a + booked[table][r]
+            lo = inp.init_capacity - max_sub[table][r]
+            hi = inp.init_capacity + max_add[table][r]
+            if not (lo <= total <= hi):
+                raise AppError(
+                    f"{table}[{r}]: avail {a} + booked {booked[table][r]} "
+                    f"outside [{lo}, {hi}]")

@@ -1,0 +1,141 @@
+"""Swarm des: discrete-event digital logic simulation.
+
+The classic ordered-speculation workload (and the original motivation for
+timestamped task models): gate evaluation events carry virtual times, and
+each event task reads its gate's input wires, computes the output, and —
+when the output changes — writes the output wire and enqueues evaluation
+events for the fanout gates after the gate's propagation delay.
+
+The circuit is a random DAG of NAND gates driven by a schedule of input
+toggles; the checker replays the same schedule on a plain-Python
+event-driven simulator and compares every wire.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ...errors import AppError
+from ...vt import Ordering
+from ..common import require_variant
+
+
+@dataclass
+class Circuit:
+    n_inputs: int
+    n_gates: int
+    gate_inputs: List[Tuple[int, int]]   # wire ids feeding each gate
+    gate_delay: List[int]
+    fanout: List[List[int]]              # wire id -> gate ids it feeds
+    toggles: List[Tuple[int, int]]       # (time, input wire)
+    horizon: int
+
+    @property
+    def n_wires(self) -> int:
+        return self.n_inputs + self.n_gates
+
+    def gate_wire(self, g: int) -> int:
+        return self.n_inputs + g
+
+
+def make_input(n_inputs: int = 6, n_gates: int = 40, n_toggles: int = 24,
+               seed: int = 24) -> Circuit:
+    rng = random.Random(seed)
+    gate_inputs = []
+    gate_delay = []
+    for g in range(n_gates):
+        avail = n_inputs + g  # DAG: only earlier wires can feed gate g
+        a = rng.randrange(avail)
+        b = rng.randrange(avail)
+        gate_inputs.append((a, b))
+        gate_delay.append(rng.randint(1, 4))
+    fanout: List[List[int]] = [[] for _ in range(n_inputs + n_gates)]
+    for g, (a, b) in enumerate(gate_inputs):
+        fanout[a].append(g)
+        if b != a:
+            fanout[b].append(g)
+    horizon = 200
+    toggles = sorted((rng.randrange(1, horizon // 2), rng.randrange(n_inputs))
+                     for _ in range(n_toggles))
+    return Circuit(n_inputs, n_gates, gate_inputs, gate_delay, fanout,
+                   toggles, horizon)
+
+
+def _ts(t: int, gate: int = -1) -> int:
+    """Deterministic event timestamps: toggles at slot 0 of each time
+    step, gate evaluations tie-broken by gate id (gate ids respect the
+    DAG, so same-time evaluations order consistently)."""
+    return t * 64 + gate + 1
+
+
+def reference(circuit: Circuit) -> List[int]:
+    """Plain event-driven replay with the same timestamps; returns final
+    wire values."""
+    import heapq
+
+    wires = [0] * circuit.n_wires
+    events = [(_ts(t), "toggle", w) for (t, w) in circuit.toggles]
+    heapq.heapify(events)
+    while events:
+        ts, kind, x = heapq.heappop(events)
+        t = ts // 64
+        if kind == "toggle":
+            wires[x] ^= 1
+            targets = circuit.fanout[x]
+        else:
+            a, b = circuit.gate_inputs[x]
+            out = 1 - (wires[a] & wires[b])
+            wire = circuit.gate_wire(x)
+            if wires[wire] == out:
+                continue
+            wires[wire] = out
+            targets = circuit.fanout[wire]
+        for g in targets:
+            heapq.heappush(events,
+                           (_ts(t + circuit.gate_delay[g], g), "eval", g))
+    return wires
+
+
+def build(host, circuit: Circuit, variant: str = "swarm") -> Dict:
+    require_variant(variant, ("swarm",))
+    wires = host.array("des.wires", circuit.n_wires * 8)
+
+    def evaluate(ctx, g, t):
+        a, b = circuit.gate_inputs[g]
+        va = wires.get(ctx, a * 8)
+        vb = wires.get(ctx, b * 8)
+        out = 1 - (va & vb)
+        wire = circuit.gate_wire(g)
+        if wires.get(ctx, wire * 8) == out:
+            return
+        wires.set(ctx, wire * 8, out)
+        ctx.compute(8)
+        for tg in circuit.fanout[wire]:
+            t2 = t + circuit.gate_delay[tg]
+            ctx.enqueue(evaluate, tg, t2, ts=_ts(t2, tg), hint=tg,
+                        label="eval")
+
+    def toggle(ctx, w, t):
+        wires.set(ctx, w * 8, 1 - wires.get(ctx, w * 8))
+        for tg in circuit.fanout[w]:
+            t2 = t + circuit.gate_delay[tg]
+            ctx.enqueue(evaluate, tg, t2, ts=_ts(t2, tg), hint=tg,
+                        label="eval")
+
+    for (t, w) in circuit.toggles:
+        host.enqueue_root(toggle, w, t, ts=_ts(t), hint=w, label="toggle")
+    return {"wires": wires, "circuit": circuit}
+
+
+def root_ordering(variant: str) -> Ordering:
+    return Ordering.ORDERED_32
+
+
+def check(handles: Dict, circuit: Circuit) -> None:
+    want = reference(circuit)
+    for w in range(circuit.n_wires):
+        got = handles["wires"].peek(w * 8)
+        if got != want[w]:
+            raise AppError(f"wire {w}: {got}, reference {want[w]}")

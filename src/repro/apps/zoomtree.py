@@ -1,0 +1,100 @@
+"""Zooming microbenchmark (paper Sec. 6.3, Fig. 16).
+
+Generates a depth-``depth`` tree of nested unordered domains with fanout
+``F``: every task performs a small fixed amount of work (1500 cycles in
+the paper); non-leaf tasks create an unordered subdomain and enqueue F
+children into it. Sweeping the fanout and the hardware's maximum
+concurrent nesting depth D (i.e. the fractal-VT bit budget: D levels of
+32-bit unordered domain VTs) characterizes zooming overheads: at the full
+depth no zooming happens; at D = 2 the system zooms on almost every
+level.
+
+Tasks are data-independent (each writes its own cache line), so measured
+slowdowns come from zooming alone. The paper's depth-8, fanout-12 tree has
+~39 M tasks — far beyond a Python-resident simulation — so the bench
+sweeps a scaled-down tree with the same shape (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import AppError
+from ..vt import Ordering
+from .common import require_variant
+
+
+@dataclass
+class ZoomTreeInput:
+    fanout: int
+    depth: int
+    work_cycles: int = 1500
+
+    def level_starts(self) -> List[int]:
+        """Level-order numbering offsets (slot index of each level)."""
+        starts = []
+        total, width = 0, 1
+        for _ in range(self.depth):
+            starts.append(total)
+            total += width
+            width *= self.fanout
+        return starts
+
+    @property
+    def total_tasks(self) -> int:
+        total, width = 0, 1
+        for _ in range(self.depth):
+            total += width
+            width *= self.fanout
+        return total
+
+
+def make_input(fanout: int = 4, depth: int = 6,
+               work_cycles: int = 1500) -> ZoomTreeInput:
+    if fanout < 1 or depth < 1:
+        raise AppError("fanout and depth must be >= 1")
+    return ZoomTreeInput(fanout, depth, work_cycles)
+
+
+def vt_bits_for_depth(max_depth: int) -> int:
+    """The fractal-VT budget that supports ``max_depth`` concurrent levels
+    of unordered domains (32 bits each; paper Fig. 16 sweeps D in 2..8)."""
+    return 32 * max_depth
+
+
+def build(host, inp: ZoomTreeInput, variant: str = "fractal",
+          flattenable: bool = False) -> Dict:
+    """``flattenable=True`` marks every level as decomposition-only, letting
+    a ``flatten_nesting`` config elide deep levels (Sec. 6.3 future work:
+    over-nested divide-and-conquer)."""
+    require_variant(variant, ("fractal",))
+    starts = inp.level_starts()
+    executed = host.array("zt.executed", inp.total_tasks * 8)
+
+    def node(ctx, idx, level):
+        ctx.compute(inp.work_cycles)
+        executed.set(ctx, idx * 8, 1)
+        if level + 1 < inp.depth:
+            first_child = (starts[level + 1]
+                           + (idx - starts[level]) * inp.fanout)
+            ctx.create_subdomain(Ordering.UNORDERED, flattenable=flattenable)
+            for k in range(inp.fanout):
+                ctx.enqueue_sub(node, first_child + k, level + 1,
+                                label=f"L{level + 1}")
+
+    host.enqueue_root(node, 0, 0, label="L0")
+    return {"executed": executed, "input": inp}
+
+
+def root_ordering(variant: str) -> Ordering:
+    return Ordering.UNORDERED
+
+
+def check(handles: Dict, inp: ZoomTreeInput) -> int:
+    """Every tree node must have executed exactly once."""
+    executed = handles["executed"]
+    for idx in range(inp.total_tasks):
+        if executed.peek(idx * 8) != 1:
+            raise AppError(f"tree node {idx} never ran")
+    return inp.total_tasks

@@ -1,0 +1,28 @@
+"""Tiled-multicore architecture model (paper Sec. 4.1, Fig. 8, Table 2).
+
+The chip is a K x K mesh of tiles; each tile holds a few simple cores, a
+task unit (task queue + commit queue), and a slice of the shared L3. This
+package provides the *mechanisms*; :mod:`repro.core.simulator` orchestrates
+them into the event-driven execution engine.
+"""
+
+from .noc import MeshNoC
+from .cache import CacheModel
+from .tile import Core, Tile
+from .task_unit import TaskUnit
+from .spill import SpillBuffer, CoalescerJob, SplitterJob
+from .scheduler import HintScheduler
+from .gvt import GvtArbiter
+
+__all__ = [
+    "MeshNoC",
+    "CacheModel",
+    "Core",
+    "Tile",
+    "TaskUnit",
+    "SpillBuffer",
+    "CoalescerJob",
+    "SplitterJob",
+    "HintScheduler",
+    "GvtArbiter",
+]

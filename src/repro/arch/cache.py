@@ -1,0 +1,67 @@
+"""Cache-hierarchy latency model (paper Table 2).
+
+A task-granular stand-in for the paper's L1/L2/L3/DRAM hierarchy:
+
+- repeated touches of a line already in the task's footprint hit the L1;
+- a task's first touch of a line hits the local L2 slice when the line's
+  static-NUCA home tile is the task's tile, else the home L3 slice plus the
+  mesh round trip;
+- a configurable fraction of first touches escalates to main memory.
+
+This preserves exactly what the evaluation depends on: spatial hints make
+accesses cheaper by running tasks at their data's home tile, and bigger
+read/write sets make tasks proportionally longer.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..config import LatencyModel
+from ..mem.address import AddressSpace
+from .noc import MeshNoC
+
+
+class CacheModel:
+    """Latency oracle for speculative accesses."""
+
+    def __init__(self, space: AddressSpace, noc: MeshNoC,
+                 latency: LatencyModel, seed: int = 0):
+        self.space = space
+        self.noc = noc
+        self.lat = latency
+        self._rng = random.Random(seed ^ 0xCAC4E)
+        # counters for stats
+        self.l1_hits = 0
+        self.l2_hits = 0
+        self.l3_hits = 0
+        self.mem_misses = 0
+
+    def access_latency(self, owner, tile: int, addr: int) -> int:
+        """Cycles for ``owner`` (running on ``tile``) to touch ``addr``.
+
+        ``owner`` carries its touched-line footprint (``read_lines`` /
+        ``write_lines``), which stands in for its L1 residency.
+        """
+        line = self.space.line_of(addr)
+        if line in owner.read_lines or line in owner.write_lines:
+            self.l1_hits += 1
+            return self.lat.l1_hit
+        if self.lat.mem_miss_rate > 0 and self._rng.random() < self.lat.mem_miss_rate:
+            self.mem_misses += 1
+            return self.lat.mem_latency
+        home = self.space.home_tile(addr)
+        if home == tile:
+            self.l2_hits += 1
+            return self.lat.l2_hit
+        self.l3_hits += 1
+        return self.lat.l3_hit + self.noc.round_trip(tile, home)
+
+    def snapshot(self) -> dict:
+        """Hit/miss counters for run statistics."""
+        return {
+            "l1_hits": self.l1_hits,
+            "l2_hits": self.l2_hits,
+            "l3_hits": self.l3_hits,
+            "mem_misses": self.mem_misses,
+        }

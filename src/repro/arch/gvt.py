@@ -1,0 +1,69 @@
+"""The global virtual time (GVT) arbiter (paper Sec. 4.1, 4.3, 4.5).
+
+Tiles periodically report their earliest unfinished work; everything that
+precedes the global minimum can safely commit (Jefferson's virtual time
+algorithm). In Fractal the same central arbiter also serializes zoom-in /
+zoom-out requests and tiebreaker wrap-around walks, and manages the small
+in-memory stack of saved base-domain timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class GvtArbiter:
+    """Computes commit frontiers and queues zoom requests."""
+
+    def __init__(self, commit_interval: int = 200):
+        self.commit_interval = commit_interval
+        #: saved base-domain (ordering, timestamp) pairs, pushed at zoom-in
+        self.base_stack: List[Tuple[object, int]] = []
+        #: outstanding zoom requests: ("in"|"out", requesting task)
+        self.zoom_requests: List[Tuple[str, object]] = []
+        # stats
+        self.ticks = 0
+        self.commits_total = 0
+        self.zoom_ins = 0
+        self.zoom_outs = 0
+
+    # ------------------------------------------------------------------
+    def next_tick(self, now: int) -> int:
+        """Cycle of the next arbiter update after ``now``."""
+        return now + self.commit_interval
+
+    @staticmethod
+    def min_unfinished_key(sources) -> Optional[tuple]:
+        """The GVT: minimum VT key over every unfinished-work source.
+
+        ``sources`` yields keys (tuples) or None. Returns None when no
+        unfinished work exists anywhere — then *everything* finished may
+        commit.
+        """
+        best = None
+        for key in sources:
+            if key is not None and (best is None or key < best):
+                best = key
+        return best
+
+    # ------------------------------------------------------------------
+    def request_zoom(self, direction: str, task) -> None:
+        """Queue a zoom-in/out request from a parked task."""
+        if direction not in ("in", "out"):
+            raise ValueError(f"bad zoom direction {direction!r}")
+        self.zoom_requests.append((direction, task))
+
+    def push_base(self, ordering, timestamp: int) -> None:
+        """Save a zoomed-out base domain's ordering and timestamp."""
+        self.base_stack.append((ordering, timestamp))
+        self.zoom_ins += 1
+
+    def pop_base(self) -> Tuple[object, int]:
+        """Restore the most recently saved base domain info."""
+        self.zoom_outs += 1
+        return self.base_stack.pop()
+
+    @property
+    def zoom_depth(self) -> int:
+        """Number of base domains currently parked on the stack."""
+        return len(self.base_stack)

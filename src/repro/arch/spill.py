@@ -1,0 +1,80 @@
+"""Task spilling: coalescers and splitters (paper Sec. 4.1, Table 2).
+
+When a tile's task queue passes its fill threshold, the task unit dispatches
+a *coalescer* — a special job that removes up to ``spill_batch`` of the
+latest-VT pending tasks whose parents have committed, stores them in a
+memory buffer, and enqueues a *splitter* that will re-enqueue them later.
+Splitters are deprioritized relative to all regular tasks, so spilled work
+returns only when the tile would otherwise idle.
+
+Zooming (paper Sec. 4.3) reuses this machinery to park whole base domains;
+those buffers live on the zoom stack in :mod:`repro.core.zoom`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class SpillBuffer:
+    """An in-memory buffer of spilled pending tasks (one per splitter)."""
+
+    __slots__ = ("tasks", "is_zoom")
+
+    def __init__(self, tasks: List):
+        self.tasks = list(tasks)
+        #: True for buffers holding a zoomed-out base domain
+        self.is_zoom = False
+
+    def remove(self, task) -> bool:
+        """Squash support: drop a spilled task; True when it was here."""
+        try:
+            self.tasks.remove(task)
+            return True
+        except ValueError:
+            return False
+
+    def min_key(self) -> Optional[tuple]:
+        """Lowest VT key inside (spilled tasks still bound the GVT)."""
+        if not self.tasks:
+            return None
+        return min(t.order_key() for t in self.tasks)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+
+class CoalescerJob:
+    """A pending spill operation, dispatched like a (non-speculative) task."""
+
+    __slots__ = ("tile_id", "duration")
+
+    kind = "coalescer"
+
+    def __init__(self, tile_id: int, duration: int):
+        self.tile_id = tile_id
+        self.duration = duration
+
+    def __repr__(self) -> str:
+        return f"Coalescer(tile={self.tile_id})"
+
+
+class SplitterJob:
+    """A pending re-enqueue of a spill buffer. Deprioritized.
+
+    The splitter's buffer bounds the GVT through
+    :meth:`SpillBuffer.min_key`, standing in for the paper's
+    lowest-timestamp tracking of spilled tasks.
+    """
+
+    __slots__ = ("tile_id", "buffer", "duration")
+
+    kind = "splitter"
+
+    def __init__(self, tile_id: int, buffer: SpillBuffer, duration: int):
+        self.tile_id = tile_id
+        self.buffer = buffer
+        self.duration = duration
+
+    def __repr__(self) -> str:
+        return f"Splitter(tile={self.tile_id}, {len(self.buffer)} tasks)"

@@ -1,0 +1,56 @@
+"""Tiles and cores (paper Fig. 8).
+
+These are bookkeeping shells: a :class:`Core` tracks what it is doing and
+until when; a :class:`Tile` groups cores with their task unit. All behaviour
+lives in the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .task_unit import TaskUnit
+
+
+class Core:
+    """One in-order core."""
+
+    __slots__ = ("cid", "tile_id", "busy_until", "job", "idle_since",
+                 "idle_reason")
+
+    def __init__(self, cid: int, tile_id: int):
+        self.cid = cid
+        self.tile_id = tile_id
+        self.busy_until = 0
+        #: the task attempt / coalescer / splitter currently occupying us
+        self.job = None
+        self.idle_since: Optional[int] = 0
+        self.idle_reason: str = "empty"
+
+    @property
+    def is_free(self) -> bool:
+        """True when no job occupies this core."""
+        return self.job is None
+
+    def __repr__(self) -> str:
+        state = "free" if self.is_free else f"busy({self.job})"
+        return f"Core{self.cid}@T{self.tile_id}[{state}]"
+
+
+class Tile:
+    """A tile: cores + task unit (+ an L2/L3 slice modeled in CacheModel)."""
+
+    __slots__ = ("tid", "cores", "unit")
+
+    def __init__(self, tid: int, n_cores: int, task_queue_cap: int,
+                 commit_queue_cap: int):
+        self.tid = tid
+        self.cores: List[Core] = []
+        self.unit = TaskUnit(tid, task_queue_cap, commit_queue_cap)
+
+    def free_cores(self) -> List[Core]:
+        """Cores currently available for dispatch."""
+        return [c for c in self.cores if c.is_free]
+
+    def __repr__(self) -> str:
+        return f"Tile{self.tid}({len(self.cores)} cores, {self.unit})"

@@ -1,0 +1,14 @@
+"""Benchmark harness: generic app runners, sweeps, and report tables."""
+
+from .harness import run_app, run_serial, sweep_cores, AppRun
+from .report import speedup_table, breakdown_table, format_table
+
+__all__ = [
+    "run_app",
+    "run_serial",
+    "sweep_cores",
+    "AppRun",
+    "speedup_table",
+    "breakdown_table",
+    "format_table",
+]

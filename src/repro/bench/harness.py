@@ -1,0 +1,89 @@
+"""Generic application runners.
+
+``run_app`` drives any module following the :mod:`repro.apps` convention on
+a speculative simulator; ``run_serial`` runs the same program on the serial
+reference executor; ``sweep_cores`` produces the paper's scaling curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..config import SystemConfig
+from ..core.serial import SerialExecutor
+from ..core.simulator import Simulator
+from ..core.stats import RunStats
+from ..vt import Ordering
+
+
+@dataclass
+class AppRun:
+    """Outcome of one application run."""
+
+    app: str
+    variant: str
+    n_cores: int
+    stats: RunStats
+    handles: Dict
+
+    @property
+    def makespan(self) -> int:
+        return self.stats.makespan
+
+
+def _root_ordering(app, variant: str) -> Ordering:
+    fn = getattr(app, "root_ordering", None)
+    return fn(variant) if fn is not None else Ordering.UNORDERED
+
+
+def run_app(app, inp, variant: str = "fractal", n_cores: int = 4, *,
+            config: Optional[SystemConfig] = None, check: bool = True,
+            audit: bool = False, enable_trace: bool = False,
+            max_cycles: Optional[int] = None,
+            **build_options) -> AppRun:
+    """Build and run ``app`` (a module from :mod:`repro.apps`)."""
+    cfg = config or SystemConfig.with_cores(n_cores)
+    sim = Simulator(cfg, root_ordering=_root_ordering(app, variant),
+                    name=f"{app.__name__.rsplit('.', 1)[-1]}-{variant}",
+                    enable_trace=enable_trace, enable_audit=audit)
+    handles = app.build(sim, inp, variant=variant, **build_options)
+    stats = sim.run(max_cycles=max_cycles)
+    if audit:
+        sim.audit()
+    if check:
+        app.check(handles, inp)
+    run = AppRun(app=app.__name__, variant=variant, n_cores=cfg.n_cores,
+                 stats=stats, handles=handles)
+    run.handles["_sim"] = sim
+    return run
+
+
+def run_serial(app, inp, variant: str = "fractal", *, check: bool = True,
+               **build_options) -> SerialExecutor:
+    """Run the same program on the non-speculative serial executor."""
+    host = SerialExecutor(root_ordering=_root_ordering(app, variant),
+                          name=f"{app.__name__}-serial")
+    handles = app.build(host, inp, variant=variant, **build_options)
+    host.run()
+    if check:
+        app.check(handles, inp)
+    host.handles = handles
+    return host
+
+
+def sweep_cores(app, inp, variants: Iterable[str], core_counts: Iterable[int],
+                *, config_for=None, check: bool = True,
+                **build_options) -> List[AppRun]:
+    """Run every (variant, core count) pair; returns all runs.
+
+    ``config_for(n_cores, variant)`` may supply custom configs (e.g. the
+    precise-conflict runs of Fig. 14a).
+    """
+    runs = []
+    for variant in variants:
+        for n in core_counts:
+            cfg = config_for(n, variant) if config_for else None
+            runs.append(run_app(app, inp, variant=variant, n_cores=n,
+                                config=cfg, check=check, **build_options))
+    return runs

@@ -1,0 +1,78 @@
+"""ASCII charts for benchmark reports.
+
+The paper's scaling results are line charts (speedup vs. cores); these
+helpers render them as fixed-width ASCII so bench output and
+EXPERIMENTS.md stay self-contained (no plotting dependencies).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def ascii_chart(series: Dict[str, List[Tuple[float, float]]], *,
+                width: int = 60, height: int = 16,
+                x_label: str = "cores", y_label: str = "speedup",
+                logx: bool = False) -> str:
+    """Render (x, y) series as an ASCII scatter/line chart.
+
+    Each series gets the first letter of its name as the plot glyph (or
+    ``a``, ``b``, ... on collisions); overlapping points render ``*``.
+    """
+    import math
+
+    points = [(x, y) for pts in series.values() for (x, y) in pts]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+
+    def tx(x: float) -> float:
+        return math.log2(x) if logx else x
+
+    x_lo, x_hi = min(map(tx, xs)), max(map(tx, xs))
+    y_lo, y_hi = min(0.0, min(ys)), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    glyphs = {}
+    used = set()
+    for i, name in enumerate(series):
+        g = name[:1] or "?"
+        if g in used:
+            g = "abcdefghijklmnopqrstuvwxyz"[i % 26]
+        used.add(g)
+        glyphs[name] = g
+
+    for name, pts in series.items():
+        for (x, y) in pts:
+            col = int((tx(x) - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            cur = grid[row][col]
+            grid[row][col] = glyphs[name] if cur in (" ", glyphs[name]) else "*"
+
+    lines = [f"{y_hi:8.1f} |" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + " |" + "".join(row))
+    lines.append(f"{y_lo:8.1f} |" + "".join(grid[-1]))
+    lines.append(" " * 10 + "-" * width)
+    x_axis = (f"{(2 ** x_lo if logx else x_lo):.0f}".ljust(width - 8)
+              + f"{(2 ** x_hi if logx else x_hi):.0f}")
+    lines.append(" " * 10 + x_axis)
+    legend = "   ".join(f"{glyphs[name]} = {name}" for name in series)
+    lines.append(f"{y_label} vs {x_label}   [{legend}]")
+    return "\n".join(lines)
+
+
+def speedup_chart(runs, *, baseline_variant: str, baseline_cores: int = 1,
+                  **chart_kwargs) -> str:
+    """Build a Fig. 3/4/6-style chart from AppRun results."""
+    base = next(r for r in runs if r.variant == baseline_variant
+                and r.n_cores == baseline_cores)
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for r in sorted(runs, key=lambda r: r.n_cores):
+        series.setdefault(r.variant, []).append(
+            (r.n_cores, base.makespan / r.makespan))
+    chart_kwargs.setdefault("logx", True)
+    return ascii_chart(series, **chart_kwargs)

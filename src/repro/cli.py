@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``run <app>`` — run one benchmark application on the simulator and
+  print its statistics (optionally against the serial reference).
+- ``apps`` — list available applications and their variants.
+- ``config`` — print the paper's Table 2 system configuration.
+- ``sweep <app>`` — scaling sweep over core counts with a speedup table
+  and an ASCII chart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import List, Optional
+
+from .bench.harness import run_app, run_serial, sweep_cores
+from .bench.plots import speedup_chart
+from .bench.report import format_table, speedup_table
+from .config import SystemConfig
+
+#: app name -> (module path, variants)
+APPS = {
+    "mis": ("repro.apps.mis", ("flat", "swarm", "fractal")),
+    "color": ("repro.apps.color", ("flat", "swarm", "fractal")),
+    "msf": ("repro.apps.msf", ("flat", "swarm", "fractal")),
+    "maxflow": ("repro.apps.maxflow", ("flat", "fractal")),
+    "silo": ("repro.apps.silo", ("flat", "swarm", "fractal")),
+    "zoomtree": ("repro.apps.zoomtree", ("fractal",)),
+    "ssca2": ("repro.apps.stamp.ssca2", ("tm", "hwq", "fractal")),
+    "vacation": ("repro.apps.stamp.vacation", ("tm", "hwq", "fractal")),
+    "kmeans": ("repro.apps.stamp.kmeans", ("tm", "hwq", "fractal")),
+    "genome": ("repro.apps.stamp.genome", ("tm", "hwq", "fractal")),
+    "intruder": ("repro.apps.stamp.intruder", ("tm", "hwq", "fractal")),
+    "labyrinth": ("repro.apps.stamp.labyrinth", ("tm", "hwq", "fractal")),
+    "bayes": ("repro.apps.stamp.bayes", ("tm", "hwq", "fractal")),
+    "yada": ("repro.apps.stamp.yada", ("tm", "hwq", "fractal")),
+    "bfs": ("repro.apps.swarm.bfs", ("swarm",)),
+    "sssp": ("repro.apps.swarm.sssp", ("swarm",)),
+    "astar": ("repro.apps.swarm.astar", ("swarm",)),
+    "des": ("repro.apps.swarm.des", ("swarm",)),
+    "nocsim": ("repro.apps.swarm.nocsim", ("swarm",)),
+}
+
+
+def _load(name: str):
+    try:
+        module_path, variants = APPS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown app {name!r}; run `python -m repro apps` for the list")
+    return importlib.import_module(module_path), variants
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fractal (ISCA 2017) reproduction — run benchmark "
+                    "applications on the speculative simulator.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one application")
+    p_run.add_argument("app", help="application name (see `apps`)")
+    p_run.add_argument("--variant", default=None,
+                       help="execution-model variant (default: best)")
+    p_run.add_argument("--cores", type=int, default=16)
+    p_run.add_argument("--conflicts", choices=("bloom", "precise"),
+                       default="bloom")
+    p_run.add_argument("--no-hints", action="store_true")
+    p_run.add_argument("--audit", action="store_true",
+                       help="verify serializability after the run")
+    p_run.add_argument("--serial", action="store_true",
+                       help="also run the serial reference")
+    p_run.add_argument("--seed", type=int, default=0)
+
+    p_sweep = sub.add_parser("sweep", help="scaling sweep over core counts")
+    p_sweep.add_argument("app")
+    p_sweep.add_argument("--variants", default=None,
+                         help="comma-separated (default: all)")
+    p_sweep.add_argument("--cores", default="1,4,16",
+                         help="comma-separated core counts")
+
+    sub.add_parser("apps", help="list applications")
+    sub.add_parser("config", help="print the Table 2 configuration")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    app, variants = _load(args.app)
+    variant = args.variant or variants[-1]
+    if variant not in variants:
+        raise SystemExit(f"{args.app} supports variants {variants}")
+    inp = app.make_input()
+    cfg = SystemConfig.with_cores(args.cores, conflict_mode=args.conflicts,
+                                  use_hints=not args.no_hints,
+                                  seed=args.seed)
+    run = run_app(app, inp, variant=variant, n_cores=args.cores, config=cfg,
+                  audit=args.audit)
+    print(run.stats.summary())
+    print("result check: OK")
+    if args.serial:
+        host = run_serial(app, inp, variant=variant)
+        print(f"serial reference: {host.cycles:,} cycles "
+              f"({host.tasks_executed:,} tasks)")
+        if host.cycles:
+            print(f"speculative vs serial at {args.cores} cores: "
+                  f"{host.cycles / run.makespan:.2f}x")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    app, all_variants = _load(args.app)
+    variants = (args.variants.split(",") if args.variants
+                else list(all_variants))
+    cores = [int(c) for c in args.cores.split(",")]
+    inp = app.make_input()
+    runs = sweep_cores(app, inp, variants, cores)
+    print(speedup_table(runs, baseline_variant=variants[0],
+                        baseline_cores=cores[0]))
+    print()
+    print(speedup_chart(runs, baseline_variant=variants[0],
+                        baseline_cores=cores[0]))
+    return 0
+
+
+def _cmd_apps() -> int:
+    rows = [[name, module.rsplit(".", 2)[-2] if "stamp" in module
+             or "swarm" in module else "core", ", ".join(variants)]
+            for name, (module, variants) in sorted(APPS.items())]
+    print(format_table(["app", "suite", "variants"], rows))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "apps":
+        return _cmd_apps()
+    if args.command == "config":
+        print(SystemConfig.paper_256core().describe())
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,189 @@
+"""The high-level, OpenMP/OpenTM-style interface (paper Sec. 3.1, Table 1).
+
+These helpers express nested parallelism without hand-writing task
+functions. Each ``forall``-family call creates the calling task's (single)
+subdomain and enqueues one task per iteration; continuations (``then``) are
+sequenced after the loop body by giving the subdomain ordered semantics and
+placing the continuation at a later timestamp — exactly how a compiler
+would lower the paper's ``forall ... { } cont;``.
+
+Because a task may create only one subdomain, at most one helper from this
+module may be used per task (matching the paper's model; nest by calling
+another helper inside the body task).
+
+The iteration *body* receives ``(ctx, item)`` — ``ctx`` is the iteration
+task's own context, so bodies can nest further parallelism.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from ..errors import DomainError
+from ..mem.data import SpecCell
+from ..vt import Ordering
+
+
+def _body_task(ctx, body, item):
+    body(ctx, item)
+
+
+def _block_task(ctx, block):
+    block(ctx)
+
+
+def _cont_task(ctx, then):
+    then(ctx)
+
+
+def _reduce_body_task(ctx, body, item, cell_addr, combine):
+    delta = body(ctx, item)
+    if delta is not None:
+        current = ctx.load(cell_addr)
+        ctx.store(cell_addr, combine(current, delta))
+
+
+def _hint_of(hint_fn, item):
+    return None if hint_fn is None else hint_fn(item)
+
+
+def forall(ctx, items: Iterable[Any], body: Callable[[Any, Any], None], *,
+           then: Optional[Callable] = None,
+           hint_fn: Optional[Callable[[Any], int]] = None) -> None:
+    """Atomic unordered loop: each iteration runs as a task in a new
+    unordered subdomain; optional ``then`` continuation runs after all
+    iterations (and shares their atomic unit)."""
+    if then is None:
+        ctx.create_subdomain(Ordering.UNORDERED)
+        for item in items:
+            ctx.enqueue_sub(_body_task, body, item,
+                            hint=_hint_of(hint_fn, item), label="forall")
+        return
+    # Sequencing a continuation needs order: iterations at ts 0, then at 1.
+    ctx.create_subdomain(Ordering.ORDERED_32)
+    for item in items:
+        ctx.enqueue_sub(_body_task, body, item, ts=0,
+                        hint=_hint_of(hint_fn, item), label="forall")
+    ctx.enqueue_sub(_cont_task, then, ts=1, label="forall.then")
+
+
+def forall_ordered(ctx, items: Iterable[Any],
+                   body: Callable[[Any, Any], None], *,
+                   then: Optional[Callable] = None,
+                   hint_fn: Optional[Callable[[Any], int]] = None) -> None:
+    """Atomic ordered loop: iteration index is the timestamp."""
+    ctx.create_subdomain(Ordering.ORDERED_32)
+    n = 0
+    for i, item in enumerate(items):
+        ctx.enqueue_sub(_body_task, body, item, ts=i,
+                        hint=_hint_of(hint_fn, item), label="forall_ord")
+        n = i + 1
+    if then is not None:
+        ctx.enqueue_sub(_cont_task, then, ts=n, label="forall_ord.then")
+
+
+def forall_reduce(ctx, items: Iterable[Any],
+                  body: Callable[[Any, Any], Any], cell: SpecCell, *,
+                  combine: Callable[[Any, Any], Any] = lambda a, b: a + b,
+                  then: Optional[Callable] = None,
+                  hint_fn: Optional[Callable[[Any], int]] = None) -> None:
+    """Atomic unordered loop with a reduction variable.
+
+    ``body`` returns each iteration's contribution (or None); contributions
+    fold into ``cell`` (pre-allocated at build time) with ``combine``.
+    """
+    ordering = Ordering.UNORDERED if then is None else Ordering.ORDERED_32
+    ctx.create_subdomain(ordering)
+    ts = 0 if then is not None else None
+    for item in items:
+        ctx.enqueue_sub(_reduce_body_task, body, item, cell.addr, combine,
+                        ts=ts, hint=_hint_of(hint_fn, item),
+                        label="forall_red")
+    if then is not None:
+        ctx.enqueue_sub(_cont_task, then, ts=1, label="forall_red.then")
+
+
+def forall_reduce_ordered(ctx, items: Iterable[Any],
+                          body: Callable[[Any, Any], Any], cell: SpecCell, *,
+                          combine: Callable[[Any, Any], Any] = lambda a, b: a + b,
+                          then: Optional[Callable] = None,
+                          hint_fn: Optional[Callable[[Any], int]] = None) -> None:
+    """Atomic ordered loop with a reduction variable."""
+    ctx.create_subdomain(Ordering.ORDERED_32)
+    n = 0
+    for i, item in enumerate(items):
+        ctx.enqueue_sub(_reduce_body_task, body, item, cell.addr, combine,
+                        ts=i, hint=_hint_of(hint_fn, item),
+                        label="forall_red_ord")
+        n = i + 1
+    if then is not None:
+        ctx.enqueue_sub(_cont_task, then, ts=n, label="forall_red_ord.then")
+
+
+def parallel(ctx, *blocks: Callable, then: Optional[Callable] = None) -> None:
+    """Execute code blocks as parallel tasks (atomic with their creator)."""
+    if not blocks:
+        raise DomainError("parallel() needs at least one block")
+    if then is None:
+        ctx.create_subdomain(Ordering.UNORDERED)
+        for block in blocks:
+            ctx.enqueue_sub(_block_task, block, label="parallel")
+        return
+    ctx.create_subdomain(Ordering.ORDERED_32)
+    for block in blocks:
+        ctx.enqueue_sub(_block_task, block, ts=0, label="parallel")
+    ctx.enqueue_sub(_cont_task, then, ts=1, label="parallel.then")
+
+
+def parallel_reduce(ctx, blocks: Sequence[Callable], cell: SpecCell, *,
+                    combine: Callable[[Any, Any], Any] = lambda a, b: a + b,
+                    then: Optional[Callable] = None) -> None:
+    """Execute blocks as parallel tasks, folding their return values into
+    ``cell``, followed by an optional reduction continuation."""
+    forall_reduce(ctx, list(blocks), lambda c, blk: blk(c), cell,
+                  combine=combine, then=then)
+
+
+def enqueue_all(ctx, fn: Callable, args_list: Iterable[tuple], *,
+                ts: Optional[int] = None,
+                hint_fn: Optional[Callable[[tuple], int]] = None) -> None:
+    """Enqueue a sequence of same-domain tasks with the same (or no)
+    timestamp."""
+    for args in args_list:
+        ctx.enqueue(fn, *args, ts=ts, hint=_hint_of(hint_fn, args))
+
+
+def enqueue_all_ordered(ctx, fn: Callable, args_list: Iterable[tuple],
+                        start_ts: int, *, stride: int = 1,
+                        hint_fn: Optional[Callable[[tuple], int]] = None) -> None:
+    """Enqueue a sequence of same-domain tasks over a timestamp range."""
+    for i, args in enumerate(args_list):
+        ctx.enqueue(fn, *args, ts=start_ts + i * stride,
+                    hint=_hint_of(hint_fn, args))
+
+
+def task(ctx, cont: Callable, *args, ts: Optional[int] = None,
+         hint: Optional[int] = None) -> None:
+    """Start a new task "in the middle of a function": the rest of the
+    work, packaged as ``cont(ctx, *args)``, runs as a separate same-domain
+    task (at the caller's timestamp by default in ordered domains)."""
+    if ts is None and ctx.timestamp is not None:
+        ts = ctx.timestamp
+    ctx.enqueue(cont, *args, ts=ts, hint=hint, label="task")
+
+
+def callcc(ctx, fn: Callable, cont: Callable, *cont_args,
+           ts: Optional[int] = None, hint: Optional[int] = None) -> None:
+    """Call-with-current-continuation (paper Table 1).
+
+    Calls ``fn(ctx, cc)`` where ``cc()`` schedules ``cont(ctx, *cont_args)``
+    as a separate same-domain task. ``fn`` may enqueue tasks of its own and
+    invokes ``cc`` to return control to the caller's continuation.
+    """
+    if ts is None and ctx.timestamp is not None:
+        ts = ctx.timestamp
+
+    def cc():
+        ctx.enqueue(cont, *cont_args, ts=ts, hint=hint, label="callcc.cont")
+
+    fn(ctx, cc)

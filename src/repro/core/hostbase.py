@@ -1,0 +1,51 @@
+"""Shared allocation API of execution hosts.
+
+Both the speculative :class:`repro.core.simulator.Simulator` and the
+non-speculative :class:`repro.core.serial.SerialExecutor` mix this in, so
+applications can build their data structures once and run on either host
+(differential testing, serial baselines).
+
+Allocation must happen at build time, **never inside task bodies**: an
+aborted attempt would re-allocate on re-execution. Applications that need
+dynamic structures pre-allocate pools and manage speculative free indices.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from ..mem.data import SpecArray, SpecCell, SpecDict, SpecQueue
+
+
+class AllocAPI:
+    """Typed-wrapper allocation helpers; hosts provide .space and .memory."""
+
+    def cell(self, name: str, init: Any = 0) -> SpecCell:
+        """Allocate a one-word cell initialized to ``init``."""
+        region = self.space.alloc(name, 1)
+        cell = SpecCell(self.memory, region)
+        cell.poke(init)
+        return cell
+
+    def array(self, name: str, n: int,
+              init: Optional[Iterable[Any]] = None,
+              fill: Any = 0) -> SpecArray:
+        region = self.space.alloc(name, n)
+        arr = SpecArray(self.memory, region, n)
+        if init is not None:
+            arr.fill(init)
+        elif fill != 0:
+            arr.fill([fill] * n)
+        else:
+            # Word default is already 0; nothing to write.
+            pass
+        return arr
+
+    def dict(self, name: str, capacity: int, stride: int = 1) -> SpecDict:
+        region = self.space.alloc(name, capacity * stride)
+        return SpecDict(self.memory, region, capacity, stride=stride)
+
+    def queue(self, name: str, capacity: int) -> SpecQueue:
+        """Allocate a bounded speculative FIFO."""
+        region = self.space.alloc(name, capacity + 2)
+        return SpecQueue(self.memory, region, capacity)

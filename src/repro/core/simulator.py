@@ -1,0 +1,790 @@
+"""The event-driven Fractal/Swarm simulator (paper Secs. 4-5).
+
+One :class:`Simulator` models one tiled multicore (Fig. 8) executing a
+Fractal program:
+
+- cores dispatch the lowest-VT pending task from their tile's task unit and
+  run it speculatively; the task body (a Python callable) executes at
+  dispatch, its memory accesses flowing through :class:`repro.mem.memory.SpecMemory`
+  (eager versioning + eager conflict detection) and the cache/NoC latency
+  model, which determine the task's duration in cycles;
+- conflicts abort the later task plus its descendants and data-dependent
+  tasks (selective aborts); aborted tasks re-execute, squashed children are
+  recreated by the re-execution;
+- a GVT arbiter commits finished tasks behind the earliest unfinished VT
+  every ``commit_interval`` cycles;
+- task queues spill through coalescers/splitters when they fill;
+- nesting beyond the VT bit budget triggers zooming (Sec. 4.3) and
+  tiebreakers wrap around and compact (Sec. 4.4).
+
+Fidelity note (see DESIGN.md): a task's body runs atomically at its
+dispatch instant; its memory effects are visible to tasks dispatched later
+in simulated time, and conflict checks happen at those later dispatch
+instants. This task-granular approximation preserves conflict structure,
+queue dynamics and ordering exactly, and timing to first order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..arch.cache import CacheModel
+from ..arch.gvt import GvtArbiter
+from ..arch.noc import MeshNoC
+from ..arch.scheduler import HintScheduler
+from ..arch.spill import CoalescerJob, SpillBuffer, SplitterJob
+from ..arch.tile import Core, Tile
+from ..config import SystemConfig
+from ..errors import DomainError, SimulationError
+from ..mem.address import AddressSpace
+from ..mem.conflicts import make_conflict_model
+from ..mem.memory import SpecMemory
+from ..vt import DomainVT, FractalVT, Ordering, TiebreakerAllocator
+from ..vt.tiebreaker import WrapAround
+from .api import NeedZoomIn, NeedZoomOut, TaskAborted, TaskContext
+from .domain import Domain
+from .hostbase import AllocAPI
+from .stats import CycleBreakdown, RunStats
+from .task import TaskDesc, TaskState
+from .trace import Trace
+from .zoom import ZoomController
+
+_FINISH = 0
+_TICK = 1
+_CORE_FREE = 2
+_FINISH_SPECIAL = 3
+_REQUEUE = 4
+
+
+class Simulator(AllocAPI):
+    """A Fractal chip executing one program."""
+
+    def __init__(self, config: Optional[SystemConfig] = None, *,
+                 root_ordering: Ordering = Ordering.UNORDERED,
+                 name: str = "sim", enable_trace: bool = False,
+                 enable_audit: bool = True):
+        self.config = config or SystemConfig.with_cores(4)
+        self.name = name
+        cfg = self.config
+
+        self.space = AddressSpace(cfg.line_bytes, cfg.n_tiles)
+        self.conflicts = make_conflict_model(
+            cfg.conflict_mode, bits=cfg.bloom_bits, ways=cfg.bloom_ways,
+            seed=cfg.seed)
+        self.memory = SpecMemory(self.space, self.conflicts)
+        self.memory.abort_cascade = self._abort_cascade
+        self.noc = MeshNoC(cfg.mesh_dim, cfg.latency.hop_straight,
+                           cfg.latency.hop_turn)
+        self.cache = CacheModel(self.space, self.noc, cfg.latency,
+                                seed=cfg.seed)
+        self.scheduler = HintScheduler(cfg.n_tiles, cfg.use_hints,
+                                       cfg.load_balance_threshold, cfg.seed)
+        self.arbiter = GvtArbiter(cfg.commit_interval)
+        core_bits = max(4, (max(cfg.n_cores - 1, 1)).bit_length())
+        self.alloc = TiebreakerAllocator(cfg.tiebreaker_bits, core_bits)
+        self.vt_budget = cfg.vt_bits
+
+        self.tiles: List[Tile] = []
+        self.cores: List[Core] = []
+        for t in range(cfg.n_tiles):
+            tile = Tile(t, cfg.cores_per_tile, cfg.task_queue_per_tile,
+                        cfg.commit_queue_per_tile)
+            for _ in range(cfg.cores_per_tile):
+                core = Core(len(self.cores), t)
+                tile.cores.append(core)
+                self.cores.append(core)
+            self.tiles.append(tile)
+        self._special_jobs: List[List] = [[] for _ in range(cfg.n_tiles)]
+        self._coalescer_queued = [False] * cfg.n_tiles
+        self._spill_buffers: List[SpillBuffer] = []
+
+        self.root_domain = Domain(root_ordering)
+        self.zoom = ZoomController(self)
+
+        self.now = 0
+        self._events: List[Tuple[int, int, int, Any]] = []
+        self._event_seq = 0
+        self._tick_scheduled = False
+        # live tasks as an insertion-ordered dict for determinism
+        self._live: Dict[TaskDesc, None] = {}
+        # aborted tasks waiting out the rollback latency before re-queueing
+        self._limbo: Dict[TaskDesc, None] = {}
+        self._finished: List[TaskDesc] = []
+        self._executing: Optional[TaskDesc] = None
+        self._executing_ctx: Optional[TaskContext] = None
+        self._commit_seq = 0
+
+        # Commit-order invariant: within one zoom epoch, commits must be
+        # VT-monotone (the audit alone cannot see blind-write misorderings).
+        self._last_commit_key: Optional[tuple] = None
+        self._commit_epoch = 0
+
+        self.enable_audit = enable_audit
+        self.commit_log: List[TaskDesc] = []
+        self._initial_snapshot: Optional[Dict[int, Any]] = None
+        self.trace = Trace() if enable_trace else None
+
+        self.stats = RunStats(name=name, n_cores=cfg.n_cores)
+        self._ran = False
+
+    # ==================================================================
+    # program construction
+    # ==================================================================
+    def enqueue_root(self, fn: Callable, *args, ts: Optional[int] = None,
+                     hint: Optional[int] = None,
+                     label: Optional[str] = None) -> TaskDesc:
+        """Enqueue an initial task into the root domain (before run())."""
+        if self._ran:
+            raise SimulationError("enqueue_root after run()")
+        timestamp = self.root_domain.ordering.validate_timestamp(ts)
+        task = TaskDesc(fn, args, self.root_domain,
+                        timestamp=timestamp if
+                        self.root_domain.ordering.is_ordered else None,
+                        hint=hint, label=label)
+        dvt = DomainVT(self.root_domain.ordering,
+                       timestamp if self.root_domain.ordering.is_ordered else 0
+                       ).with_lower_bound(self.alloc.lower_bound(0))
+        task.vt = FractalVT([dvt])
+        task.enqueue_time = 0
+        self._admit(task)
+        return task
+
+    # ==================================================================
+    # main loop
+    # ==================================================================
+    def run(self, max_cycles: Optional[int] = None) -> RunStats:
+        """Execute until all tasks commit; return the run's statistics."""
+        if self._ran:
+            raise SimulationError("a Simulator instance runs exactly once")
+        self._ran = True
+        if self.enable_audit:
+            self._initial_snapshot = dict(self.memory._values)
+
+            def fold_poke(addr, value, snap=self._initial_snapshot):
+                # a mid-run poke initializes a fresh address (SpecDict slot
+                # birth); it "always existed" for replay purposes
+                snap.setdefault(addr, value)
+
+            self.memory.on_poke = fold_poke
+        for tile in self.tiles:
+            self._dispatch_tile(tile.tid)
+        self._ensure_tick()
+
+        events = self._events
+        while events:
+            when, _, kind, payload = heapq.heappop(events)
+            if when < self.now:
+                raise SimulationError("time went backwards")
+            self.now = when
+            if max_cycles is not None and self.now > max_cycles:
+                raise SimulationError(
+                    f"exceeded max_cycles={max_cycles} with "
+                    f"{len(self._live)} live tasks")
+            if kind == _FINISH:
+                self._on_finish(*payload)
+            elif kind == _TICK:
+                self._tick_scheduled = False
+                self._on_tick()
+            elif kind == _CORE_FREE:
+                self._dispatch_tile(payload)
+            elif kind == _FINISH_SPECIAL:
+                self._on_finish_special(*payload)
+            elif kind == _REQUEUE:
+                self._on_requeue(payload)
+
+        if self._live:
+            stuck = list(self._live)[:5]
+            raise SimulationError(
+                f"simulation drained events with {len(self._live)} live "
+                f"tasks, e.g. {stuck}")
+        self.memory.assert_quiescent()
+        self._finalize_stats()
+        return self.stats
+
+    # ------------------------------------------------------------------
+    def _schedule(self, when: int, kind: int, payload: Any) -> None:
+        self._event_seq += 1
+        heapq.heappush(self._events, (when, self._event_seq, kind, payload))
+
+    def _ensure_tick(self) -> None:
+        if not self._tick_scheduled and self._live:
+            self._tick_scheduled = True
+            self._schedule(self.arbiter.next_tick(self.now), _TICK, None)
+
+    def _wake_tile(self, tile_id: int) -> None:
+        self._schedule(self.now, _CORE_FREE, tile_id)
+
+    # ==================================================================
+    # enqueue / admit
+    # ==================================================================
+    def _admit(self, task: TaskDesc) -> None:
+        """Place a new or re-enqueued pending task into a task unit."""
+        units = [t.unit for t in self.tiles]
+        tile_id = self.scheduler.tile_for(task.hint, units)
+        self._live[task] = None
+        self.tiles[tile_id].unit.enqueue(task)
+        self.stats.enqueues += 1
+        task.domain.tasks_created += 1
+        if task.domain.depth > self.stats.max_depth:
+            self.stats.max_depth = task.domain.depth
+        self._maybe_spill(tile_id)
+        if self._ran:
+            self._wake_tile(tile_id)
+
+    def _requeue(self, task: TaskDesc) -> None:
+        """Re-enqueue an aborted / zoom-released / restored task."""
+        dvt = task.vt.last
+        lb = DomainVT(dvt.ordering, dvt.timestamp).with_lower_bound(
+            self.alloc.lower_bound(self.now))
+        task.vt = task.vt.child_same_domain(lb)
+        task.enqueue_time = self.now
+        tile_id = task.queue_tile if task.queue_tile >= 0 else 0
+        self.tiles[tile_id].unit.enqueue(task)
+        self._maybe_spill(tile_id)
+        self._wake_tile(tile_id)
+
+    def _enqueue_child(self, ctx: TaskContext, child: TaskDesc,
+                       kind: str) -> None:
+        """Called by TaskContext._spawn for every child enqueue."""
+        parent = ctx.task
+        dvt = DomainVT(child.domain.ordering,
+                       child.timestamp if child.domain.ordering.is_ordered
+                       else 0).with_lower_bound(
+                           self.alloc.lower_bound(self.now))
+        if kind == "same":
+            child.vt = parent.vt.child_same_domain(dvt)
+        elif kind == "sub":
+            child.vt = parent.vt.child_subdomain(dvt).check_budget(
+                self.vt_budget)
+        else:
+            child.vt = parent.vt.child_superdomain(dvt)
+        child.enqueue_time = self.now
+        self._admit(child)
+        # enqueue messages to a remote tile traverse the mesh
+        if child.queue_tile != ctx.tile_id:
+            ctx.cycles += self.noc.latency(ctx.tile_id, child.queue_tile)
+
+    # ==================================================================
+    # dispatch & execution
+    # ==================================================================
+    def _dispatch_tile(self, tile_id: int) -> None:
+        tile = self.tiles[tile_id]
+        for core in tile.cores:
+            if not core.is_free:
+                continue
+            job = self._pick_job(tile)
+            if job is None:
+                core.idle_since = self.now
+                continue
+            if isinstance(job, TaskDesc):
+                parent = job.parent
+                if (parent is not None and parent.dispatch_time >= self.now
+                        and parent.is_speculative):
+                    # A child may not dispatch in its parent's dispatch
+                    # cycle: its tiebreaker must be strictly larger than
+                    # the parent's (children order after parents). Only
+                    # freshly-spawned children qualify — requeued tasks
+                    # whose parents ran earlier (or committed) dispatch
+                    # immediately.
+                    tile.unit.enqueue(job)
+                    self._schedule(self.now + 1, _CORE_FREE, tile.tid)
+                    continue
+                self._dispatch_task(core, job)
+            else:
+                core.job = job
+                self._schedule(self.now + job.duration, _FINISH_SPECIAL,
+                               (core, job))
+
+    def _stripped(self, key: tuple) -> tuple:
+        """A pending task's VT key with its final (lower-bound) tiebreaker
+        tightened to the present — the same transform the GVT uses.
+
+        Frozen lower bounds only record *enqueue* cycles; comparing them
+        between queued and spilled tasks compares bookkeeping, not
+        priority (both dispatch at >= now). Only program order —
+        timestamps and real ancestor tiebreakers — may drive scheduling
+        preemption, else splitters chase stale bounds in circles.
+        """
+        return key[:-1] + ((key[-1][0],
+                            self.alloc.lower_bound(self.now).raw),)
+
+    def _pick_job(self, tile: Tile):
+        specials = self._special_jobs[tile.tid]
+        # Coalescers run ahead of everything. Splitters are deprioritized
+        # behind regular tasks — but a splitter holding work in *program
+        # order earlier* than everything pending must run, or the GVT
+        # (and with it every commit) would wedge behind its spilled tasks.
+        for i, job in enumerate(specials):
+            if job.kind == "coalescer":
+                return specials.pop(i)
+        best_i = None
+        best_key = None
+        for i, job in enumerate(specials):
+            if job.kind == "splitter":
+                if not job.buffer.tasks:
+                    return specials.pop(i)  # empty: retire it for free
+                # min over *stripped* keys — frozen-key minima mix depths
+                # incomparably (same pitfall as the GVT computation)
+                key = min(self._stripped(t.order_key())
+                          for t in job.buffer.tasks)
+                if best_key is None or key < best_key:
+                    best_i, best_key = i, key
+        if best_i is not None:
+            pending = tile.unit.live_pending()
+            pending_key = (min(self._stripped(t.order_key())
+                               for t in pending) if pending else None)
+            if pending_key is None or best_key < pending_key:
+                return specials.pop(best_i)
+        return tile.unit.pop_best()
+
+    def _dispatch_task(self, core: Core, task: TaskDesc) -> None:
+        if task.state is not TaskState.PENDING:
+            raise SimulationError(f"dispatching non-pending {task}")
+        try:
+            tb = self.alloc.alloc(self.now, core.cid)
+        except WrapAround:
+            self._compact_tiebreakers()
+            tb = self.alloc.alloc(self.now, core.cid)
+        task.vt = task.vt.finalized(tb)
+        task.state = TaskState.RUNNING
+        task.core = core
+        task.dispatch_time = self.now
+        core.job = task
+        task.begin_attempt()
+        self.memory.attach_owner(task)
+
+        ctx = TaskContext(self, task, core.tile_id, core.cid)
+        ctx.cycles = self.config.dequeue_cost
+        self._executing, self._executing_ctx = task, ctx
+        try:
+            task.fn(ctx, *task.args)
+        except TaskAborted:
+            # the cascade already rolled us back and re-queued / squashed us
+            core.job = None
+            self._schedule(self.now + self.config.abort_penalty,
+                           _CORE_FREE, core.tile_id)
+            return
+        except NeedZoomIn as need:
+            self._zoom_park(task, ctx, "in", need.needed_bits)
+            core.job = None
+            self._wake_tile(core.tile_id)
+            return
+        except NeedZoomOut:
+            self._zoom_park(task, ctx, "out", 0)
+            core.job = None
+            self._wake_tile(core.tile_id)
+            return
+        finally:
+            self._executing, self._executing_ctx = None, None
+
+        task.duration = max(1, ctx.cycles + self.config.finish_cost)
+        self._schedule(self.now + task.duration, _FINISH,
+                       (core, task, task.attempt))
+        self._ensure_tick()
+
+    def _on_finish(self, core: Core, task: TaskDesc, attempt: int) -> None:
+        if (task.attempt != attempt or task.state is not TaskState.RUNNING
+                or core.job is not task):
+            return  # stale: the attempt was aborted while "running"
+        unit = self.tiles[core.tile_id].unit
+        task.finish_time = self.now
+        if unit.acquire_commit_entry():
+            task.state = TaskState.FINISHED
+            self._finished.append(task)
+            core.job = None
+            self._dispatch_tile(core.tile_id)
+        else:
+            # Core stalls holding the finished task until an entry frees.
+            task.state = TaskState.FINISH_STALLED
+            unit.finish_stalled.append(task)
+            self._finished.append(task)
+        self._ensure_tick()
+
+    # ==================================================================
+    # GVT: commits, zooming
+    # ==================================================================
+    def _on_tick(self) -> None:
+        if not self._live:
+            return
+        self.arbiter.ticks += 1
+        gvt = self._compute_gvt()
+        if self._finished:
+            self._finished.sort(key=TaskDesc.order_key)
+            frontier = []
+            for t in self._finished:
+                # <= is safe: the GVT can only *equal* a finished task's key
+                # through a pending task's lower-bound tiebreaker (real
+                # tiebreakers are unique), and any future dispatch of that
+                # pending task strictly exceeds the bound — so the finished
+                # task still precedes every unfinished one.
+                if gvt is None or t.order_key() <= gvt:
+                    frontier.append(t)
+                else:
+                    break
+            for t in frontier:
+                self._commit_one(t)
+            if frontier:
+                del self._finished[:len(frontier)]
+            elif gvt is not None:
+                # Commit queues are wedged behind an earlier unfinished
+                # task: free space by aborting higher-VT finished tasks
+                # (paper Sec. 4.1: "aborting higher-timestamp tasks").
+                # This must happen on EVERY stalled tile — the GVT-blocking
+                # pending task may be queued on a tile whose cores are all
+                # stalled, and only an entry freed *there* lets it dispatch.
+                victims = []
+                for tile in self.tiles:
+                    if not tile.unit.finish_stalled:
+                        continue
+                    in_queue = [t for t in self._finished
+                                if t.state is TaskState.FINISHED
+                                and t.core.tile_id == tile.tid]
+                    if not in_queue:
+                        continue
+                    victim = max(in_queue, key=TaskDesc.order_key)
+                    if victim.order_key() > gvt:
+                        victims.append(victim)
+                if victims:
+                    self._abort_cascade(victims, "commit queue pressure")
+        if self.zoom.requests or self.zoom.frames:
+            self.zoom.process()
+        self._ensure_tick()
+
+    def _compute_gvt(self) -> Optional[tuple]:
+        """Earliest-unfinished VT bound (the GVT).
+
+        The dynamic bound must be applied *per task*: tasks at different
+        nesting depths splice the fresh tiebreaker at different key
+        positions, so min(dynamic) is not dynamic(min(frozen)) — a pending
+        subdomain task whose (real) ancestor prefix is old can be earlier
+        than every dynamically-bounded shallow task. Computing the min any
+        other way commits tasks out of VT order.
+        """
+        now_lb = self.alloc.lower_bound(self.now).raw
+        best: Optional[tuple] = None
+        for task in self._live:
+            state = task.state
+            if state is TaskState.RUNNING:
+                key = task.order_key()
+            elif state in (TaskState.PENDING, TaskState.WAIT_ZOOM):
+                key = task.order_key()
+                key = key[:-1] + ((key[-1][0], now_lb),)
+            elif state is TaskState.SPILLED:
+                if getattr(task.spill_buffer, "is_zoom", False):
+                    continue  # parked outer domains are later than all live
+                key = task.order_key()
+                key = key[:-1] + ((key[-1][0], now_lb),)
+            else:
+                continue  # FINISHED / FINISH_STALLED do not bound the GVT
+            if best is None or key < best:
+                best = key
+        return best
+
+    def _note_subdomain(self, domain) -> None:
+        self.stats.domains_created += 1
+
+    def _commit_one(self, task: TaskDesc) -> None:
+        key = task.order_key()
+        if self._last_commit_key is not None and key < self._last_commit_key:
+            raise SimulationError(
+                f"commit order violates VT order: {task} (key {key}) after "
+                f"key {self._last_commit_key}")
+        self._last_commit_key = key
+        self.memory.commit(task)
+        core = task.core
+        if task.state is TaskState.FINISHED:
+            cunit = self.tiles[core.tile_id].unit
+            cunit.release_commit_entry()
+            self._promote_stalled(core.tile_id)
+        elif task.state is TaskState.FINISH_STALLED:
+            cunit = self.tiles[core.tile_id].unit
+            cunit.finish_stalled.remove(task)
+            self.stats.breakdown.stall += self.now - task.finish_time
+            core.job = None
+            self._wake_tile(core.tile_id)
+        else:
+            raise SimulationError(f"committing non-finished {task}")
+        task.state = TaskState.COMMITTED
+        task.commit_seq = self._commit_seq
+        self._commit_seq += 1
+        task.commit_time = self.now
+        self._live.pop(task, None)
+        self.stats.breakdown.committed += task.duration
+        self.stats.tasks_committed += 1
+        task.domain.tasks_committed += 1
+        self.arbiter.commits_total += 1
+        if self.enable_audit:
+            self.commit_log.append(task)
+        if self.trace is not None:
+            self.trace.record(core.cid, task.dispatch_time,
+                              task.dispatch_time + task.duration,
+                              task.label, "committed")
+
+    def _promote_stalled(self, tile_id: int) -> None:
+        unit = self.tiles[tile_id].unit
+        while unit.finish_stalled and not unit.commit_queue_full():
+            stalled = min(unit.finish_stalled, key=TaskDesc.order_key)
+            unit.finish_stalled.remove(stalled)
+            unit.acquire_commit_entry()
+            stalled.state = TaskState.FINISHED
+            self.stats.breakdown.stall += self.now - stalled.finish_time
+            stalled.finish_time = self.now
+            stalled.core.job = None
+            self._wake_tile(tile_id)
+
+    # ==================================================================
+    # aborts
+    # ==================================================================
+    def _abort_cascade(self, victims: List[TaskDesc], reason: str,
+                       squash_extra: Optional[set] = None) -> None:
+        """Abort ``victims`` plus their descendants and dependents.
+
+        Direct victims re-execute; tasks whose parent is in the cascade
+        (or listed in ``squash_extra``) are squashed — the re-executing
+        parent will recreate them.
+        """
+        cascade: Dict[TaskDesc, None] = {}
+        stack = list(victims)
+        while stack:
+            t = stack.pop()
+            if t in cascade or not t.is_live:
+                continue
+            cascade[t] = None
+            stack.extend(t.children)
+            stack.extend(t.dependents)
+        for t in sorted(cascade, key=TaskDesc.order_key, reverse=True):
+            squash = (t.parent is not None and t.parent in cascade) or (
+                squash_extra is not None and t in squash_extra)
+            self._undo_one(t, squash, reason)
+
+    def _undo_one(self, task: TaskDesc, squash: bool, reason: str) -> None:
+        state = task.state
+        if state in (TaskState.RUNNING, TaskState.FINISH_STALLED,
+                     TaskState.FINISHED):
+            self.memory.rollback(task)
+            if task is self._executing:
+                executed = self._executing_ctx.cycles
+            elif state is TaskState.RUNNING:
+                executed = min(self.now - task.dispatch_time, task.duration)
+            else:
+                executed = task.duration
+            # Only a still-running victim's core pays the rollback delay;
+            # finished victims roll back inside the task unit.
+            if state is TaskState.RUNNING:
+                executed += self.config.abort_penalty
+            self.stats.breakdown.aborted += executed
+            self.stats.tasks_aborted += 1
+            if self.trace is not None and executed:
+                self.trace.record(task.core.cid, task.dispatch_time,
+                                  task.dispatch_time + executed,
+                                  task.label, "aborted")
+            if task is not self._executing:
+                core = task.core
+                unit = self.tiles[core.tile_id].unit
+                if state is TaskState.RUNNING:
+                    core.job = None
+                    self._schedule(self.now + self.config.abort_penalty,
+                                   _CORE_FREE, core.tile_id)
+                elif state is TaskState.FINISH_STALLED:
+                    unit.finish_stalled.remove(task)
+                    self._finished.remove(task)
+                    self.stats.breakdown.stall += self.now - task.finish_time
+                    core.job = None
+                    self._wake_tile(core.tile_id)
+                else:
+                    self._finished.remove(task)
+                    unit.release_commit_entry()
+                    self._promote_stalled(core.tile_id)
+            else:
+                task.aborted = True
+                if state is not TaskState.RUNNING:
+                    raise SimulationError("executing task not RUNNING")
+        elif state is TaskState.PENDING:
+            if task in self._limbo:
+                pass  # not in any queue; the stale _REQUEUE event is ignored
+            else:
+                self.tiles[task.queue_tile].unit.remove(task)
+        elif state is TaskState.SPILLED:
+            task.spill_buffer.remove(task)
+            task.spill_buffer = None
+        elif state is TaskState.WAIT_ZOOM:
+            self.zoom.drop_request(task)
+        else:
+            raise SimulationError(f"cannot abort {task} in state {state}")
+
+        task.aborted = True
+        if squash:
+            task.state = TaskState.SQUASHED
+            self._live.pop(task, None)
+            self._limbo.pop(task, None)
+            self.stats.tasks_squashed += 1
+        else:
+            # Hold the task in limbo for the rollback latency so it cannot
+            # re-dispatch (and re-conflict) within the same cycle.
+            task.n_aborts += 1
+            task.state = TaskState.PENDING
+            self._limbo[task] = None
+            when = max(self.now + self.config.abort_penalty, task.retry_after)
+            self._schedule(when, _REQUEUE, task)
+
+    # ==================================================================
+    # zooming hooks
+    # ==================================================================
+    def _zoom_park(self, task: TaskDesc, ctx: TaskContext, direction: str,
+                   needed_bits: int) -> None:
+        """Roll back the attempt and park it until the zoom completes."""
+        if task.children or task.dependents:
+            self._abort_cascade(list(task.children) + list(task.dependents),
+                                f"zoom-{direction} park",
+                                squash_extra=set(task.children))
+        self.memory.rollback(task)
+        self.stats.breakdown.aborted += ctx.cycles
+        task.state = TaskState.WAIT_ZOOM
+        self.zoom.park(task, direction, needed_bits)
+        self._ensure_tick()
+
+    def _on_requeue(self, task: TaskDesc) -> None:
+        if task not in self._limbo or task.state is not TaskState.PENDING:
+            return  # squashed or spilled away meanwhile
+        del self._limbo[task]
+        self._requeue(task)
+
+    def _zoom_release(self, task: TaskDesc) -> None:
+        task.state = TaskState.PENDING
+        self._requeue(task)
+
+    def _active_live(self) -> List[TaskDesc]:
+        """Live tasks excluding those parked on the zoom stack."""
+        return [t for t in self._live
+                if not (t.state is TaskState.SPILLED
+                        and getattr(t.spill_buffer, "is_zoom", False))]
+
+    def _extract_pending(self, task: TaskDesc) -> None:
+        """Pull a non-speculative task out of wherever it waits (zoom-in)."""
+        if task.state is TaskState.PENDING:
+            if task in self._limbo:
+                del self._limbo[task]
+            else:
+                self.tiles[task.queue_tile].unit.remove(task)
+        elif task.state is TaskState.SPILLED:
+            task.spill_buffer.remove(task)
+            task.spill_buffer = None
+        elif task.state is TaskState.WAIT_ZOOM:
+            self.zoom.drop_request(task)
+        else:
+            raise SimulationError(
+                f"zoom-in spill of speculative task {task}")
+
+    def _rebuild_queues(self) -> None:
+        """Re-key queues after a global VT rewrite (zoom / compaction);
+        also resets the commit-monotonicity watermark, whose old keys are
+        no longer comparable."""
+        self._last_commit_key = None
+        self._commit_epoch += 1
+        for tile in self.tiles:
+            tile.unit.rebuild()
+
+    # ==================================================================
+    # spills
+    # ==================================================================
+    def _maybe_spill(self, tile_id: int) -> None:
+        unit = self.tiles[tile_id].unit
+        if (unit.fill_fraction >= self.config.spill_threshold
+                and not self._coalescer_queued[tile_id]):
+            self._coalescer_queued[tile_id] = True
+            duration = max(1, self.config.coalescer_cost_per_task
+                           * self.config.spill_batch)
+            self._special_jobs[tile_id].append(
+                CoalescerJob(tile_id, duration))
+            if self._ran:
+                self._wake_tile(tile_id)
+
+    def _on_finish_special(self, core: Core, job) -> None:
+        core.job = None
+        tile_id = core.tile_id
+        unit = self.tiles[tile_id].unit
+        self.stats.breakdown.spill += job.duration
+        if job.kind == "coalescer":
+            self._coalescer_queued[tile_id] = False
+            spillable = [t for t in unit.live_pending()
+                         if t.parent is None
+                         or t.parent.state is TaskState.COMMITTED]
+            # spill the tasks latest in *program order* (stripped keys):
+            # frozen lower bounds would mark freshly-requeued early work as
+            # "latest" and bounce it straight back to memory. The earliest
+            # spillable task always stays resident — spilling it while it
+            # holds the GVT starves every commit.
+            spillable.sort(key=lambda t: self._stripped(t.order_key()),
+                           reverse=True)
+            if spillable:
+                spillable.pop()
+            victims = spillable[:self.config.spill_batch]
+            if victims:
+                buf = SpillBuffer(victims)
+                buf.is_zoom = False
+                for t in victims:
+                    unit.remove(t)
+                    t.state = TaskState.SPILLED
+                    t.spill_buffer = buf
+                self._spill_buffers.append(buf)
+                self.stats.tasks_spilled += len(victims)
+                duration = max(1, self.config.splitter_cost_per_task
+                               * len(victims))
+                self._special_jobs[tile_id].append(
+                    SplitterJob(tile_id, buf, duration))
+        else:  # splitter
+            buf = job.buffer
+            if buf in self._spill_buffers:
+                self._spill_buffers.remove(buf)
+            for t in list(buf.tasks):
+                buf.remove(t)
+                t.state = TaskState.PENDING
+                t.spill_buffer = None
+                self._requeue(t)
+        self._dispatch_tile(tile_id)
+
+    # ==================================================================
+    # tiebreaker wrap-around (paper Sec. 4.4)
+    # ==================================================================
+    def _compact_tiebreakers(self) -> None:
+        self.stats.tiebreaker_wraparounds += 1
+        for t in self._live:
+            t.vt = t.vt.compacted(self.alloc)
+        self.alloc.compact(self.now)
+        self._rebuild_queues()
+        saturated = [t for t in self._live
+                     if t.is_speculative and t.vt.final_tiebreaker_saturated()]
+        if saturated:
+            keys = [t.order_key() for t in self._live]
+            earliest = min(keys)
+            victims = [t for t in saturated if t.order_key() != earliest]
+            if victims:
+                self._abort_cascade(victims, "tiebreaker wraparound")
+
+    # ==================================================================
+    # wrap-up
+    # ==================================================================
+    def _finalize_stats(self) -> None:
+        s = self.stats
+        s.makespan = self.now
+        total = s.n_cores * s.makespan
+        used = (s.breakdown.committed + s.breakdown.aborted
+                + s.breakdown.spill + s.breakdown.stall)
+        s.breakdown.empty = max(total - used, 0)
+        s.true_conflicts = self.memory.n_true_conflicts
+        s.false_positive_conflicts = getattr(self.conflicts,
+                                             "false_positives", 0)
+        s.zoom_ins = self.arbiter.zoom_ins
+        s.zoom_outs = self.arbiter.zoom_outs
+        s.gvt_ticks = self.arbiter.ticks
+        s.cache = self.cache.snapshot()
+
+    # ------------------------------------------------------------------
+    def audit(self) -> None:
+        """Re-check this run for serializability (raises on violation)."""
+        from .audit import audit_serializability
+        if not self.enable_audit:
+            raise SimulationError("run was executed with enable_audit=False")
+        audit_serializability(self._initial_snapshot, self.commit_log,
+                              self.memory._values, default=self.memory.default)

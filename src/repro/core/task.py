@@ -1,0 +1,137 @@
+"""Task descriptors and their lifecycle (paper Sec. 4.1).
+
+A :class:`TaskDesc` is a task's hardware descriptor: function pointer,
+arguments, timestamp, spatial hint, and fractal VT. The same descriptor is
+reused across re-executions (attempts) after aborts; all speculative state
+(undo log, read/write sets, dependences — installed by
+:meth:`repro.mem.memory.SpecMemory.attach_owner`) is per-attempt.
+
+State machine::
+
+    PENDING -> RUNNING -> {FINISHED | FINISH_STALLED -> FINISHED} -> COMMITTED
+       ^          |                |
+       |          +--- abort ------+----> PENDING   (re-execute)
+       |          +--- squash -----+----> SQUASHED  (parent aborted; gone)
+       |
+       +--> SPILLED -> PENDING                      (coalescer / splitter)
+       +--> WAIT_ZOOM -> PENDING                    (zoom request granted)
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..vt import FractalVT
+from .domain import Domain
+
+_task_ids = itertools.count()
+
+
+class TaskState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    FINISH_STALLED = "finish-stalled"
+    FINISHED = "finished"
+    COMMITTED = "committed"
+    SQUASHED = "squashed"
+    SPILLED = "spilled"
+    WAIT_ZOOM = "wait-zoom"
+
+
+class TaskDesc:
+    """One Fractal task."""
+
+    __slots__ = (
+        # descriptor
+        "tid", "fn", "args", "timestamp", "hint", "domain", "parent", "label",
+        # lifecycle
+        "state", "vt", "attempt", "aborted", "n_aborts",
+        "children", "subdomain",
+        # placement
+        "queue_tile", "queue_token", "core", "spill_buffer",
+        # timing (current attempt)
+        "enqueue_time", "dispatch_time", "duration", "finish_time",
+        "retry_after",
+        # commit record
+        "commit_seq", "commit_time",
+        # zoom bookkeeping
+        "zoom_pending_enqueues",
+        # speculative owner state (installed by SpecMemory.attach_owner)
+        "undo", "reads", "writes", "read_lines", "write_lines",
+        "deps", "dependents", "sig_read", "sig_write", "_fp_cached",
+    )
+
+    def __init__(self, fn: Callable, args: Tuple, domain: Domain,
+                 timestamp: Optional[int] = None, hint: Optional[int] = None,
+                 parent: Optional["TaskDesc"] = None,
+                 label: Optional[str] = None):
+        self.tid = next(_task_ids)
+        self.fn = fn
+        self.args = args
+        self.timestamp = timestamp
+        self.hint = hint
+        self.domain = domain
+        self.parent = parent
+        self.label = label or getattr(fn, "__name__", "task")
+
+        self.state = TaskState.PENDING
+        self.vt: Optional[FractalVT] = None
+        self.attempt = 0
+        self.aborted = False
+        self.n_aborts = 0
+        self.children: List[TaskDesc] = []
+        self.subdomain: Optional[Domain] = None
+
+        self.queue_tile = -1
+        self.queue_token = 0
+        self.core = None
+        self.spill_buffer = None
+
+        self.enqueue_time = 0
+        self.dispatch_time = 0
+        self.duration = 0
+        self.finish_time = 0
+        self.retry_after = 0
+        self.commit_seq = -1
+        self.commit_time = -1
+        self.zoom_pending_enqueues = None
+        # Dependence edges exist even before the first dispatch (the abort
+        # cascade walks children's dependents); SpecMemory.attach_owner
+        # resets them per attempt.
+        self.deps = set()
+        self.dependents = set()
+
+    # ------------------------------------------------------------------
+    def order_key(self) -> tuple:
+        """Current fractal-VT sort key (the SpecMemory owner protocol)."""
+        return self.vt.key()
+
+    def still_executing(self) -> bool:
+        """SpecMemory owner protocol: True while this attempt's finish event
+        is still in the future (its stores are conceptually in flight)."""
+        return self.state is TaskState.RUNNING
+
+    @property
+    def is_speculative(self) -> bool:
+        """True while this attempt holds speculative state."""
+        return self.state in (TaskState.RUNNING, TaskState.FINISH_STALLED,
+                              TaskState.FINISHED)
+
+    @property
+    def is_live(self) -> bool:
+        """Unfinished or uncommitted — bounds the GVT."""
+        return self.state not in (TaskState.COMMITTED, TaskState.SQUASHED)
+
+    def begin_attempt(self) -> None:
+        """Reset per-attempt state at dispatch."""
+        self.attempt += 1
+        self.aborted = False
+        self.children = []
+        self.subdomain = None
+        self.retry_after = 0
+
+    def __repr__(self) -> str:
+        vt = f" vt={self.vt!r}" if self.vt is not None else ""
+        return f"<{self.label}#{self.tid} {self.state.value}{vt}>"

@@ -1,0 +1,72 @@
+"""Execution timeline traces (paper Fig. 1).
+
+When tracing is enabled the simulator records one segment per task attempt
+per core; :func:`render_timeline` draws the Fig. 1-style ASCII chart where
+each row is a core, time flows right, and aborted work is marked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass
+class TraceSegment:
+    core: int
+    start: int
+    end: int
+    label: str
+    outcome: str        # "committed" | "aborted" | "spill"
+
+
+class Trace:
+    """Collected execution segments of one run."""
+
+    def __init__(self):
+        self.segments: List[TraceSegment] = []
+
+    def record(self, core: int, start: int, end: int, label: str,
+               outcome: str) -> None:
+        """Append one execution segment (zero-length segments dropped)."""
+        if end > start:
+            self.segments.append(TraceSegment(core, start, end, label, outcome))
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+
+def render_timeline(trace: Trace, n_cores: int, width: int = 100,
+                    glyphs: Optional[Dict[str, str]] = None,
+                    t0: Optional[int] = None, t1: Optional[int] = None) -> str:
+    """Render an ASCII execution timeline.
+
+    Each task label is assigned a glyph from its first letter (override
+    with ``glyphs``, mapping label → single character); aborted segments
+    render as ``x``. Idle time is blank.
+    """
+    if not trace.segments:
+        return "(empty trace)"
+    t0 = min(s.start for s in trace.segments) if t0 is None else t0
+    t1 = max(s.end for s in trace.segments) if t1 is None else t1
+    span = max(t1 - t0, 1)
+    scale = width / span
+    rows = []
+    for core in range(n_cores):
+        row = [" "] * width
+        for seg in trace.segments:
+            if seg.core != core or seg.end <= t0 or seg.start >= t1:
+                continue
+            a = max(int((seg.start - t0) * scale), 0)
+            b = min(max(int((seg.end - t0) * scale), a + 1), width)
+            if seg.outcome == "aborted":
+                ch = "x"
+            elif glyphs and seg.label in glyphs:
+                ch = glyphs[seg.label]
+            else:
+                ch = (seg.label[:1] or "#")
+            for i in range(a, b):
+                row[i] = ch
+        rows.append(f"Core {core:<3d} |{''.join(row)}|")
+    header = f"time {t0:,} .. {t1:,} cycles  ('x' = aborted work)"
+    return "\n".join([header] + rows)

@@ -1,0 +1,189 @@
+"""Zooming: unbounded nesting over a bounded VT budget (paper Sec. 4.3).
+
+When a task wants to create a subdomain but its fractal VT has no bits
+left, the system *zooms in*: it waits until the base-domain task sharing
+the requester's base domain VT commits, aborts and spills every remaining
+base-domain task to an in-memory stack (recursively squashing their
+subdomains, Fig. 13b), and then shifts the common base domain VT out of
+every live fractal VT, freeing bits (Fig. 13d). *Zooming out* reverses the
+process when a base-domain task enqueues to its (parked) superdomain, or
+when the zoomed-in region drains.
+
+All of this reuses the ordinary spill machinery; speculative state is never
+spilled — speculative base tasks are aborted first, exactly as the paper
+prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import SimulationError
+from ..vt import DomainVT, FractalVT, Ordering, Tiebreaker
+from .task import TaskState
+from ..arch.spill import SpillBuffer
+
+
+@dataclass
+class ZoomRequest:
+    direction: str          # "in" | "out"
+    task: object            # the parked (WAIT_ZOOM) requester
+    needed_bits: int = 0    # for zoom-in: bits the new subdomain VT needs
+
+
+class ZoomFrame:
+    """One zoomed-out base domain: its spilled tasks + saved ordering/ts."""
+
+    __slots__ = ("buffer", "ordering", "timestamp")
+
+    def __init__(self, tasks: List, ordering: Ordering, timestamp: int):
+        self.buffer = SpillBuffer(tasks)
+        self.buffer.is_zoom = True
+        self.ordering = ordering
+        self.timestamp = timestamp
+
+    def __repr__(self) -> str:
+        return (f"ZoomFrame({self.ordering.value}, ts={self.timestamp}, "
+                f"{len(self.buffer)} spilled)")
+
+
+class ZoomController:
+    """Serializes zoom-in/zoom-out operations for one simulator."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.frames: List[ZoomFrame] = []
+        self.requests: List[ZoomRequest] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Number of zoom frames currently on the stack."""
+        return len(self.frames)
+
+    def park(self, task, direction: str, needed_bits: int = 0) -> None:
+        """Register a request for an already-parked (WAIT_ZOOM) task."""
+        self.requests.append(ZoomRequest(direction, task, needed_bits))
+
+    def drop_request(self, task) -> None:
+        """Remove a parked task's outstanding zoom request."""
+        self.requests = [r for r in self.requests if r.task is not task]
+
+    # ------------------------------------------------------------------
+    def process(self) -> None:
+        """Attempt every outstanding request (called from the GVT tick)."""
+        sim = self.sim
+        for req in list(self.requests):
+            task = req.task
+            if task.state is not TaskState.WAIT_ZOOM:
+                self.drop_request(task)  # squashed meanwhile
+                continue
+            if req.direction == "in":
+                self._try_zoom_in(req)
+            else:
+                self._try_zoom_out(req)
+        # Auto zoom-out: the zoomed-in region drained with outer work
+        # parked (possibly several empty frames if spilled tasks were
+        # squashed meanwhile).
+        while self.frames and not sim._active_live():
+            self.zoom_out()
+
+    # ------------------------------------------------------------------
+    def _try_zoom_in(self, req: ZoomRequest) -> None:
+        sim = self.sim
+        task = req.task
+        if task.vt.bits + req.needed_bits <= sim.vt_budget:
+            # An earlier zoom already freed enough bits.
+            self._release(req)
+            return
+        if task.vt.depth == 1:
+            raise SimulationError(
+                f"zoom-in requested by base-domain task {task}: vt_bits="
+                f"{sim.vt_budget} cannot hold two nesting levels of this "
+                f"shape; increase vt_bits")
+        base_key = (task.vt.domains[0].key(),)
+        # Wait until the base-domain task that shares our base domain VT
+        # commits: then nothing at or before that VT is still live.
+        for other in sim._active_live():
+            if other is not task and other.order_key() <= base_key:
+                return
+        self.zoom_in(task)
+        self._release(req)
+
+    def _try_zoom_out(self, req: ZoomRequest) -> None:
+        sim = self.sim
+        task = req.task
+        if task.vt.depth > 1:
+            # A zoom-out already happened; the superdomain is reachable.
+            self._release(req)
+            return
+        if not self.frames:
+            raise SimulationError(
+                f"zoom-out requested by {task} with an empty zoom stack")
+        key = task.order_key()
+        for other in sim._active_live():
+            if other is not task and other.order_key() < key:
+                return
+        self.zoom_out()
+        self._release(req)
+
+    def _release(self, req: ZoomRequest) -> None:
+        self.drop_request(req.task)
+        self.sim._zoom_release(req.task)
+
+    # ------------------------------------------------------------------
+    def zoom_in(self, requester) -> None:
+        """Spill the base domain and shift it out of every live VT."""
+        sim = self.sim
+        base_dvt = requester.vt.domains[0]
+
+        # 1. Abort speculative base-domain tasks (recursively eliminating
+        #    their descendants, Fig. 13b). Requester is depth >= 2 and not
+        #    a descendant of any live base task, so it survives.
+        spec_base = [t for t in sim._active_live()
+                     if t.vt.depth == 1 and t.is_speculative]
+        if spec_base:
+            sim._abort_cascade(spec_base, "zoom-in spill")
+
+        # 2. Spill every (now non-speculative) base-domain task (Fig. 13c).
+        victims = [t for t in sim._active_live() if t.vt.depth == 1]
+        for t in victims:
+            sim._extract_pending(t)
+        frame = ZoomFrame(victims, base_dvt.ordering, base_dvt.timestamp)
+        for t in victims:
+            t.state = TaskState.SPILLED
+            t.spill_buffer = frame.buffer
+        self.frames.append(frame)
+        sim.arbiter.push_base(base_dvt.ordering, base_dvt.timestamp)
+
+        # 3. The outermost subdomain becomes the base (Fig. 13d): every
+        #    remaining task shares the requester's base domain VT; shift
+        #    it out.
+        base_key = base_dvt.key()
+        for t in sim._active_live():
+            if t.vt.domains[0].key() != base_key:
+                raise SimulationError(
+                    f"zoom-in: live task {t} does not share base VT "
+                    f"{base_dvt!r}")
+            t.vt = t.vt.drop_base()
+        sim._rebuild_queues()
+
+    def zoom_out(self) -> None:
+        """Restore the most recently spilled base domain."""
+        sim = self.sim
+        frame = self.frames.pop()
+        ordering, timestamp = sim.arbiter.pop_base()
+        restored = DomainVT(ordering,
+                            timestamp if ordering.is_ordered else 0,
+                            Tiebreaker(raw=0, cycle=0, tile=0))
+        # Right-shift every live VT, prepending the restored base domain VT
+        # with a zero tiebreaker: the zoomed region holds all the earliest
+        # active tasks, so this changes no order relations.
+        for t in sim._active_live():
+            t.vt = t.vt.with_base(restored)
+        for t in list(frame.buffer.tasks):
+            t.state = TaskState.PENDING
+            t.spill_buffer = None
+            sim._requeue(t)
+        sim._rebuild_queues()

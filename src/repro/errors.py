@@ -1,0 +1,68 @@
+"""Exception hierarchy for the Fractal reproduction.
+
+Every error raised by the library derives from :class:`FractalError` so
+callers can catch library failures with a single ``except`` clause while
+letting genuine programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class FractalError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(FractalError):
+    """An invalid or inconsistent :class:`repro.config.SystemConfig`."""
+
+
+class VTError(FractalError):
+    """An invalid virtual-time operation (bad format, budget overflow...)."""
+
+
+class VTBudgetExceeded(VTError):
+    """A fractal VT would not fit in the hardware bit budget.
+
+    The simulator catches this internally and triggers a zoom-in; user code
+    only sees it when zooming is disabled.
+    """
+
+
+class DomainError(FractalError):
+    """A violation of Fractal's domain rules.
+
+    Examples: creating two subdomains from one task, enqueueing with a
+    timestamp smaller than the parent's, enqueueing to a domain the task
+    cannot reach, or passing a timestamp to an unordered domain.
+    """
+
+
+class TimestampError(DomainError):
+    """A missing, extra, or out-of-range task timestamp."""
+
+
+class MemoryError_(FractalError):
+    """An invalid speculative-memory operation (unknown address, access
+    outside a task context, double-free...).
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class QueueError(FractalError):
+    """Task-queue/commit-queue resource exhaustion that cannot be resolved
+    by spilling or stalling (indicates a configuration too small for the
+    workload's mandatory working set)."""
+
+
+class SimulationError(FractalError):
+    """An internal simulator invariant was violated. Always a bug."""
+
+
+class SerializabilityViolation(SimulationError):
+    """The post-run audit found a committed execution that is not
+    equivalent to any serial order. Always a bug in the simulator."""
+
+
+class AppError(FractalError):
+    """An application-level failure (invalid input graph, workload...)."""

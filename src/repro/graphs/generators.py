@@ -1,0 +1,58 @@
+"""Miscellaneous deterministic generators: 3D grids and random graphs."""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from ..errors import AppError
+from .graph import Graph
+
+
+def grid3d(x: int, y: int, z: int) -> Graph:
+    """An x*y*z grid graph (labyrinth's routing substrate).
+
+    Node id = (zi * y + yi) * x + xi; 6-neighbour connectivity.
+    """
+    if min(x, y, z) < 1:
+        raise AppError("grid dimensions must be >= 1")
+    n = x * y * z
+    g = Graph(n, directed=False)
+
+    def node(xi: int, yi: int, zi: int) -> int:
+        return (zi * y + yi) * x + xi
+
+    for zi in range(z):
+        for yi in range(y):
+            for xi in range(x):
+                u = node(xi, yi, zi)
+                if xi + 1 < x:
+                    g.add_edge(u, node(xi + 1, yi, zi))
+                if yi + 1 < y:
+                    g.add_edge(u, node(xi, yi + 1, zi))
+                if zi + 1 < z:
+                    g.add_edge(u, node(xi, yi, zi + 1))
+    return g
+
+
+def random_graph(n: int, m: int, *, seed: int = 1, directed: bool = False,
+                 weighted: bool = False) -> Graph:
+    """A simple G(n, m)-style random graph (test workloads)."""
+    if n < 2:
+        raise AppError("random_graph needs n >= 2")
+    rng = random.Random(seed)
+    g = Graph(n, directed=directed)
+    attempts = 0
+    edges = set()
+    while len(edges) < m and attempts < m * 20:
+        attempts += 1
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        key = (u, v) if directed else (min(u, v), max(u, v))
+        if key in edges:
+            continue
+        edges.add(key)
+        g.add_edge(u, v, weight=rng.random() if weighted else None)
+    return g

@@ -1,0 +1,55 @@
+"""R-MAT recursive-matrix graph generator (Chakrabarti et al., SDM 2004).
+
+The paper's mis input is an R-MAT graph with a power-law degree
+distribution (8 M nodes / 168 M edges); we generate the same family at toy
+scale. Standard parameters (a, b, c, d) = (0.57, 0.19, 0.19, 0.05) follow
+the Graph500/kron_g500 convention, so this generator also stands in for the
+kron_g500-logn16 input of msf.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import AppError
+from .graph import Graph
+
+
+def rmat(scale: int, edge_factor: int = 8, *, a: float = 0.57, b: float = 0.19,
+         c: float = 0.19, seed: int = 1, directed: bool = False,
+         weighted: bool = False) -> Graph:
+    """Generate an R-MAT graph with ``2**scale`` nodes.
+
+    ``edge_factor`` edges are sampled per node; duplicates and self-loops
+    are removed, so the final edge count is slightly lower. With
+    ``weighted``, each edge gets a deterministic weight in (0, 1).
+    """
+    if scale < 1 or scale > 24:
+        raise AppError(f"scale {scale} out of supported range [1, 24]")
+    d = 1.0 - a - b - c
+    if d < 0:
+        raise AppError("R-MAT probabilities must sum to <= 1")
+    n = 1 << scale
+    rng = random.Random(seed)
+    g = Graph(n, directed=directed)
+    target_edges = n * edge_factor
+    for _ in range(target_edges):
+        u = v = 0
+        for _level in range(scale):
+            r = rng.random()
+            u <<= 1
+            v <<= 1
+            if r < a:
+                pass
+            elif r < a + b:
+                v |= 1
+            elif r < a + b + c:
+                u |= 1
+            else:
+                u |= 1
+                v |= 1
+        if u != v:
+            g.add_edge(u, v,
+                       weight=rng.random() if weighted else None)
+    g.dedup()
+    return g

@@ -1,0 +1,69 @@
+"""rmf-wide maxflow networks (Goldfarb & Grigoriadis, 1988).
+
+The DIMACS "rmf" family — used by the paper's maxflow benchmark — is a
+sequence of b x b grid *frames* stacked into a prism: every node connects
+to its 4 neighbours within the frame (large capacities) and to one random
+node of the next frame (small capacities), so flow must thread narrow,
+randomized inter-frame edges. "Wide" instances use large frames and few
+layers, one of the harder families from the DIMACS maxflow challenge.
+
+The source is node 0 (corner of the first frame); the sink is the last
+node (corner of the last frame).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from ..errors import AppError
+from .graph import Graph
+
+
+def rmf_wide(b: int, layers: int, *, cap_range: Tuple[int, int] = (1, 100),
+             seed: int = 1) -> Tuple[Graph, int, int]:
+    """Generate an rmf network of ``layers`` frames of ``b x b`` nodes.
+
+    Returns ``(graph, source, sink)``; the graph is directed with edge
+    weights as capacities (paired reverse edges get capacity 0 implicitly —
+    the maxflow app adds residual edges itself).
+    """
+    if b < 2 or layers < 2:
+        raise AppError("rmf needs b >= 2 and layers >= 2")
+    lo, hi = cap_range
+    if not (0 < lo <= hi):
+        raise AppError("invalid capacity range")
+    rng = random.Random(seed)
+    frame = b * b
+    n = frame * layers
+    g = Graph(n, directed=True)
+
+    def node(layer: int, x: int, y: int) -> int:
+        return layer * frame + y * b + x
+
+    # Large capacity for intra-frame edges, per the DIMACS generator:
+    # c2 * b^2 where c2 is the top of the inter-frame range.
+    big = hi * b * b
+    for layer in range(layers):
+        for y in range(b):
+            for x in range(b):
+                u = node(layer, x, y)
+                if x + 1 < b:
+                    g.add_edge(u, node(layer, x + 1, y), weight=big)
+                    g.add_edge(node(layer, x + 1, y), u, weight=big)
+                if y + 1 < b:
+                    g.add_edge(u, node(layer, x, y + 1), weight=big)
+                    g.add_edge(node(layer, x, y + 1), u, weight=big)
+        if layer + 1 < layers:
+            # a random permutation pairs each node with one node of the
+            # next frame, with small random capacity
+            targets = list(range(frame))
+            rng.shuffle(targets)
+            for i in range(frame):
+                u = layer * frame + i
+                v = (layer + 1) * frame + targets[i]
+                g.add_edge(u, v, weight=rng.randint(lo, hi))
+
+    source = 0
+    sink = n - 1
+    return g, source, sink

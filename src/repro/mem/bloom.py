@@ -1,0 +1,131 @@
+"""H3 Bloom-filter signatures (paper Table 2: 2 Kbit, 8-way, H3 hashing).
+
+Swarm/Fractal track each task's read and write sets in per-task Bloom
+signatures. Membership tests can return false positives, which cause
+spurious aborts — the dominant cost for coarse-grain ("flat") tasks whose
+sets overflow the filters (paper Sec. 6.1, Fig. 14).
+
+:class:`H3HashFamily` implements the classic H3 universal hash family of
+Carter & Wegman: each hash function is a matrix of random words; the hash
+of a key is the XOR of the rows selected by the key's set bits.
+:class:`BloomSignature` is a real bit-accurate signature used both directly
+(unit tests, small runs) and as the occupancy source for the simulator's
+sampled false-positive model (see :mod:`repro.mem.conflicts`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List
+
+from ..errors import MemoryError_
+
+_KEY_BITS = 48  # supported key width (word addresses comfortably fit)
+
+
+class H3HashFamily:
+    """A family of ``k`` H3 hash functions onto ``[0, m)`` (m a power of 2).
+
+    In a banked (w-way) Bloom filter each function indexes its own bank of
+    ``m / k`` bits; we expose :meth:`indices` returning one global bit index
+    per bank, matching that layout.
+    """
+
+    def __init__(self, k: int, m_bits: int, seed: int = 0):
+        if m_bits & (m_bits - 1) or m_bits <= 0:
+            raise MemoryError_("Bloom size must be a power of two")
+        if m_bits % k:
+            raise MemoryError_("Bloom size must divide evenly into banks")
+        self.k = k
+        self.m_bits = m_bits
+        self.bank_bits = m_bits // k
+        if self.bank_bits & (self.bank_bits - 1):
+            raise MemoryError_("bank size must be a power of two")
+        self._bank_mask = self.bank_bits - 1
+        rng = random.Random(seed ^ 0x5DEECE66D)
+        # One matrix per function: _KEY_BITS random words of bank-index width.
+        self._matrices: List[List[int]] = [
+            [rng.getrandbits(32) & self._bank_mask for _ in range(_KEY_BITS)]
+            for _ in range(k)
+        ]
+
+    def indices(self, key: int) -> List[int]:
+        """Global bit indices (one per bank) for ``key``."""
+        key &= (1 << _KEY_BITS) - 1
+        out = []
+        for fn, matrix in enumerate(self._matrices):
+            h = 0
+            bits = key
+            i = 0
+            while bits:
+                if bits & 1:
+                    h ^= matrix[i]
+                bits >>= 1
+                i += 1
+            out.append(fn * self.bank_bits + h)
+        return out
+
+
+class BloomSignature:
+    """A bit-accurate, banked Bloom signature over cache-line addresses."""
+
+    __slots__ = ("family", "_bits", "_inserted", "_popcount")
+
+    def __init__(self, family: H3HashFamily):
+        self.family = family
+        self._bits = 0
+        self._inserted = 0
+        self._popcount = 0
+
+    def insert(self, key: int) -> None:
+        """Set this key's bit in every bank."""
+        for idx in self.family.indices(key):
+            mask = 1 << idx
+            if not self._bits & mask:
+                self._bits |= mask
+                self._popcount += 1
+        self._inserted += 1
+
+    def maybe_contains(self, key: int) -> bool:
+        """True when all banks hit. Never a false negative."""
+        bits = self._bits
+        return all(bits >> idx & 1 for idx in self.family.indices(key))
+
+    def update(self, keys: Iterable[int]) -> None:
+        """Insert every key."""
+        for key in keys:
+            self.insert(key)
+
+    def clear(self) -> None:
+        """Reset the signature to empty."""
+        self._bits = 0
+        self._inserted = 0
+        self._popcount = 0
+
+    @property
+    def inserted(self) -> int:
+        """Number of insert operations performed."""
+        return self._inserted
+
+    @property
+    def popcount(self) -> int:
+        """Number of set bits across all banks."""
+        return self._popcount
+
+    @property
+    def fill(self) -> float:
+        """Mean per-bank fill fraction."""
+        return self._popcount / self.family.m_bits
+
+    def false_positive_rate(self) -> float:
+        """Probability a random never-inserted key hits all ``k`` banks.
+
+        With banked filters, each bank is probed once; a bank of ``b`` bits
+        holding ``p_i`` set bits hits with probability ``p_i / b``. We use
+        the mean fill as ``p_i / b`` for every bank, which is exact in
+        expectation and accurate for H3's near-uniform spreading.
+        """
+        fill = self.fill
+        if fill <= 0.0:
+            return 0.0
+        return fill ** self.family.k

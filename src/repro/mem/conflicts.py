@@ -1,0 +1,199 @@
+"""Conflict-detection models: Bloom signatures vs. idealized precise.
+
+The simulator detects *true* conflicts exactly (via the reader/writer
+indices in :class:`repro.mem.memory.SpecMemory`); the conflict model adds
+the behaviour that distinguishes real hardware:
+
+- :class:`PreciseConflictModel` — the paper's idealized scheme with no
+  false positives (dashed lines in Fig. 14a).
+- :class:`BloomConflictModel` — 2 Kbit 8-way H3 signatures per task. Each
+  task maintains bit-accurate read/write signatures; every access then
+  probes the signatures of all other live speculative tasks. Probing every
+  pair bit-by-bit is exact but quadratic, so the model *samples* false
+  positives from the true per-signature false-positive rates (which come
+  from actual signature occupancy): the expected number of spurious hits
+  per access is preserved, and a sampled hit aborts exactly what hardware
+  would abort — the later of {accessor, falsely-matching task}. Small runs
+  and unit tests can enable ``exact=True`` to probe pairwise instead.
+
+Both models also answer "who must die" for true conflicts identically, via
+the earlier-VT-wins policy (paper Sec. 4.1: on a conflict, abort only
+descendants and data-dependent tasks — the cascade itself is computed by
+the simulator).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Set
+
+from .bloom import BloomSignature, H3HashFamily
+
+
+class ConflictPolicy:
+    """Base conflict model: tracks live speculative tasks.
+
+    Owners (task attempts) must expose ``order_key()`` plus ``sig_read`` /
+    ``sig_write`` attributes, which this model installs at registration.
+    """
+
+    name = "abstract"
+
+    def register(self, owner) -> None:
+        """Called when ``owner`` starts running speculatively."""
+        raise NotImplementedError
+
+    def unregister(self, owner) -> None:
+        """Called at commit or abort."""
+        raise NotImplementedError
+
+    def note_access(self, owner, line: int, is_write: bool) -> None:
+        """Record that ``owner`` touched ``line``."""
+        raise NotImplementedError
+
+    def false_conflict(self, owner, line: int, is_write: bool):
+        """Return a falsely-conflicting live task (or None).
+
+        A non-None result means a signature somewhere aliased this access;
+        the simulator aborts the later of (owner, result).
+        """
+        raise NotImplementedError
+
+
+class PreciseConflictModel(ConflictPolicy):
+    """Idealized precise conflict detection — never a false positive."""
+
+    name = "precise"
+
+    def __init__(self):
+        self._live: Set = set()
+
+    def register(self, owner) -> None:
+        self._live.add(owner)
+        owner.sig_read = None
+        owner.sig_write = None
+
+    def unregister(self, owner) -> None:
+        self._live.discard(owner)
+
+    def note_access(self, owner, line: int, is_write: bool) -> None:
+        pass
+
+    def false_conflict(self, owner, line: int, is_write: bool):
+        return None
+
+    @property
+    def live_count(self) -> int:
+        return len(self._live)
+
+
+class BloomConflictModel(ConflictPolicy):
+    """Per-task H3 Bloom signatures with sampled false positives."""
+
+    name = "bloom"
+
+    def __init__(self, bits: int = 2048, ways: int = 8, seed: int = 0,
+                 exact: bool = False):
+        self.family = H3HashFamily(k=ways, m_bits=bits, seed=seed)
+        self._rng = random.Random(seed ^ 0xB100F)
+        self.exact = exact
+        self._live: Set = set()
+        #: running sum of per-live-task false-positive rates (read+write sigs)
+        self._fp_sum = 0.0
+        #: spurious conflicts generated, for stats
+        self.false_positives = 0
+
+    # ------------------------------------------------------------------
+    def register(self, owner) -> None:
+        self._live.add(owner)
+        owner.sig_read = BloomSignature(self.family)
+        owner.sig_write = BloomSignature(self.family)
+        owner._fp_cached = 0.0
+
+    def unregister(self, owner) -> None:
+        if owner in self._live:
+            self._live.discard(owner)
+            self._fp_sum -= owner._fp_cached
+            if self._fp_sum < 0:
+                self._fp_sum = 0.0
+
+    def note_access(self, owner, line: int, is_write: bool) -> None:
+        sig = owner.sig_write if is_write else owner.sig_read
+        sig.insert(line)
+        new_fp = self._pair_rate(owner)
+        self._fp_sum += new_fp - owner._fp_cached
+        owner._fp_cached = new_fp
+
+    @staticmethod
+    def _pair_rate(owner) -> float:
+        """Probability an unrelated access false-hits either signature."""
+        fr = owner.sig_read.false_positive_rate()
+        fw = owner.sig_write.false_positive_rate()
+        return fr + fw - fr * fw
+
+    # ------------------------------------------------------------------
+    def false_conflict(self, owner, line: int, is_write: bool):
+        if len(self._live) <= 1:
+            return None
+        if self.exact:
+            return self._probe_exact(owner, line, is_write)
+        # Expected spurious hits for this access is the sum of the other
+        # live tasks' false-positive rates; sample one Bernoulli draw with
+        # that mean (clamped), then pick the victim weighted by rate.
+        p = self._fp_sum - owner._fp_cached
+        if p <= 0.0:
+            return None
+        if self._rng.random() >= min(p, 1.0):
+            return None
+        pick = self._rng.random() * p
+        acc = 0.0
+        chosen = None
+        for other in self._live:
+            if other is owner:
+                continue
+            acc += other._fp_cached
+            chosen = other
+            if acc >= pick:
+                break
+        if chosen is not None:
+            self.false_positives += 1
+        return chosen
+
+    def _probe_exact(self, owner, line: int, is_write: bool):
+        """Bit-accurate pairwise probe (quadratic; small runs only).
+
+        A write probes the other task's read and write signatures; a read
+        probes only its write signature — the standard RW/WW conflict
+        matrix. Only lines the prober did not truly touch can be *false*
+        hits; true hits are handled by the exact indices, so we report any
+        signature hit and let the caller dedupe against true conflicts.
+        """
+        for other in self._live:
+            if other is owner:
+                continue
+            if other.sig_write.maybe_contains(line) or (
+                    is_write and other.sig_read.maybe_contains(line)):
+                if not self._truly_touches(other, line, is_write):
+                    self.false_positives += 1
+                    return other
+        return None
+
+    @staticmethod
+    def _truly_touches(other, line: int, is_write: bool) -> bool:
+        if line in other.write_lines:
+            return True
+        return is_write and line in other.read_lines
+
+    @property
+    def live_count(self) -> int:
+        return len(self._live)
+
+
+def make_conflict_model(mode: str, *, bits: int = 2048, ways: int = 8,
+                        seed: int = 0, exact: bool = False) -> ConflictPolicy:
+    """Factory used by the simulator (``config.conflict_mode``)."""
+    if mode == "precise":
+        return PreciseConflictModel()
+    if mode == "bloom":
+        return BloomConflictModel(bits=bits, ways=ways, seed=seed, exact=exact)
+    raise ValueError(f"unknown conflict mode {mode!r}")

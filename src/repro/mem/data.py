@@ -1,0 +1,252 @@
+"""Typed speculative data structures for applications.
+
+These wrappers are the only way benchmarks touch memory. Each operation
+takes the executing task's context ``ctx`` (a :class:`repro.core.api.TaskContext`
+or the serial executor's context), which routes the access through
+speculative memory and the latency model.
+
+Values stored must be treated as immutable (ints, floats, strings, tuples):
+undo logs hold references, so mutating a stored object in place would leak
+through rollbacks.
+
+- :class:`SpecCell` — a single word.
+- :class:`SpecArray` — a fixed-size array of words.
+- :class:`SpecDict` — a key-value map with a deterministic key→slot oracle
+  (stands in for a hash table / B-tree index; conflicts are detected on the
+  value slots, like leaf-level conflict detection in an index).
+- :class:`SpecQueue` — a bounded FIFO in speculative memory. Used by the
+  STAMP "TM" variants to model *software* task queues, whose head/tail
+  contention is what Fractal's hardware task queues eliminate (Fig. 17).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..errors import AppError, MemoryError_
+from .address import Region
+from .memory import SpecMemory
+
+
+class _Absent:
+    """Sentinel for empty SpecDict slots."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "<absent>"
+
+
+ABSENT = _Absent()
+
+
+class SpecCell:
+    """One speculative word."""
+
+    __slots__ = ("mem", "region", "addr")
+
+    def __init__(self, mem: SpecMemory, region: Region):
+        self.mem = mem
+        self.region = region
+        self.addr = region.base
+
+    def get(self, ctx) -> Any:
+        return ctx.load(self.addr)
+
+    def set(self, ctx, value: Any) -> None:
+        ctx.store(self.addr, value)
+
+    def add(self, ctx, delta) -> Any:
+        """Read-modify-write increment; returns the new value."""
+        value = ctx.load(self.addr) + delta
+        ctx.store(self.addr, value)
+        return value
+
+    # non-speculative access for setup / inspection
+    def peek(self) -> Any:
+        return self.mem.peek(self.addr)
+
+    def poke(self, value: Any) -> None:
+        self.mem.poke(self.addr, value)
+
+
+class SpecArray:
+    """A fixed-size speculative array of words."""
+
+    __slots__ = ("mem", "region", "n")
+
+    def __init__(self, mem: SpecMemory, region: Region, n: int):
+        self.mem = mem
+        self.region = region
+        self.n = n
+
+    def __len__(self) -> int:
+        return self.n
+
+    def addr(self, i: int) -> int:
+        return self.region.addr(i)
+
+    def get(self, ctx, i: int) -> Any:
+        return ctx.load(self.region.addr(i))
+
+    def set(self, ctx, i: int, value: Any) -> None:
+        ctx.store(self.region.addr(i), value)
+
+    def add(self, ctx, i: int, delta) -> Any:
+        addr = self.region.addr(i)
+        value = ctx.load(addr) + delta
+        ctx.store(addr, value)
+        return value
+
+    # non-speculative access for setup / inspection
+    def peek(self, i: int) -> Any:
+        return self.mem.peek(self.region.addr(i))
+
+    def poke(self, i: int, value: Any) -> None:
+        self.mem.poke(self.region.addr(i), value)
+
+    def fill(self, values: Iterable[Any]) -> None:
+        for i, v in enumerate(values):
+            self.poke(i, v)
+
+    def snapshot(self) -> List[Any]:
+        return [self.peek(i) for i in range(self.n)]
+
+
+class SpecDict:
+    """Speculative key-value map with fixed capacity.
+
+    The key→slot mapping is a deterministic append-only oracle (a "perfect
+    hash"): the structural metadata of a real hash table is abstracted
+    away, while presence/value conflicts are fully detected on the value
+    slots (an empty slot holds :data:`ABSENT`). ``stride`` spaces slots
+    that many words apart; use the line size to give each key a private
+    cache line, or 1 to model densely packed buckets with false sharing.
+    """
+
+    __slots__ = ("mem", "region", "capacity", "stride", "_slots")
+
+    def __init__(self, mem: SpecMemory, region: Region, capacity: int,
+                 stride: int = 1):
+        if stride < 1:
+            raise MemoryError_("stride must be >= 1")
+        if capacity * stride > region.size:
+            raise MemoryError_(
+                f"region {region.name!r} too small for capacity {capacity} "
+                f"x stride {stride}")
+        self.mem = mem
+        self.region = region
+        self.capacity = capacity
+        self.stride = stride
+        self._slots: Dict[Any, int] = {}
+
+    def _slot_addr(self, key) -> int:
+        slot = self._slots.get(key)
+        if slot is None:
+            slot = len(self._slots)
+            if slot >= self.capacity:
+                raise AppError(
+                    f"SpecDict {self.region.name!r} capacity {self.capacity} "
+                    f"exhausted")
+            self._slots[key] = slot
+            # Fresh slots are born ABSENT, non-speculatively: allocating a
+            # slot is not a memory mutation, holding a value is.
+            self.mem.poke(self.region.addr(slot * self.stride), ABSENT)
+        return self.region.addr(slot * self.stride)
+
+    def get(self, ctx, key, default=None) -> Any:
+        value = ctx.load(self._slot_addr(key))
+        return default if value is ABSENT else value
+
+    def contains(self, ctx, key) -> bool:
+        return ctx.load(self._slot_addr(key)) is not ABSENT
+
+    def put(self, ctx, key, value: Any) -> None:
+        if value is ABSENT:
+            raise MemoryError_("cannot store the ABSENT sentinel")
+        ctx.store(self._slot_addr(key), value)
+
+    def put_if_absent(self, ctx, key, value: Any) -> bool:
+        """Insert unless present; True when inserted."""
+        addr = self._slot_addr(key)
+        if ctx.load(addr) is not ABSENT:
+            return False
+        ctx.store(addr, value)
+        return True
+
+    def delete(self, ctx, key) -> bool:
+        """Remove the key; True when it was present."""
+        addr = self._slot_addr(key)
+        if ctx.load(addr) is ABSENT:
+            return False
+        ctx.store(addr, ABSENT)
+        return True
+
+    # non-speculative inspection (post-run)
+    def items_nonspec(self) -> Iterable:
+        for key, slot in self._slots.items():
+            value = self.mem.peek(self.region.addr(slot * self.stride))
+            if value is not ABSENT:
+                yield key, value
+
+    def len_nonspec(self) -> int:
+        return sum(1 for _ in self.items_nonspec())
+
+    def peek(self, key, default=None) -> Any:
+        slot = self._slots.get(key)
+        if slot is None:
+            return default
+        value = self.mem.peek(self.region.addr(slot * self.stride))
+        return default if value is ABSENT else value
+
+    def poke(self, key, value: Any) -> None:
+        addr = self._slot_addr(key)
+        self.mem.poke(addr, value)
+
+
+class SpecQueue:
+    """A bounded FIFO queue held entirely in speculative memory.
+
+    Layout: word 0 = head index, word 1 = tail index, words 2.. = ring
+    buffer. Every push/pop reads and writes the index words, so concurrent
+    tasks using the queue serialize through conflicts — deliberately: this
+    is the software-task-queue bottleneck of STAMP's TM versions.
+    """
+
+    __slots__ = ("mem", "region", "capacity")
+
+    _HEAD = 0
+    _TAIL = 1
+    _BUF = 2
+
+    def __init__(self, mem: SpecMemory, region: Region, capacity: int):
+        if region.size < capacity + self._BUF:
+            raise MemoryError_("region too small for queue capacity")
+        self.mem = mem
+        self.region = region
+        self.capacity = capacity
+
+    def push(self, ctx, value: Any) -> None:
+        tail = ctx.load(self.region.addr(self._TAIL))
+        head = ctx.load(self.region.addr(self._HEAD))
+        if tail - head >= self.capacity:
+            raise AppError(f"SpecQueue {self.region.name!r} overflow")
+        ctx.store(self.region.addr(self._BUF + tail % self.capacity), value)
+        ctx.store(self.region.addr(self._TAIL), tail + 1)
+
+    def pop(self, ctx, default=None) -> Any:
+        head = ctx.load(self.region.addr(self._HEAD))
+        tail = ctx.load(self.region.addr(self._TAIL))
+        if head >= tail:
+            return default
+        value = ctx.load(self.region.addr(self._BUF + head % self.capacity))
+        ctx.store(self.region.addr(self._HEAD), head + 1)
+        return value
+
+    def size(self, ctx) -> int:
+        return (ctx.load(self.region.addr(self._TAIL))
+                - ctx.load(self.region.addr(self._HEAD)))
+
+    def size_nonspec(self) -> int:
+        return (self.mem.peek(self.region.addr(self._TAIL))
+                - self.mem.peek(self.region.addr(self._HEAD)))

@@ -1,0 +1,343 @@
+"""Versioned speculative memory (paper Sec. 4.1).
+
+:class:`SpecMemory` is the single shared memory of a simulated chip. Every
+speculative load/store flows through it:
+
+- **Eager version management** — stores update memory in place and log the
+  pre-image in the owner's undo log.
+- **Eager conflict detection, earlier-VT-wins** — an access by task T
+  immediately aborts every live later-VT task whose read/write set
+  conflicts with it (the simulator supplies the ``abort_cascade`` callback
+  that also kills descendants and data-dependent tasks).
+- **Speculative forwarding with dependence tracking** — a load returns the
+  latest (possibly still-speculative) value; the reader records a
+  dependence on the speculative writer so that the writer's abort cascades
+  to it (paper: "Swarm always forwards still-speculative data read by a
+  later task. On a conflict, Swarm aborts only descendants and
+  data-dependent tasks").
+
+Conflict *detection* happens at cache-line granularity (real false
+sharing); versioning and dependences are word-granular.
+
+Owners are task attempts; the protocol they must satisfy is documented on
+:class:`OwnerProtocol`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from ..errors import MemoryError_, SimulationError
+from .address import AddressSpace
+from .conflicts import ConflictPolicy, PreciseConflictModel
+from .undo_log import UndoLog
+
+
+class OwnerProtocol:
+    """What :class:`SpecMemory` requires of a speculative owner.
+
+    Attributes (installed by :meth:`SpecMemory.attach_owner`):
+
+    - ``undo`` (:class:`UndoLog`), ``reads`` / ``writes`` (addr→value, for
+      the serializability audit), ``read_lines`` / ``write_lines`` (sets),
+      ``deps`` / ``dependents`` (owner sets), ``sig_read`` / ``sig_write``.
+
+    Methods the owner class must provide:
+
+    - ``order_key()`` — current fractal-VT sort key; totally orders all
+      live owners and is consistent for the lifetime of each access chain.
+    - ``still_executing()`` — True while the owner's stores are conceptually
+      in flight (its finish event lies in the simulated future).
+    """
+
+
+@dataclass
+class AccessRecord:
+    """One access, as recorded for traces and latency accounting."""
+
+    addr: int
+    is_write: bool
+    latency: int
+
+
+class SpecMemory:
+    """The chip's shared memory with speculative versioning."""
+
+    def __init__(self, space: AddressSpace,
+                 conflict_model: Optional[ConflictPolicy] = None,
+                 default_value: Any = 0):
+        self.space = space
+        self.conflicts = conflict_model or PreciseConflictModel()
+        self.default = default_value
+        self._values: Dict[int, Any] = {}
+        # line → live speculative readers / VT-ordered writer chains
+        self._line_readers: Dict[int, Set] = {}
+        self._line_writers: Dict[int, List] = {}
+        # word → VT-ordered live speculative writer chain
+        self._word_writers: Dict[int, List] = {}
+        #: abort callback installed by the simulator: abort_cascade(victims,
+        #: reason) must roll every victim (and its cascade) back before
+        #: returning. Standalone/serial use may leave it unset as long as
+        #: no conflicts arise.
+        self.abort_cascade: Optional[Callable[[List, str], None]] = None
+        #: notified on every poke; the simulator folds mid-run
+        #: initialization pokes (fresh SpecDict slots) into the audit's
+        #: initial snapshot.
+        self.on_poke: Optional[Callable[[int, Any], None]] = None
+        # counters
+        self.n_loads = 0
+        self.n_stores = 0
+        self.n_true_conflicts = 0
+
+    # ------------------------------------------------------------------
+    # owner lifecycle
+    # ------------------------------------------------------------------
+    def attach_owner(self, owner) -> None:
+        """Initialize per-attempt speculative state on ``owner``."""
+        owner.undo = UndoLog()
+        owner.reads = {}
+        owner.writes = {}
+        owner.read_lines = set()
+        owner.write_lines = set()
+        owner.deps = set()
+        owner.dependents = set()
+        self.conflicts.register(owner)
+
+    def detach_owner(self, owner) -> None:
+        """Drop conflict-model tracking (commit and abort paths)."""
+        self.conflicts.unregister(owner)
+
+    # ------------------------------------------------------------------
+    # non-speculative access (initialization / result inspection)
+    # ------------------------------------------------------------------
+    def poke(self, addr: int, value: Any) -> None:
+        """Non-speculative store; only valid while no task speculates on
+        the address (initialization and between-phase setup)."""
+        if self._word_writers.get(addr):
+            raise MemoryError_(f"poke({addr}) while speculative writers exist")
+        self._values[addr] = value
+        if self.on_poke is not None:
+            self.on_poke(addr, value)
+
+    def peek(self, addr: int) -> Any:
+        """Non-speculative load of the current (possibly speculative) value."""
+        return self._values.get(addr, self.default)
+
+    def committed_snapshot(self) -> Dict[int, Any]:
+        """Memory contents with all live speculative writes undone.
+
+        Used by the auditor; O(words written speculatively).
+        """
+        snap = dict(self._values)
+        for addr, chain in self._word_writers.items():
+            if chain:
+                first = chain[0]
+                snap[addr] = first.undo._entries.get(addr, self.default)
+        return snap
+
+    # ------------------------------------------------------------------
+    # speculative access
+    # ------------------------------------------------------------------
+    def load(self, owner, addr: int) -> Any:
+        """Speculative load by ``owner``; may abort later conflicting tasks."""
+        self.n_loads += 1
+        line = self.space.line_of(addr)
+        key = owner.order_key()
+
+        chain = self._line_writers.get(line)
+        if chain:
+            victims = [w for w in chain
+                       if w is not owner and w.order_key() > key]
+            if victims:
+                self.n_true_conflicts += len(victims)
+                self._abort(victims, "read-write conflict")
+            self._abort_if_earlier_writer_running(owner, line, key)
+            if owner.aborted:
+                return self.default
+
+        self._sample_false_conflict(owner, line, is_write=False)
+        if owner.aborted:
+            # A sampled false positive against an earlier task killed the
+            # accessor itself; the caller unwinds via TaskAborted.
+            return self.default
+
+        value = self._values.get(addr, self.default)
+
+        wchain = self._word_writers.get(addr)
+        if wchain:
+            writer = wchain[-1]
+            if writer is not owner:
+                owner.deps.add(writer)
+                writer.dependents.add(owner)
+
+        if addr not in owner.writes and addr not in owner.reads:
+            owner.reads[addr] = value
+        self._line_readers.setdefault(line, set()).add(owner)
+        if line not in owner.read_lines:
+            owner.read_lines.add(line)
+            self.conflicts.note_access(owner, line, is_write=False)
+        return value
+
+    def store(self, owner, addr: int, value: Any) -> None:
+        """Speculative store by ``owner``; aborts later readers/writers."""
+        self.n_stores += 1
+        line = self.space.line_of(addr)
+        key = owner.order_key()
+
+        victims = []
+        readers = self._line_readers.get(line)
+        if readers:
+            victims.extend(r for r in readers
+                           if r is not owner and r.order_key() > key)
+        chain = self._line_writers.get(line)
+        if chain:
+            victims.extend(w for w in chain
+                           if w is not owner and w.order_key() > key
+                           and w not in victims)
+        if victims:
+            self.n_true_conflicts += len(victims)
+            self._abort(victims, "write conflict")
+        if chain:
+            self._abort_if_earlier_writer_running(owner, line, key)
+            if owner.aborted:
+                return
+
+        self._sample_false_conflict(owner, line, is_write=True)
+        if owner.aborted:
+            return
+
+        wchain = self._word_writers.setdefault(addr, [])
+        if wchain and wchain[-1] is not owner:
+            # write-after-speculative-write: conservative WAW dependence so
+            # the earlier writer's abort cascades here and undo chains stay
+            # suffix-restorable.
+            prev_writer = wchain[-1]
+            owner.deps.add(prev_writer)
+            prev_writer.dependents.add(owner)
+        owner.undo.record(addr, self._values.get(addr, self.default))
+        if not wchain or wchain[-1] is not owner:
+            wchain.append(owner)
+
+        self._values[addr] = value
+        owner.writes[addr] = value
+        lchain = self._line_writers.setdefault(line, [])
+        if not lchain or lchain[-1] is not owner:
+            lchain.append(owner)
+        if line not in owner.write_lines:
+            owner.write_lines.add(line)
+            self.conflicts.note_access(owner, line, is_write=True)
+
+    # ------------------------------------------------------------------
+    def _abort_if_earlier_writer_running(self, owner, line: int,
+                                         key) -> None:
+        """Kill the accessor when an earlier-VT task that wrote this line
+        is still mid-execution.
+
+        The simulator runs each task body atomically at dispatch, so an
+        earlier task's stores are already in memory even though, on real
+        hardware, they would land throughout its execution and abort any
+        later task that touched the line meanwhile. Treating the pending
+        store window as "access now = premature" restores the hardware's
+        contention behaviour: later tasks retry until the earlier writer
+        finishes, after which ordinary speculative forwarding applies
+        (Swarm forwards data of *finished*, still-uncommitted tasks).
+        """
+        chain = self._line_writers.get(line)
+        if not chain:
+            return
+        for w in chain:
+            if w is not owner and w.order_key() < key and w.still_executing():
+                # Tell the scheduler when the blocking store lands, so the
+                # retry happens once instead of spinning (one abort per
+                # in-flight writer, as on real hardware).
+                finish = getattr(w, "dispatch_time", 0) + getattr(w, "duration", 0)
+                owner.retry_after = max(getattr(owner, "retry_after", 0), finish)
+                self.n_true_conflicts += 1
+                self._abort([owner], "access during earlier writer")
+                return
+
+    def _abort(self, victims: List, reason: str) -> None:
+        if self.abort_cascade is None:
+            raise SimulationError(
+                f"conflict ({reason}) with no abort_cascade installed")
+        self.abort_cascade(victims, reason)
+
+    def _sample_false_conflict(self, owner, line: int, is_write: bool) -> None:
+        other = self.conflicts.false_conflict(owner, line, is_write)
+        if other is None or getattr(other, "aborted", False):
+            return
+        # Hardware aborts the later of the two; "both signatures matched"
+        # carries no direction, so VT decides.
+        victim = owner if owner.order_key() > other.order_key() else other
+        self._abort([victim], "false positive")
+
+    # ------------------------------------------------------------------
+    # rollback / commit
+    # ------------------------------------------------------------------
+    def rollback(self, owner) -> None:
+        """Undo ``owner``'s writes and drop its speculative footprint.
+
+        The caller (abort cascade) must invoke this latest-first across the
+        cascade so each owner is the most recent writer of its words.
+        """
+        for addr, prev in owner.undo.reversed_entries():
+            chain = self._word_writers.get(addr)
+            if not chain or chain[-1] is not owner:
+                raise SimulationError(
+                    f"rollback of non-tail writer at addr {addr}")
+            chain.pop()
+            if not chain:
+                del self._word_writers[addr]
+            self._values[addr] = prev
+        self._scrub(owner)
+
+    def commit(self, owner) -> None:
+        """Make ``owner``'s writes permanent and drop its footprint."""
+        for addr in owner.undo._entries:
+            chain = self._word_writers.get(addr)
+            if not chain or chain[0] is not owner:
+                raise SimulationError(
+                    f"commit of non-head writer at addr {addr}")
+            chain.pop(0)
+            if not chain:
+                del self._word_writers[addr]
+        self._scrub(owner)
+
+    def _scrub(self, owner) -> None:
+        for line in owner.read_lines:
+            readers = self._line_readers.get(line)
+            if readers:
+                readers.discard(owner)
+                if not readers:
+                    del self._line_readers[line]
+        for line in owner.write_lines:
+            chain = self._line_writers.get(line)
+            if chain:
+                try:
+                    chain.remove(owner)
+                except ValueError:
+                    pass
+                if not chain:
+                    del self._line_writers[line]
+        for dep in owner.deps:
+            dep.dependents.discard(owner)
+        for dependent in owner.dependents:
+            dependent.deps.discard(owner)
+        owner.deps = set()
+        owner.dependents = set()
+        self.detach_owner(owner)
+
+    # ------------------------------------------------------------------
+    @property
+    def live_speculative_words(self) -> int:
+        """Words currently holding uncommitted speculative values."""
+        return len(self._word_writers)
+
+    def assert_quiescent(self) -> None:
+        """Check that no speculative state remains (end-of-run invariant)."""
+        if self._word_writers or self._line_readers or self._line_writers:
+            raise SimulationError(
+                f"memory not quiescent: {len(self._word_writers)} spec words, "
+                f"{len(self._line_readers)} read lines, "
+                f"{len(self._line_writers)} written lines")

@@ -1,0 +1,135 @@
+"""Fractal virtual times (paper Sec. 4.2, Figs. 11-12).
+
+A fractal VT is the concatenation of one :class:`DomainVT` per enclosing
+domain, compared lexicographically with right-zero-padding: a task's VT is a
+strict prefix of every VT in the subdomain it creates, so the creator orders
+immediately before its subdomain's tasks, and the whole subdomain orders
+before any later task outside it. This single total order is what lets the
+architecture enforce Fractal's cross-domain atomicity with plain fine-grain
+(per-task) speculation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from ..errors import VTBudgetExceeded, VTError
+from .domain_vt import DomainVT
+
+
+class FractalVT:
+    """An immutable sequence of domain VTs with hardware bit accounting."""
+
+    __slots__ = ("domains", "_key")
+
+    def __init__(self, domains: Iterable[DomainVT]):
+        self.domains: Tuple[DomainVT, ...] = tuple(domains)
+        if not self.domains:
+            raise VTError("a fractal VT needs at least one domain VT")
+        self._key = tuple(d.key() for d in self.domains)
+
+    # --- ordering -------------------------------------------------------
+    def key(self) -> tuple:
+        """Lexicographic sort key. Python's tuple comparison makes a strict
+        prefix sort before its extensions, which implements the paper's
+        right-zero-padding (domain VT keys are never all-zero once a real
+        or lower-bound tiebreaker is set, because relative dispatch cycles
+        start at 1)."""
+        return self._key
+
+    def __lt__(self, other: "FractalVT") -> bool:
+        return self._key < other._key
+
+    def __le__(self, other: "FractalVT") -> bool:
+        return self._key <= other._key
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, FractalVT) and self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    # --- structure -------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Number of enclosing domains (1 = root-domain task)."""
+        return len(self.domains)
+
+    @property
+    def bits(self) -> int:
+        """Hardware bits this VT occupies (paper: 128-bit budget)."""
+        return sum(d.bits for d in self.domains)
+
+    @property
+    def last(self) -> DomainVT:
+        """The final (own-domain) component."""
+        return self.domains[-1]
+
+    def fits(self, budget_bits: int) -> bool:
+        """True when this VT fits the hardware bit budget."""
+        return self.bits <= budget_bits
+
+    def check_budget(self, budget_bits: int) -> "FractalVT":
+        """Return self, or raise :class:`VTBudgetExceeded` when over budget."""
+        if not self.fits(budget_bits):
+            raise VTBudgetExceeded(
+                f"fractal VT needs {self.bits} bits > budget {budget_bits}; "
+                f"zooming required")
+        return self
+
+    def is_prefix_of(self, other: "FractalVT") -> bool:
+        """True when ``self`` is a strict prefix of ``other`` — i.e. ``other``
+        lives in a domain (transitively) created by ``self``'s task."""
+        n = len(self._key)
+        return n < len(other._key) and other._key[:n] == self._key
+
+    def shares_domain_with(self, other: "FractalVT") -> bool:
+        """True when both tasks live in the same domain (same depth and
+        identical prefix above the final domain VT)."""
+        return (len(self._key) == len(other._key)
+                and self._key[:-1] == other._key[:-1])
+
+    # --- derivation (enqueue rules, paper Sec. 4.2) -----------------------
+    def child_same_domain(self, dvt: DomainVT) -> "FractalVT":
+        """VT prefix for a child enqueued to the caller's own domain: keep
+        everything above the final domain VT, replace the final one."""
+        return FractalVT(self.domains[:-1] + (dvt,))
+
+    def child_subdomain(self, dvt: DomainVT) -> "FractalVT":
+        """VT for a child enqueued to the caller's subdomain: the caller's
+        full fractal VT with the child's domain VT appended."""
+        return FractalVT(self.domains + (dvt,))
+
+    def child_superdomain(self, dvt: DomainVT) -> "FractalVT":
+        """VT for a child enqueued to the caller's superdomain: drop the
+        caller's final two domain VTs, append the child's."""
+        if len(self.domains) < 2:
+            raise VTError("root-domain tasks have no superdomain")
+        return FractalVT(self.domains[:-2] + (dvt,))
+
+    def finalized(self, tb) -> "FractalVT":
+        """This VT with the final domain VT's tiebreaker set at dispatch."""
+        return FractalVT(self.domains[:-1] + (self.domains[-1].with_tiebreaker(tb),))
+
+    # --- zooming (paper Sec. 4.3) ----------------------------------------
+    def drop_base(self) -> "FractalVT":
+        """Zoom-in shift: remove the (common) base domain VT."""
+        if len(self.domains) < 2:
+            raise VTError("cannot drop the only domain VT")
+        return FractalVT(self.domains[1:])
+
+    def with_base(self, dvt: DomainVT) -> "FractalVT":
+        """Zoom-out shift: prepend a restored base domain VT."""
+        return FractalVT((dvt,) + self.domains)
+
+    # --- tiebreaker compaction (paper Sec. 4.4) ----------------------------
+    def compacted(self, allocator) -> "FractalVT":
+        """This VT after one tiebreaker compaction walk (paper Sec. 4.4)."""
+        return FractalVT(d.compacted(allocator) for d in self.domains)
+
+    def final_tiebreaker_saturated(self) -> bool:
+        """True when compaction zeroed our own tiebreaker (abort condition)."""
+        return self.domains[-1].saturated()
+
+    def __repr__(self) -> str:
+        return " | ".join(repr(d) for d in self.domains)

@@ -1,0 +1,63 @@
+"""Domain ordering semantics (paper Sec. 3, Sec. 4.2 / Fig. 10)."""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import TimestampError
+
+
+class Ordering(enum.Enum):
+    """Ordering semantics of a Fractal domain.
+
+    ``UNORDERED`` domains have TM-like semantics: tasks are atomic and
+    isolated, and the architecture picks an arbitrary order that respects
+    parent-child dependences. ``ORDERED_32`` / ``ORDERED_64`` domains carry
+    program-visible timestamps of the given width, and tasks appear to run
+    in increasing timestamp order.
+    """
+
+    UNORDERED = "unordered"
+    ORDERED_32 = "ordered-32b"
+    ORDERED_64 = "ordered-64b"
+
+    @property
+    def is_ordered(self) -> bool:
+        """True for timestamp-ordered domains."""
+        return self is not Ordering.UNORDERED
+
+    @property
+    def timestamp_bits(self) -> int:
+        """Bits the program timestamp contributes to a domain VT (Fig. 10)."""
+        if self is Ordering.UNORDERED:
+            return 0
+        if self is Ordering.ORDERED_32:
+            return 32
+        return 64
+
+    @property
+    def max_timestamp(self) -> int:
+        """Largest representable timestamp (0 for unordered domains)."""
+        bits = self.timestamp_bits
+        return (1 << bits) - 1 if bits else 0
+
+    def validate_timestamp(self, timestamp) -> int:
+        """Check a program timestamp against this ordering; return it.
+
+        Unordered domains must not receive timestamps; ordered domains
+        require an integer in ``[0, max_timestamp]``.
+        """
+        if self is Ordering.UNORDERED:
+            if timestamp is not None:
+                raise TimestampError(
+                    f"unordered domain takes no timestamp, got {timestamp!r}")
+            return 0
+        if timestamp is None:
+            raise TimestampError(f"{self.value} domain requires a timestamp")
+        if not isinstance(timestamp, int) or isinstance(timestamp, bool):
+            raise TimestampError(
+                f"timestamp must be an int, got {type(timestamp).__name__}")
+        if not (0 <= timestamp <= self.max_timestamp):
+            raise TimestampError(
+                f"timestamp {timestamp} out of range for {self.value}")
+        return timestamp

@@ -1,0 +1,35 @@
+"""Shared fixtures for application tests.
+
+App tests run tiny inputs on few cores with the serializability audit on,
+so every run double-checks the engine end to end.
+"""
+
+import pytest
+
+from repro.bench.harness import run_app, run_serial
+from repro.config import SystemConfig
+
+
+def tiny_config(n_cores=8, **overrides):
+    return SystemConfig.with_cores(n_cores, **overrides)
+
+
+@pytest.fixture
+def run_checked():
+    """Run an app variant with audit + check; returns the AppRun."""
+
+    def runner(app, inp, variant, n_cores=8, max_cycles=20_000_000,
+               **overrides):
+        return run_app(app, inp, variant=variant, n_cores=n_cores,
+                       config=tiny_config(n_cores, **overrides),
+                       audit=True, check=True, max_cycles=max_cycles)
+
+    return runner
+
+
+@pytest.fixture
+def run_serial_checked():
+    def runner(app, inp, variant):
+        return run_serial(app, inp, variant=variant, check=True)
+
+    return runner

@@ -1,0 +1,95 @@
+"""Tests for color, msf, and maxflow (paper Secs. 2.1, 6.1, 6.2)."""
+
+import pytest
+
+from repro.apps import color, maxflow, msf
+
+
+class TestColor:
+    @pytest.mark.parametrize("variant", ["flat", "fractal", "swarm"])
+    def test_matches_greedy_oracle(self, run_checked, variant):
+        inp = color.make_input(scale=5, edge_factor=3)
+        run = run_checked(color, inp, variant)
+        assert run.stats.tasks_committed >= inp.n
+
+    @pytest.mark.parametrize("variant", ["flat", "fractal", "swarm"])
+    def test_serial_matches(self, run_serial_checked, variant):
+        inp = color.make_input(scale=4, edge_factor=3)
+        run_serial_checked(color, inp, variant)
+
+    def test_deterministic_across_core_counts(self, run_checked):
+        inp = color.make_input(scale=4, edge_factor=3)
+        a = run_checked(color, inp, "fractal", n_cores=4)
+        b = run_checked(color, inp, "fractal", n_cores=16)
+        assert (a.handles["color"].snapshot()
+                == b.handles["color"].snapshot())
+
+    def test_star_graph_two_colors(self, run_checked):
+        from repro.graphs import Graph
+        g = Graph(8)
+        for v in range(1, 8):
+            g.add_edge(0, v)
+        run = run_checked(color, g, "fractal")
+        assert color.check(run.handles, g) == 2
+
+
+class TestMsf:
+    @pytest.mark.parametrize("variant", ["flat", "fractal", "swarm"])
+    def test_matches_networkx(self, run_checked, variant):
+        inp = msf.make_input(scale=5, edge_factor=3)
+        run_checked(msf, inp, variant)
+
+    @pytest.mark.parametrize("variant", ["flat", "fractal", "swarm"])
+    def test_serial_matches(self, run_serial_checked, variant):
+        inp = msf.make_input(scale=4, edge_factor=3)
+        run_serial_checked(msf, inp, variant)
+
+    def test_disconnected_forest(self, run_checked):
+        from repro.graphs import Graph
+        g = Graph(6)
+        g.add_edge(0, 1, weight=1.0)
+        g.add_edge(1, 2, weight=2.0)
+        g.add_edge(3, 4, weight=3.0)
+        run = run_checked(msf, g, "fractal")
+        assert msf.check(run.handles, g) == 6.0
+
+    def test_parallel_edges_pick_cheapest(self, run_checked):
+        from repro.graphs import Graph
+        g = Graph(2)
+        g.add_edge(0, 1, weight=5.0)
+        run = run_checked(msf, g, "flat")
+        assert msf.check(run.handles, g) == 5.0
+
+
+class TestMaxflow:
+    @pytest.mark.parametrize("variant", ["flat", "fractal"])
+    def test_matches_networkx(self, run_checked, variant):
+        inp = maxflow.make_input(b=3, layers=3)
+        run_checked(maxflow, inp, variant)
+
+    @pytest.mark.parametrize("variant", ["flat", "fractal"])
+    def test_serial_matches(self, run_serial_checked, variant):
+        inp = maxflow.make_input(b=2, layers=3)
+        run_serial_checked(maxflow, inp, variant)
+
+    def test_without_global_relabel_still_correct(self):
+        from repro.bench.harness import run_app
+        inp = maxflow.make_input(b=2, layers=3)
+        run = run_app(maxflow, inp, variant="flat", n_cores=4,
+                      global_relabel=False, audit=True,
+                      max_cycles=20_000_000)
+        maxflow.check(run.handles, inp)
+
+    def test_different_seeds_different_flows(self):
+        a = maxflow.make_input(b=3, layers=3, seed=1)
+        b = maxflow.make_input(b=3, layers=3, seed=2)
+        assert (maxflow.reference_maxflow(a)
+                != maxflow.reference_maxflow(b))
+
+    def test_global_relabel_actually_fires(self, run_checked):
+        inp = maxflow.make_input(b=4, layers=4)
+        run = run_checked(maxflow, inp, "fractal", n_cores=16)
+        sim = run.handles["_sim"]
+        labels = {t.label for t in sim.commit_log}
+        assert "global_relabel" in labels
+        assert "bfs" in labels

@@ -1,0 +1,68 @@
+"""Tests for the silo transactional database (paper Secs. 2.2, 6.2)."""
+
+import pytest
+
+from repro.apps import silo
+
+
+@pytest.mark.parametrize("variant", ["flat", "swarm", "fractal"])
+class TestVariants:
+    def test_invariants_hold(self, run_checked, variant):
+        inp = silo.make_input(n_txns=32)
+        run_checked(silo, inp, variant)
+
+    def test_serial(self, run_serial_checked, variant):
+        inp = silo.make_input(n_txns=24)
+        run_serial_checked(silo, inp, variant)
+
+
+class TestWorkloads:
+    def test_payment_only(self, run_checked):
+        inp = silo.make_input(n_txns=24, payment_fraction=1.0)
+        run = run_checked(silo, inp, "fractal")
+        total = sum(t.amount for t in inp.txns)
+        W = inp.n_warehouses
+        got = sum(run.handles["wh_ytd"].peek(w * 8) for w in range(W))
+        assert got == total
+
+    def test_new_order_only(self, run_checked):
+        inp = silo.make_input(n_txns=24, payment_fraction=0.0)
+        run = run_checked(silo, inp, "fractal")
+        assert run.handles["orders"].len_nonspec() == 24
+
+    def test_order_lines_complete(self, run_checked):
+        inp = silo.make_input(n_txns=24, payment_fraction=0.0,
+                              items_per_order=3)
+        run = run_checked(silo, inp, "fractal")
+        assert run.handles["order_lines"].len_nonspec() == 72
+
+    def test_single_warehouse_contention(self, run_checked):
+        """All transactions on one warehouse: heavy conflicts, still
+        correct."""
+        inp = silo.make_input(n_warehouses=1, n_districts=1, n_txns=24)
+        run = run_checked(silo, inp, "fractal", n_cores=16)
+        assert run.stats.tasks_aborted > 0
+
+    def test_oids_dense_under_contention(self, run_checked):
+        inp = silo.make_input(n_warehouses=1, n_districts=1, n_txns=20,
+                              payment_fraction=0.0)
+        run = run_checked(silo, inp, "flat", n_cores=16)
+        assert run.handles["dist_next_oid"].peek(0) == 20
+
+
+class TestPaperShape:
+    def test_fractal_beats_flat_under_contention(self, run_checked):
+        """Fig. 4's shape at miniature scale: intra-transaction
+        parallelism pays off."""
+        inp = silo.make_input(n_txns=48)
+        flat = run_checked(silo, inp, "flat", n_cores=16)
+        frac = run_checked(silo, inp, "fractal", n_cores=16)
+        assert frac.makespan < flat.makespan
+
+    def test_swarm_close_to_fractal(self, run_checked):
+        """silo-swarm performs close to silo-fractal (paper: 4.5% slower;
+        we allow a loose factor at toy scale)."""
+        inp = silo.make_input(n_txns=48)
+        swarm = run_checked(silo, inp, "swarm", n_cores=16)
+        frac = run_checked(silo, inp, "fractal", n_cores=16)
+        assert swarm.makespan < 2.0 * frac.makespan

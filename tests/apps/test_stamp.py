@@ -1,0 +1,107 @@
+"""Tests for the eight STAMP ports (paper Sec. 6.4, Fig. 17)."""
+
+import pytest
+
+from repro.apps import (
+    bayes,
+    genome,
+    intruder,
+    kmeans,
+    labyrinth,
+    ssca2,
+    vacation,
+    yada,
+)
+
+ALL_STAMP = [ssca2, vacation, kmeans, genome, intruder, labyrinth, bayes,
+             yada]
+
+
+@pytest.mark.parametrize("app", ALL_STAMP,
+                         ids=[a.__name__.rsplit(".", 1)[-1]
+                              for a in ALL_STAMP])
+@pytest.mark.parametrize("variant", ["tm", "hwq", "fractal"])
+def test_variant_correct(app, variant, run_checked):
+    inp = app.make_input()
+    run_checked(app, inp, variant, n_cores=16)
+
+
+@pytest.mark.parametrize("app", [ssca2, vacation, kmeans, genome, intruder],
+                         ids=["ssca2", "vacation", "kmeans", "genome",
+                              "intruder"])
+def test_serial_reference(app, run_serial_checked):
+    run_serial_checked(app, app.make_input(), "hwq")
+
+
+class TestSoftwareQueueTax:
+    """The TM variants must lose time to work-queue serialization."""
+
+    @pytest.mark.parametrize("app", [ssca2, vacation, intruder],
+                             ids=["ssca2", "vacation", "intruder"])
+    def test_tm_slower_than_hwq(self, app, run_checked):
+        inp = app.make_input()
+        tm = run_checked(app, inp, "tm", n_cores=16)
+        hwq = run_checked(app, inp, "hwq", n_cores=16)
+        assert tm.makespan > hwq.makespan
+
+
+class TestNestingBenefit:
+    """labyrinth and bayes gain from Fractal nesting (Fig. 14/17)."""
+
+    def test_labyrinth_fractal_beats_flat(self, run_checked):
+        inp = labyrinth.make_input()
+        flat = run_checked(labyrinth, inp, "hwq", n_cores=16)
+        frac = run_checked(labyrinth, inp, "fractal", n_cores=16)
+        assert frac.makespan < flat.makespan
+
+    def test_bayes_fractal_beats_flat(self, run_checked):
+        inp = bayes.make_input()
+        flat = run_checked(bayes, inp, "hwq", n_cores=16)
+        frac = run_checked(bayes, inp, "fractal", n_cores=16)
+        assert frac.makespan < flat.makespan
+
+
+class TestAppSpecifics:
+    def test_kmeans_matches_integer_oracle(self, run_checked):
+        inp = kmeans.make_input(n_points=48, k=3, iterations=2)
+        run = run_checked(kmeans, inp, "hwq")
+        want_centroids, _ = kmeans.reference(inp)
+        for c in range(inp.k):
+            assert tuple(run.handles["centroid"].peek(c * 8)) \
+                == want_centroids[c]
+
+    def test_genome_rebuilds_the_genome(self, run_checked):
+        inp = genome.make_input(genome_len=100, segment_len=10)
+        run_checked(genome, inp, "fractal")
+
+    def test_intruder_finds_all_attacks(self, run_checked):
+        inp = intruder.make_input(n_flows=12, attack_fraction=0.5)
+        run = run_checked(intruder, inp, "hwq")
+        found = sum(run.handles["verdict"].peek(f * 8)
+                    for f in range(inp.n_flows))
+        assert found == sum(inp.attacks)
+
+    def test_labyrinth_routes_most_paths(self, run_checked):
+        inp = labyrinth.make_input(n_paths=6)
+        run = run_checked(labyrinth, inp, "fractal")
+        assert labyrinth.check(run.handles, inp) >= 4
+
+    def test_yada_clears_bad_triangles(self, run_checked):
+        inp = yada.make_input(n_points=40)
+        assert inp.bad, "fixture must contain bad triangles"
+        run = run_checked(yada, inp, "hwq")
+        assert yada.check(run.handles, inp) >= 1
+
+    def test_bayes_learns_edges(self, run_checked):
+        inp = bayes.make_input()
+        run = run_checked(bayes, inp, "fractal")
+        assert bayes.check(run.handles, inp) > 0
+
+    def test_vacation_books_resources(self, run_checked):
+        inp = vacation.make_input(n_txns=32, manage_fraction=0.0)
+        run = run_checked(vacation, inp, "hwq")
+        assert run.handles["bookings"].len_nonspec() > 0
+
+    def test_ssca2_empty_graph(self, run_checked):
+        inp = ssca2.make_input(n_nodes=8, n_edges=8)
+        run_checked(ssca2, inp, "hwq")

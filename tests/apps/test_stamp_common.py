@@ -1,0 +1,67 @@
+"""Tests for the STAMP driver machinery (software work queues vs HW)."""
+
+import pytest
+
+from repro import Simulator, SystemConfig
+from repro.apps.stamp.common import drive_workload, require_stamp_variant
+from repro.errors import AppError
+
+
+def make_sim(n_cores=8):
+    return Simulator(SystemConfig.with_cores(n_cores,
+                                             conflict_mode="precise"))
+
+
+class TestDriveWorkload:
+    @pytest.mark.parametrize("variant", ["tm", "hwq"])
+    def test_all_units_processed_once(self, variant):
+        sim = make_sim()
+        done = sim.array("done", 40 * 8)
+
+        def unit(ctx, uid):
+            done.add(ctx, uid * 8, 1)
+
+        drive_workload(sim, 40, unit, variant)
+        sim.run(max_cycles=10_000_000)
+        assert all(done.peek(u * 8) == 1 for u in range(40))
+
+    def test_tm_serializes_through_queue(self):
+        """The software queue pop makes every TM worker conflict."""
+        def run(variant):
+            sim = make_sim(16)
+            done = sim.array("done", 32 * 8)
+
+            def unit(ctx, uid):
+                done.add(ctx, uid * 8, 1)
+                ctx.compute(100)
+
+            drive_workload(sim, 32, unit, variant)
+            return sim.run(max_cycles=10_000_000)
+
+        tm = run("tm")
+        hwq = run("hwq")
+        assert tm.makespan > hwq.makespan
+        assert tm.tasks_aborted > hwq.tasks_aborted
+
+    def test_hint_fn_used(self):
+        sim = make_sim()
+        seen = []
+
+        def unit(ctx, uid):
+            ctx.compute(1)
+
+        drive_workload(sim, 8, unit, "hwq", hint_fn=lambda uid: uid * 10)
+        # hints recorded on root tasks
+        hints = {t.hint for t in sim._live}
+        assert hints == {u * 10 for u in range(8)}
+        sim.run()
+
+    def test_bad_variant_rejected(self):
+        with pytest.raises(AppError):
+            require_stamp_variant("nope")
+
+    def test_zero_units(self):
+        sim = make_sim()
+        drive_workload(sim, 0, lambda ctx, uid: None, "hwq")
+        stats = sim.run()
+        assert stats.tasks_committed == 0

@@ -1,0 +1,122 @@
+"""Tests for the five Swarm-suite benchmarks (paper Sec. 6.4)."""
+
+import pytest
+
+from repro.apps import astar, bfs, des, nocsim, sssp
+
+SUITE = [bfs, sssp, astar, des, nocsim]
+IDS = ["bfs", "sssp", "astar", "des", "nocsim"]
+
+
+@pytest.mark.parametrize("app", SUITE, ids=IDS)
+def test_correct_speculative(app, run_checked):
+    inp = app.make_input()
+    run = run_checked(app, inp, "swarm", n_cores=16)
+    assert run.stats.tasks_committed > 0
+
+
+@pytest.mark.parametrize("app", SUITE, ids=IDS)
+def test_correct_serial(app, run_serial_checked):
+    run_serial_checked(app, app.make_input(), "swarm")
+
+
+@pytest.mark.parametrize("app", [bfs, sssp, des, nocsim],
+                         ids=["bfs", "sssp", "des", "nocsim"])
+def test_deterministic_across_core_counts(app, run_checked):
+    """Timestamp order makes the results fully deterministic: any core
+    count must produce identical state. (astar is excluded: candidates
+    tied with the goal's f may or may not settle depending on arbitrary
+    tie order — only its settled values and goal are deterministic,
+    which `check` already enforces.)"""
+    inp = app.make_input()
+    a = run_checked(app, inp, "swarm", n_cores=4)
+    b = run_checked(app, inp, "swarm", n_cores=16)
+    key = {"bfs": "dist", "sssp": "dist",
+           "des": "wires", "nocsim": "delivered"}[app.__name__.rsplit(".", 1)[-1]]
+    assert a.handles[key].snapshot() == b.handles[key].snapshot()
+
+
+def test_astar_goal_deterministic(run_checked):
+    inp = astar.make_input()
+    a = run_checked(astar, inp, "swarm", n_cores=4)
+    b = run_checked(astar, inp, "swarm", n_cores=16)
+    goal = inp.node(*inp.goal) * 8
+    assert a.handles["g"].peek(goal) == b.handles["g"].peek(goal)
+
+
+class TestBfs:
+    def test_star_graph(self, run_checked):
+        from repro.graphs import Graph
+        g = Graph(9)
+        for v in range(1, 9):
+            g.add_edge(0, v)
+        run = run_checked(bfs, g, "swarm")
+        assert bfs.check(run.handles, g) == 9
+
+    def test_disconnected_component_unreached(self, run_checked):
+        from repro.graphs import Graph
+        g = Graph(6)
+        g.add_edge(0, 1)
+        g.add_edge(3, 4)
+        run = run_checked(bfs, g, "swarm")
+        assert bfs.check(run.handles, g) == 2
+
+
+class TestSssp:
+    def test_prefers_cheap_detour(self, run_checked):
+        from repro.graphs import Graph
+        g = Graph(4)
+        g.add_edge(0, 1, weight=10)
+        g.add_edge(0, 2, weight=1)
+        g.add_edge(2, 3, weight=1)
+        g.add_edge(3, 1, weight=1)
+        run = run_checked(sssp, g, "swarm")
+        sssp.check(run.handles, g)
+        assert run.handles["dist"].peek(1 * 8) == 3
+
+
+class TestAstar:
+    def test_open_grid_is_manhattan(self, run_checked):
+        inp = astar.make_input(width=8, height=8, wall_fraction=0.0)
+        run = run_checked(astar, inp, "swarm")
+        assert astar.check(run.handles, inp) == 14
+
+    def test_pruning_limits_settlements(self, run_checked):
+        """With a perfect-corridor heuristic, A* must settle far fewer
+        cells than the whole grid once the goal is found."""
+        inp = astar.make_input(width=16, height=16, wall_fraction=0.0)
+        run = run_checked(astar, inp, "swarm")
+        settled = sum(1 for i in range(inp.n)
+                      if run.handles["g"].peek(i * 8) != astar.UNSETTLED)
+        assert settled < inp.n
+
+
+class TestDes:
+    def test_quiescent_without_toggles(self, run_checked):
+        inp = des.make_input(n_toggles=0)
+        inp.toggles = []
+        run = run_checked(des, inp, "swarm")
+        assert run.stats.tasks_committed == 0
+
+    def test_single_toggle_propagates(self, run_checked):
+        inp = des.make_input(n_inputs=2, n_gates=6, n_toggles=1)
+        run = run_checked(des, inp, "swarm")
+        des.check(run.handles, inp)
+
+
+class TestNocsim:
+    def test_all_delivered_and_drained(self, run_checked):
+        inp = nocsim.make_input(mesh=4, n_packets=16)
+        run = run_checked(nocsim, inp, "swarm")
+        last = nocsim.check(run.handles, inp)
+        assert last > 0
+
+    def test_contention_delays_packets(self, run_checked):
+        """Many packets to one destination must serialize through its
+        neighbourhood: the last delivery is far beyond the Manhattan
+        minimum."""
+        inp = nocsim.make_input(mesh=4, n_packets=20, seed=3)
+        inp.packets = [(0, p % 15, 15) for p in range(12)]
+        run = run_checked(nocsim, inp, "swarm")
+        last = nocsim.check(run.handles, inp)
+        assert last >= 11  # 12 packets drain one per cycle at best

@@ -1,0 +1,58 @@
+"""Tests for the zooming microbenchmark (paper Sec. 6.3, Fig. 16)."""
+
+import pytest
+
+from repro.apps import zoomtree
+from repro.bench.harness import run_app
+from repro.config import SystemConfig
+
+
+def run_tree(fanout, depth, max_depth, n_cores=8):
+    inp = zoomtree.make_input(fanout=fanout, depth=depth)
+    cfg = SystemConfig.with_cores(
+        n_cores, vt_bits=zoomtree.vt_bits_for_depth(max_depth),
+        conflict_mode="precise")
+    run = run_app(zoomtree, inp, variant="fractal", n_cores=n_cores,
+                  config=cfg, audit=True, max_cycles=80_000_000)
+    zoomtree.check(run.handles, inp)
+    return run
+
+
+class TestCorrectness:
+    def test_all_tasks_run_without_zooming(self):
+        run = run_tree(fanout=3, depth=4, max_depth=4)
+        assert run.stats.zoom_ins == 0
+
+    def test_all_tasks_run_with_heavy_zooming(self):
+        run = run_tree(fanout=2, depth=5, max_depth=2)
+        assert run.stats.zoom_ins > 0
+        assert run.stats.zoom_outs > 0
+
+    def test_zoom_counts_balance(self):
+        run = run_tree(fanout=3, depth=5, max_depth=3)
+        # every zoom-in is eventually undone
+        assert run.stats.zoom_ins == run.stats.zoom_outs + \
+            run.handles["_sim"].zoom.depth
+        assert run.handles["_sim"].zoom.depth == 0
+
+    def test_depth_one_tree_is_trivial(self):
+        run = run_tree(fanout=4, depth=1, max_depth=2)
+        assert run.stats.tasks_committed == 1
+
+
+class TestPaperShape:
+    def test_more_levels_less_overhead(self):
+        """Fig. 16a: raising the supported depth D reduces makespan."""
+        d2 = run_tree(fanout=3, depth=5, max_depth=2, n_cores=1)
+        d3 = run_tree(fanout=3, depth=5, max_depth=3, n_cores=1)
+        d5 = run_tree(fanout=3, depth=5, max_depth=5, n_cores=1)
+        assert d5.makespan <= d3.makespan <= d2.makespan
+        assert d2.stats.zoom_ins > d3.stats.zoom_ins > 0
+
+    def test_no_zoom_config_never_zooms(self):
+        run = run_tree(fanout=4, depth=4, max_depth=8)
+        assert run.stats.zoom_ins == 0 and run.stats.zoom_outs == 0
+
+    def test_task_count(self):
+        inp = zoomtree.make_input(fanout=3, depth=4)
+        assert inp.total_tasks == 1 + 3 + 9 + 27

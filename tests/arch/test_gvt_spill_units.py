@@ -1,0 +1,70 @@
+"""Unit tests for the GVT arbiter and spill data structures."""
+
+import pytest
+
+from repro.arch.gvt import GvtArbiter
+from repro.arch.spill import CoalescerJob, SpillBuffer, SplitterJob
+from repro.vt import Ordering
+
+
+class _Task:
+    def __init__(self, key):
+        self._key = key
+
+    def order_key(self):
+        return self._key
+
+
+class TestGvtArbiter:
+    def test_next_tick_period(self):
+        arb = GvtArbiter(commit_interval=200)
+        assert arb.next_tick(1000) == 1200
+
+    def test_min_unfinished(self):
+        assert GvtArbiter.min_unfinished_key([(3,), None, (1,), (2,)]) == (1,)
+
+    def test_min_of_nothing_is_none(self):
+        assert GvtArbiter.min_unfinished_key([None, None]) is None
+
+    def test_base_stack_lifo(self):
+        arb = GvtArbiter()
+        arb.push_base(Ordering.ORDERED_32, 7)
+        arb.push_base(Ordering.UNORDERED, 0)
+        assert arb.zoom_depth == 2
+        assert arb.pop_base() == (Ordering.UNORDERED, 0)
+        assert arb.pop_base() == (Ordering.ORDERED_32, 7)
+        assert arb.zoom_ins == 2 and arb.zoom_outs == 2
+
+    def test_zoom_request_validation(self):
+        arb = GvtArbiter()
+        with pytest.raises(ValueError):
+            arb.request_zoom("sideways", object())
+
+
+class TestSpillBuffer:
+    def test_min_key(self):
+        buf = SpillBuffer([_Task((5,)), _Task((2,)), _Task((9,))])
+        assert buf.min_key() == (2,)
+
+    def test_empty_min_is_none(self):
+        assert SpillBuffer([]).min_key() is None
+
+    def test_remove(self):
+        a, b = _Task((1,)), _Task((2,))
+        buf = SpillBuffer([a, b])
+        assert buf.remove(a)
+        assert not buf.remove(a)
+        assert len(buf) == 1
+
+    def test_is_zoom_flag_defaults_false(self):
+        assert not SpillBuffer([]).is_zoom
+
+
+class TestJobs:
+    def test_kinds(self):
+        assert CoalescerJob(0, 10).kind == "coalescer"
+        assert SplitterJob(0, SpillBuffer([]), 10).kind == "splitter"
+
+    def test_repr_mentions_contents(self):
+        buf = SpillBuffer([_Task((1,))])
+        assert "1 tasks" in repr(SplitterJob(2, buf, 10))

@@ -1,0 +1,89 @@
+"""Tests for the NoC and cache latency models."""
+
+import pytest
+
+from repro.arch.cache import CacheModel
+from repro.arch.noc import MeshNoC
+from repro.config import LatencyModel
+from repro.mem.address import AddressSpace
+
+
+class TestMeshNoC:
+    def test_self_latency_zero(self):
+        noc = MeshNoC(4)
+        for t in range(16):
+            assert noc.latency(t, t) == 0
+
+    def test_straight_line(self):
+        noc = MeshNoC(4, hop_straight=1, hop_turn=2)
+        # tiles 0 and 3 are on the same row: 3 straight hops
+        assert noc.latency(0, 3) == 3
+
+    def test_turn_penalty(self):
+        noc = MeshNoC(4, hop_straight=1, hop_turn=2)
+        # tile 0 -> tile 5 is 1 right + 1 down: 2 hops + 1 turn extra
+        assert noc.latency(0, 5) == 3
+
+    def test_symmetry(self):
+        noc = MeshNoC(8)
+        for a, b in [(0, 63), (7, 56), (12, 33)]:
+            assert noc.latency(a, b) == noc.latency(b, a)
+
+    def test_round_trip(self):
+        noc = MeshNoC(4)
+        assert noc.round_trip(0, 3) == 2 * noc.latency(0, 3)
+
+    def test_worst_case_corner_to_corner(self):
+        noc = MeshNoC(8, hop_straight=1, hop_turn=2)
+        assert noc.latency(0, 63) == 14 + 1  # 14 hops, one turn
+
+
+class _Owner:
+    def __init__(self):
+        self.read_lines = set()
+        self.write_lines = set()
+
+
+class TestCacheModel:
+    def make(self, n_tiles=4, mem_miss_rate=0.0):
+        space = AddressSpace(64, n_tiles)
+        noc = MeshNoC(2)
+        lat = LatencyModel(mem_miss_rate=mem_miss_rate)
+        return space, CacheModel(space, noc, lat, seed=1)
+
+    def test_repeat_touch_hits_l1(self):
+        space, cache = self.make()
+        owner = _Owner()
+        addr = 100
+        owner.read_lines.add(space.line_of(addr))
+        assert cache.access_latency(owner, 0, addr) == 2
+
+    def test_local_first_touch_hits_l2(self):
+        space, cache = self.make()
+        owner = _Owner()
+        # find an address homed at tile 0
+        addr = next(a for a in range(0, 800, 8) if space.home_tile(a) == 0)
+        assert cache.access_latency(owner, 0, addr) == 7
+
+    def test_remote_first_touch_pays_noc(self):
+        space, cache = self.make()
+        owner = _Owner()
+        addr = next(a for a in range(0, 800, 8) if space.home_tile(a) == 3)
+        lat = cache.access_latency(owner, 0, addr)
+        assert lat == 9 + cache.noc.round_trip(0, 3)
+
+    def test_memory_misses_sampled(self):
+        space, cache = self.make(mem_miss_rate=1.0)
+        owner = _Owner()
+        assert cache.access_latency(owner, 0, 64) == 120
+        assert cache.mem_misses == 1
+
+    def test_counters(self):
+        space, cache = self.make()
+        owner = _Owner()
+        cache.access_latency(owner, 0, 64)
+        owner.read_lines.add(space.line_of(64))
+        cache.access_latency(owner, 0, 64)
+        snap = cache.snapshot()
+        assert snap["l1_hits"] == 1
+        assert snap["l2_hits"] + snap["l3_hits"] == 1

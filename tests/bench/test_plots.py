@@ -1,0 +1,48 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.bench.plots import ascii_chart, speedup_chart
+
+
+class TestAsciiChart:
+    def test_empty(self):
+        assert ascii_chart({}) == "(no data)"
+
+    def test_single_series_shape(self):
+        out = ascii_chart({"flat": [(1, 1.0), (4, 2.0), (16, 4.0)]},
+                          width=40, height=10)
+        lines = out.splitlines()
+        assert len(lines) == 10 + 3
+        assert "f = flat" in lines[-1]
+        assert "f" in out
+
+    def test_two_series_distinct_glyphs(self):
+        out = ascii_chart({"flat": [(1, 1.0)], "fractal": [(1, 2.0)]})
+        assert "f = flat" in out
+        # collision resolved with a fallback glyph
+        assert "= fractal" in out
+
+    def test_log_x(self):
+        out = ascii_chart({"s": [(1, 1.0), (256, 100.0)]}, logx=True)
+        assert "256" in out
+
+    def test_overlap_renders_star(self):
+        out = ascii_chart({"a": [(1, 1.0)], "b": [(1, 1.0)]},
+                          width=10, height=5)
+        assert "*" in out
+
+
+class TestSpeedupChart:
+    def test_from_runs(self):
+        class _Run:
+            def __init__(self, variant, n_cores, makespan):
+                self.variant = variant
+                self.n_cores = n_cores
+                self.makespan = makespan
+
+        runs = [_Run("flat", 1, 1000), _Run("flat", 4, 500),
+                _Run("fractal", 1, 1200), _Run("fractal", 4, 250)]
+        out = speedup_chart(runs, baseline_variant="flat")
+        assert "speedup vs cores" in out
+        assert "flat" in out and "fractal" in out

@@ -1,0 +1,18 @@
+"""Shared fixtures for execution-engine tests."""
+
+import pytest
+
+from repro import Ordering, Simulator, SystemConfig
+
+
+def small_config(n_cores=4, **overrides):
+    overrides.setdefault("conflict_mode", "precise")
+    return SystemConfig.with_cores(n_cores, **overrides)
+
+
+@pytest.fixture
+def make_sim():
+    def factory(n_cores=4, root_ordering=Ordering.UNORDERED, **overrides):
+        return Simulator(small_config(n_cores, **overrides),
+                         root_ordering=root_ordering)
+    return factory

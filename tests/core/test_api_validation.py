@@ -1,0 +1,124 @@
+"""Validation and error-path tests for the task-facing API."""
+
+import pytest
+
+from repro import Ordering, Simulator, SystemConfig
+from repro.errors import DomainError, FractalError, TimestampError
+
+
+def collect_error(sim, body):
+    """Run `body(ctx)` in a root task, returning the exception it raised."""
+    box = []
+
+    def t(ctx):
+        try:
+            body(ctx)
+        except FractalError as e:
+            box.append(e)
+
+    sim.enqueue_root(t)
+    sim.run()
+    return box[0] if box else None
+
+
+@pytest.fixture
+def sim(make_sim):
+    return make_sim(4)
+
+
+class TestComputeAndAccess:
+    def test_negative_compute_rejected(self, sim):
+        err = collect_error(sim, lambda ctx: ctx.compute(-1))
+        assert err is not None
+
+    def test_zero_compute_ok(self, sim):
+        assert collect_error(sim, lambda ctx: ctx.compute(0)) is None
+
+    def test_timestamp_none_in_unordered(self, sim):
+        seen = []
+        sim.enqueue_root(lambda ctx: seen.append(ctx.timestamp))
+        sim.run()
+        assert seen == [None]
+
+    def test_hint_visible(self, make_sim):
+        sim = make_sim(4)
+        seen = []
+        sim.enqueue_root(lambda ctx: seen.append(ctx.hint), hint=99)
+        sim.run()
+        assert seen == [99]
+
+
+class TestEnqueueValidation:
+    def test_unordered_enqueue_rejects_ts(self, sim):
+        err = collect_error(
+            sim, lambda ctx: ctx.enqueue(lambda c: None, ts=3))
+        assert isinstance(err, TimestampError)
+
+    def test_subdomain_ordering_type_checked(self, sim):
+        err = collect_error(
+            sim, lambda ctx: ctx.create_subdomain("ordered"))
+        assert isinstance(err, DomainError)
+
+    def test_ordered_sub_requires_ts(self, sim):
+        def body(ctx):
+            ctx.create_subdomain(Ordering.ORDERED_32)
+            ctx.enqueue_sub(lambda c: None)
+
+        assert isinstance(collect_error(sim, body), TimestampError)
+
+    def test_unordered_sub_rejects_ts(self, sim):
+        def body(ctx):
+            ctx.create_subdomain(Ordering.UNORDERED)
+            ctx.enqueue_sub(lambda c: None, ts=1)
+
+        assert isinstance(collect_error(sim, body), TimestampError)
+
+    def test_ts_out_of_32bit_range(self, make_sim):
+        sim = make_sim(4, root_ordering=Ordering.ORDERED_32)
+        with pytest.raises(TimestampError):
+            sim.enqueue_root(lambda ctx: None, ts=2 ** 32)
+
+    def test_64bit_root_accepts_wide_ts(self, make_sim):
+        sim = make_sim(4, root_ordering=Ordering.ORDERED_64)
+        sim.enqueue_root(lambda ctx: None, ts=2 ** 40)
+        stats = sim.run()
+        assert stats.tasks_committed == 1
+
+    def test_super_ts_before_creator_rejected(self, make_sim):
+        sim = make_sim(4, root_ordering=Ordering.ORDERED_32)
+        errors = []
+
+        def inner(ctx):
+            try:
+                ctx.enqueue_super(lambda c: None, ts=1)
+            except DomainError as e:
+                errors.append(e)
+
+        def outer(ctx):
+            ctx.create_subdomain(Ordering.UNORDERED)
+            ctx.enqueue_sub(inner)
+
+        sim.enqueue_root(outer, ts=5)
+        sim.run()
+        assert errors  # ts 1 precedes the creator's ts 5
+
+
+class TestExceptionHygiene:
+    def test_app_exceptions_propagate(self, sim):
+        class Boom(Exception):
+            pass
+
+        def t(ctx):
+            raise Boom("app bug")
+
+        sim.enqueue_root(t)
+        with pytest.raises(Boom):
+            sim.run()
+
+    def test_labels_default_to_function_name(self, sim):
+        def my_named_task(ctx):
+            pass
+
+        task = sim.enqueue_root(my_named_task)
+        assert task.label == "my_named_task"
+        sim.run()

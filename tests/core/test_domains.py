@@ -1,0 +1,227 @@
+"""Tests for Fractal domain semantics: ordering, atomicity, composition
+(paper Sec. 3)."""
+
+import pytest
+
+from repro import Ordering, Simulator, SystemConfig
+from repro.errors import DomainError, TimestampError
+
+
+class TestOrderedRootDomain:
+    def test_timestamp_order_respected(self, make_sim):
+        sim = make_sim(8, root_ordering=Ordering.ORDERED_32)
+        log = sim.array("log", 16)
+        pos = sim.cell("pos", 0)
+
+        def t(ctx, i):
+            p = pos.get(ctx)
+            log.set(ctx, p, i)
+            pos.set(ctx, p + 1)
+
+        # enqueue out of order; they must appear to run in timestamp order
+        for i in reversed(range(10)):
+            sim.enqueue_root(t, i, ts=i)
+        sim.run()
+        assert log.snapshot()[:10] == list(range(10))
+        sim.audit()
+
+    def test_ordered_root_requires_ts(self, make_sim):
+        sim = make_sim(root_ordering=Ordering.ORDERED_32)
+        with pytest.raises(TimestampError):
+            sim.enqueue_root(lambda ctx: None)
+
+    def test_unordered_root_rejects_ts(self, make_sim):
+        sim = make_sim()
+        with pytest.raises(TimestampError):
+            sim.enqueue_root(lambda ctx: None, ts=1)
+
+    def test_child_ts_must_not_precede_parent(self, make_sim):
+        sim = make_sim(root_ordering=Ordering.ORDERED_32)
+        errors = []
+
+        def child(ctx):
+            pass
+
+        def parent(ctx):
+            try:
+                ctx.enqueue(child, ts=ctx.timestamp - 1)
+            except DomainError as e:
+                errors.append(str(e))
+
+        sim.enqueue_root(parent, ts=5)
+        sim.run()
+        assert errors and "precedes" in errors[0]
+
+    def test_same_ts_children_respect_parent_order(self, make_sim):
+        sim = make_sim(8, root_ordering=Ordering.ORDERED_32)
+        log = sim.array("log", 8)
+        pos = sim.cell("pos", 0)
+
+        def leaf(ctx, tag):
+            p = pos.get(ctx)
+            log.set(ctx, p, tag)
+            pos.set(ctx, p + 1)
+
+        def parent(ctx, tag):
+            leaf(ctx, tag)
+            ctx.enqueue(leaf, tag + 100, ts=ctx.timestamp)
+
+        sim.enqueue_root(parent, 1, ts=1)
+        sim.run()
+        snap = log.snapshot()
+        assert snap.index(1) < snap.index(101)  # child after parent
+
+
+class TestSubdomains:
+    def test_create_subdomain_once(self, make_sim):
+        sim = make_sim()
+        errors = []
+
+        def t(ctx):
+            ctx.create_subdomain(Ordering.UNORDERED)
+            try:
+                ctx.create_subdomain(Ordering.UNORDERED)
+            except DomainError as e:
+                errors.append(str(e))
+
+        sim.enqueue_root(t)
+        sim.run()
+        assert errors and "exactly once" in errors[0]
+
+    def test_enqueue_sub_requires_create(self, make_sim):
+        sim = make_sim()
+        errors = []
+
+        def t(ctx):
+            try:
+                ctx.enqueue_sub(lambda c: None)
+            except DomainError as e:
+                errors.append(str(e))
+
+        sim.enqueue_root(t)
+        sim.run()
+        assert errors
+
+    def test_root_has_no_superdomain(self, make_sim):
+        sim = make_sim()
+        errors = []
+
+        def t(ctx):
+            try:
+                ctx.enqueue_super(lambda c: None)
+            except DomainError as e:
+                errors.append(str(e))
+
+        sim.enqueue_root(t)
+        sim.run()
+        assert errors and "superdomain" in errors[0]
+
+    def test_ordered_subdomain_runs_in_ts_order(self, make_sim):
+        sim = make_sim(8)
+        log = sim.array("log", 8)
+        pos = sim.cell("pos", 0)
+
+        def step(ctx, i):
+            p = pos.get(ctx)
+            log.set(ctx, p, i)
+            pos.set(ctx, p + 1)
+
+        def txn(ctx):
+            ctx.create_subdomain(Ordering.ORDERED_32)
+            for i in reversed(range(5)):
+                ctx.enqueue_sub(step, i, ts=i)
+
+        sim.enqueue_root(txn)
+        sim.run()
+        assert log.snapshot()[:5] == [0, 1, 2, 3, 4]
+
+    def test_enqueue_super_delegation(self, make_sim):
+        """A subdomain task can delegate future same-level work upward
+        (paper Fig. 7: K enqueues L into B's subdomain)."""
+        sim = make_sim(4)
+        log = sim.array("log", 8)
+        pos = sim.cell("pos", 0)
+
+        def mark(ctx, tag):
+            p = pos.get(ctx)
+            log.set(ctx, p, tag)
+            pos.set(ctx, p + 1)
+
+        def inner(ctx):
+            mark(ctx, "inner")
+            ctx.enqueue_super(mark, "delegated", ts=9)
+
+        def mid(ctx):
+            mark(ctx, "mid")
+            ctx.create_subdomain(Ordering.UNORDERED)
+            ctx.enqueue_sub(inner)
+
+        def top(ctx):
+            ctx.create_subdomain(Ordering.ORDERED_32)
+            ctx.enqueue_sub(mid, ts=1)
+
+        sim.enqueue_root(top)
+        sim.run()
+        snap = [v for v in log.snapshot() if v != 0]
+        assert snap == ["mid", "inner", "delegated"]
+
+
+class TestDomainAtomicity:
+    def test_subdomain_atomic_with_creator(self, make_sim):
+        """Tasks outside a domain must never observe its partial effects:
+        with two transactions each writing a two-element record via
+        subdomain tasks, every reader sees a consistent record."""
+        sim = make_sim(16)
+        rec = sim.array("rec", 16)  # two words, line-aligned padding
+        bad = sim.cell("bad", 0)
+
+        def write_half(ctx, idx, value):
+            rec.set(ctx, idx, value)
+
+        def txn(ctx, value):
+            ctx.create_subdomain(Ordering.UNORDERED)
+            ctx.enqueue_sub(write_half, 0, value)
+            ctx.enqueue_sub(write_half, 8, value)
+
+        def check(ctx):
+            a = rec.get(ctx, 0)
+            b = rec.get(ctx, 8)
+            if a != b:
+                bad.add(ctx, 1)
+
+        for v in range(1, 6):
+            sim.enqueue_root(txn, v)
+            sim.enqueue_root(check)
+        sim.run()
+        assert bad.peek() == 0
+        assert rec.peek(0) == rec.peek(8)
+        sim.audit()
+
+    def test_nested_two_levels_atomic(self, make_sim):
+        sim = make_sim(8)
+        rec = sim.array("rec", 24)
+        bad = sim.cell("bad", 0)
+
+        def leaf(ctx, idx, v):
+            rec.set(ctx, idx, v)
+
+        def mid(ctx, base, v):
+            ctx.create_subdomain(Ordering.UNORDERED)
+            ctx.enqueue_sub(leaf, base, v)
+            ctx.enqueue_sub(leaf, base + 8, v)
+
+        def txn(ctx, v):
+            ctx.create_subdomain(Ordering.UNORDERED)
+            ctx.enqueue_sub(mid, 0, v)
+
+        def check(ctx):
+            if rec.get(ctx, 0) != rec.get(ctx, 8):
+                bad.add(ctx, 1)
+
+        for v in (1, 2, 3):
+            sim.enqueue_root(txn, v)
+            sim.enqueue_root(check)
+        stats = sim.run()
+        assert bad.peek() == 0
+        assert stats.max_depth == 3
+        sim.audit()

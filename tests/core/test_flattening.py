@@ -1,0 +1,98 @@
+"""Tests for nesting flattening (paper Sec. 6.3 future work)."""
+
+import pytest
+
+from repro import Ordering, Simulator, SystemConfig
+
+
+def make_sim(flatten=True, threshold=2, vt_bits=128, n_cores=4):
+    cfg = SystemConfig.with_cores(
+        n_cores, flatten_nesting=flatten,
+        flatten_depth_threshold=threshold, vt_bits=vt_bits,
+        conflict_mode="precise")
+    return Simulator(cfg)
+
+
+def deep_program(sim, depth, flattenable, counter):
+    def node(ctx, level):
+        counter.add(ctx, 1)
+        if level + 1 < depth:
+            ctx.create_subdomain(Ordering.UNORDERED,
+                                 flattenable=flattenable)
+            for _ in range(2):
+                ctx.enqueue_sub(node, level + 1)
+
+    sim.enqueue_root(node, 0)
+
+
+class TestFlattening:
+    def test_flattened_program_runs_all_tasks(self):
+        sim = make_sim()
+        counter = sim.cell("c", 0)
+        deep_program(sim, depth=6, flattenable=True, counter=counter)
+        stats = sim.run(max_cycles=10_000_000)
+        assert counter.peek() == 2 ** 6 - 1
+        assert stats.domains_flattened > 0
+        assert stats.max_depth <= 3  # threshold 2 caps logical depth
+
+    def test_non_flattenable_domains_untouched(self):
+        sim = make_sim()
+        counter = sim.cell("c", 0)
+        deep_program(sim, depth=5, flattenable=False, counter=counter)
+        stats = sim.run(max_cycles=10_000_000)
+        assert counter.peek() == 2 ** 5 - 1
+        assert stats.domains_flattened == 0
+        assert stats.max_depth == 5
+
+    def test_flattening_off_by_default(self):
+        sim = Simulator(SystemConfig.with_cores(4, conflict_mode="precise"))
+        counter = sim.cell("c", 0)
+        deep_program(sim, depth=5, flattenable=True, counter=counter)
+        stats = sim.run(max_cycles=10_000_000)
+        assert stats.domains_flattened == 0
+
+    def test_ordered_subdomains_never_flattened(self):
+        """Flattening an ordered subdomain would lose its internal order;
+        only unordered decomposition levels are elided."""
+        sim = make_sim()
+        log = sim.array("log", 8)
+        pos = sim.cell("pos", 0)
+
+        def leaf(ctx, i):
+            p = pos.get(ctx)
+            log.set(ctx, p, i)
+            pos.set(ctx, p + 1)
+
+        def nest(ctx, level):
+            if level < 3:
+                ctx.create_subdomain(Ordering.UNORDERED, flattenable=True)
+                ctx.enqueue_sub(nest, level + 1)
+            else:
+                ctx.create_subdomain(Ordering.ORDERED_32, flattenable=True)
+                for i in reversed(range(4)):
+                    ctx.enqueue_sub(leaf, i, ts=i)
+
+        sim.enqueue_root(nest, 0)
+        stats = sim.run(max_cycles=10_000_000)
+        assert log.snapshot()[:4] == [0, 1, 2, 3]
+
+    def test_flattening_avoids_zooming(self):
+        """The Sec. 6.3 motivation: over-nested flattenable code under a
+        tight VT budget zooms constantly; flattening removes the zooms."""
+        from repro.apps import zoomtree
+        from repro.bench.harness import run_app
+
+        inp = zoomtree.make_input(fanout=2, depth=6)
+        cfg_plain = SystemConfig.with_cores(
+            4, vt_bits=64, conflict_mode="precise")
+        cfg_flat = cfg_plain.replace(flatten_nesting=True,
+                                     flatten_depth_threshold=2)
+        plain = run_app(zoomtree, inp, variant="fractal", n_cores=4,
+                        config=cfg_plain, max_cycles=80_000_000)
+        flat = run_app(zoomtree, inp, variant="fractal", n_cores=4,
+                       config=cfg_flat, max_cycles=80_000_000,
+                       flattenable=True)
+        assert plain.stats.zoom_ins > 0
+        assert flat.stats.zoom_ins == 0
+        assert flat.makespan < plain.makespan
+        assert flat.stats.domains_flattened > 0

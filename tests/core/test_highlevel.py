@@ -1,0 +1,248 @@
+"""Tests for the high-level interface (paper Table 1)."""
+
+import pytest
+
+from repro import (
+    Ordering,
+    callcc,
+    enqueue_all,
+    enqueue_all_ordered,
+    forall,
+    forall_ordered,
+    forall_reduce,
+    forall_reduce_ordered,
+    parallel,
+    parallel_reduce,
+)
+from repro.core import highlevel
+from repro.errors import DomainError
+
+
+class TestForall:
+    def test_forall_runs_all_iterations(self, make_sim):
+        sim = make_sim(8)
+        arr = sim.array("a", 10)
+
+        def body(ctx, i):
+            arr.set(ctx, i, i * 2)
+
+        sim.enqueue_root(lambda ctx: forall(ctx, range(10), body))
+        sim.run()
+        assert arr.snapshot() == [i * 2 for i in range(10)]
+
+    def test_forall_then_runs_after_all(self, make_sim):
+        sim = make_sim(8)
+        arr = sim.array("a", 8)
+        total = sim.cell("total", 0)
+
+        def body(ctx, i):
+            arr.set(ctx, i, 1)
+
+        def then(ctx):
+            total.set(ctx, sum(arr.get(ctx, i) for i in range(8)))
+
+        sim.enqueue_root(lambda ctx: forall(ctx, range(8), body, then=then))
+        sim.run()
+        assert total.peek() == 8
+
+    def test_forall_is_atomic_with_creator(self, make_sim):
+        sim = make_sim(8)
+        arr = sim.array("a", 16)
+        bad = sim.cell("bad", 0)
+
+        def writer(ctx):
+            forall(ctx, [0, 8], lambda c, i: arr.set(c, i, 7))
+
+        def reader(ctx):
+            if arr.get(ctx, 0) != arr.get(ctx, 8):
+                bad.add(ctx, 1)
+
+        sim.enqueue_root(writer)
+        sim.enqueue_root(reader)
+        sim.run()
+        assert bad.peek() == 0
+
+
+class TestForallOrdered:
+    def test_iteration_order(self, make_sim):
+        sim = make_sim(8)
+        log = sim.array("log", 6)
+        pos = sim.cell("pos", 0)
+
+        def body(ctx, i):
+            p = pos.get(ctx)
+            log.set(ctx, p, i)
+            pos.set(ctx, p + 1)
+
+        sim.enqueue_root(
+            lambda ctx: forall_ordered(ctx, [5, 3, 1, 2, 4, 0], body))
+        sim.run()
+        assert log.snapshot() == [5, 3, 1, 2, 4, 0]  # iteration index order
+
+    def test_then_runs_last(self, make_sim):
+        sim = make_sim(4)
+        cell = sim.cell("c", 0)
+
+        sim.enqueue_root(lambda ctx: forall_ordered(
+            ctx, range(4), lambda c, i: cell.add(c, 1),
+            then=lambda c: cell.set(c, cell.get(c) * 10)))
+        sim.run()
+        assert cell.peek() == 40
+
+
+class TestReductions:
+    def test_forall_reduce_sum(self, make_sim):
+        sim = make_sim(8)
+        acc = sim.cell("acc", 0)
+        sim.enqueue_root(lambda ctx: forall_reduce(
+            ctx, range(10), lambda c, i: i, acc))
+        sim.run()
+        assert acc.peek() == 45
+
+    def test_forall_reduce_custom_combine(self, make_sim):
+        sim = make_sim(8)
+        acc = sim.cell("acc", 1)
+        sim.enqueue_root(lambda ctx: forall_reduce(
+            ctx, [2, 3, 4], lambda c, i: i, acc,
+            combine=lambda a, b: a * b))
+        sim.run()
+        assert acc.peek() == 24
+
+    def test_forall_reduce_with_then(self, make_sim):
+        sim = make_sim(8)
+        acc = sim.cell("acc", 0)
+        out = sim.cell("out", 0)
+        sim.enqueue_root(lambda ctx: forall_reduce(
+            ctx, range(5), lambda c, i: i, acc,
+            then=lambda c: out.set(c, acc.get(c) + 100)))
+        sim.run()
+        assert out.peek() == 110
+
+    def test_forall_reduce_ordered(self, make_sim):
+        sim = make_sim(8)
+        acc = sim.cell("acc", 0)
+        sim.enqueue_root(lambda ctx: forall_reduce_ordered(
+            ctx, range(6), lambda c, i: i * i, acc))
+        sim.run()
+        assert acc.peek() == 55
+
+    def test_none_contribution_skipped(self, make_sim):
+        sim = make_sim(4)
+        acc = sim.cell("acc", 0)
+        sim.enqueue_root(lambda ctx: forall_reduce(
+            ctx, range(6), lambda c, i: i if i % 2 else None, acc))
+        sim.run()
+        assert acc.peek() == 1 + 3 + 5
+
+
+class TestParallel:
+    def test_parallel_blocks(self, make_sim):
+        sim = make_sim(4)
+        arr = sim.array("a", 3)
+        sim.enqueue_root(lambda ctx: parallel(
+            ctx,
+            lambda c: arr.set(c, 0, 1),
+            lambda c: arr.set(c, 1, 2),
+            lambda c: arr.set(c, 2, 3)))
+        sim.run()
+        assert arr.snapshot() == [1, 2, 3]
+
+    def test_parallel_with_then(self, make_sim):
+        sim = make_sim(4)
+        arr = sim.array("a", 2)
+        out = sim.cell("out", 0)
+        sim.enqueue_root(lambda ctx: parallel(
+            ctx,
+            lambda c: arr.set(c, 0, 5),
+            lambda c: arr.set(c, 1, 6),
+            then=lambda c: out.set(c, arr.get(c, 0) + arr.get(c, 1))))
+        sim.run()
+        assert out.peek() == 11
+
+    def test_parallel_needs_blocks(self, make_sim):
+        sim = make_sim(4)
+        errors = []
+
+        def t(ctx):
+            try:
+                parallel(ctx)
+            except DomainError as e:
+                errors.append(e)
+
+        sim.enqueue_root(t)
+        sim.run()
+        assert errors
+
+    def test_parallel_reduce(self, make_sim):
+        sim = make_sim(4)
+        acc = sim.cell("acc", 0)
+        sim.enqueue_root(lambda ctx: parallel_reduce(
+            ctx, [lambda c: 10, lambda c: 20, lambda c: 30], acc))
+        sim.run()
+        assert acc.peek() == 60
+
+
+class TestEnqueueAll:
+    def test_enqueue_all(self, make_sim):
+        sim = make_sim(4)
+        arr = sim.array("a", 4)
+
+        def t(ctx, i):
+            arr.set(ctx, i, i + 1)
+
+        sim.enqueue_root(lambda ctx: enqueue_all(
+            ctx, t, [(i,) for i in range(4)]))
+        sim.run()
+        assert arr.snapshot() == [1, 2, 3, 4]
+
+    def test_enqueue_all_ordered_range(self, make_sim):
+        from repro import Simulator, SystemConfig
+        sim = Simulator(SystemConfig.with_cores(4, conflict_mode="precise"),
+                        root_ordering=Ordering.ORDERED_32)
+        log = sim.array("log", 4)
+        pos = sim.cell("pos", 0)
+
+        def t(ctx, i):
+            p = pos.get(ctx)
+            log.set(ctx, p, i)
+            pos.set(ctx, p + 1)
+
+        def launcher(ctx):
+            enqueue_all_ordered(ctx, t, [(i,) for i in (9, 8, 7)],
+                                start_ts=ctx.timestamp + 1)
+
+        sim.enqueue_root(launcher, ts=0)
+        sim.run()
+        assert log.snapshot()[:3] == [9, 8, 7]
+
+
+class TestTaskAndCallcc:
+    def test_task_splits_function(self, make_sim):
+        sim = make_sim(4)
+        cell = sim.cell("c", 0)
+
+        def rest(ctx, x):
+            cell.set(ctx, x * 2)
+
+        def main(ctx):
+            cell.set(ctx, 1)
+            highlevel.task(ctx, rest, 21)
+
+        sim.enqueue_root(main)
+        sim.run()
+        assert cell.peek() == 42
+
+    def test_callcc(self, make_sim):
+        sim = make_sim(4)
+        cell = sim.cell("c", 0)
+
+        def helper(ctx, cc):
+            cell.set(ctx, 10)
+            cc()
+
+        def cont(ctx):
+            cell.set(ctx, cell.get(ctx) + 5)
+
+        sim.enqueue_root(lambda ctx: callcc(ctx, helper, cont))
+        sim.run()
+        assert cell.peek() == 15

@@ -1,0 +1,90 @@
+"""Integration tests: spatial hints and conflict-detection modes at the
+simulator level."""
+
+import pytest
+
+from repro import Simulator, SystemConfig
+
+
+def build_contended(sim, n_groups=4, tasks_per_group=16, work=80):
+    """Tasks in the same group RMW the same cell; hints name the group."""
+    cells = [sim.cell(f"g{g}", 0) for g in range(n_groups)]
+
+    def t(ctx, g):
+        cells[g].add(ctx, 1)
+        ctx.compute(work)
+
+    for g in range(n_groups):
+        for _ in range(tasks_per_group):
+            sim.enqueue_root(t, g, hint=g)
+    return cells
+
+
+class TestHints:
+    def test_hints_reduce_aborts_on_grouped_contention(self):
+        def run(use_hints):
+            sim = Simulator(SystemConfig.with_cores(
+                16, use_hints=use_hints, conflict_mode="precise"))
+            cells = build_contended(sim)
+            stats = sim.run(max_cycles=10_000_000)
+            assert all(c.peek() == 16 for c in cells)
+            return stats
+
+        with_hints = run(True)
+        without = run(False)
+        assert with_hints.tasks_aborted < without.tasks_aborted
+
+    def test_hintless_tasks_still_run(self):
+        sim = Simulator(SystemConfig.with_cores(16, use_hints=True))
+        cell = sim.cell("c", 0)
+        for _ in range(20):
+            sim.enqueue_root(lambda ctx: cell.add(ctx, 1))
+        sim.run()
+        assert cell.peek() == 20
+
+
+class TestBloomMode:
+    def test_false_positives_on_large_footprints(self):
+        """A task touching thousands of lines saturates its signature and
+        draws spurious aborts against concurrent tasks."""
+        sim = Simulator(SystemConfig.with_cores(16, conflict_mode="bloom"))
+        big = sim.array("big", 3000 * 8)
+        cell = sim.cell("c", 0)
+
+        def whale(ctx):
+            for i in range(3000):
+                big.get(ctx, i * 8)
+
+        def minnow(ctx, i):
+            cell.add(ctx, 1)
+            ctx.compute(50)
+
+        sim.enqueue_root(whale)
+        for i in range(40):
+            sim.enqueue_root(minnow, i)
+        stats = sim.run(max_cycles=20_000_000)
+        assert cell.peek() == 40
+        assert stats.false_positive_conflicts > 0
+
+    def test_precise_mode_never_false_positives(self):
+        sim = Simulator(SystemConfig.with_cores(16, conflict_mode="precise"))
+        big = sim.array("big", 3000 * 8)
+
+        def whale(ctx):
+            for i in range(3000):
+                big.get(ctx, i * 8)
+
+        for _ in range(4):
+            sim.enqueue_root(whale)
+        stats = sim.run(max_cycles=20_000_000)
+        assert stats.false_positive_conflicts == 0
+        assert stats.tasks_aborted == 0  # read-only: no true conflicts
+
+    def test_bloom_run_still_audits(self):
+        sim = Simulator(SystemConfig.with_cores(8, conflict_mode="bloom"))
+        cell = sim.cell("c", 0)
+        for _ in range(30):
+            sim.enqueue_root(lambda ctx: cell.add(ctx, 1))
+        sim.run(max_cycles=10_000_000)
+        sim.audit()
+        assert cell.peek() == 30

@@ -1,0 +1,115 @@
+"""Miscellaneous behaviour tests: audit switches, traces, high-level
+misuse, and representation helpers."""
+
+import pytest
+
+from repro import Ordering, Simulator, SystemConfig, forall
+from repro.errors import DomainError, SimulationError
+
+
+def make_sim(**kw):
+    kw.setdefault("conflict_mode", "precise")
+    enable_audit = kw.pop("enable_audit", True)
+    enable_trace = kw.pop("enable_trace", False)
+    return Simulator(SystemConfig.with_cores(4, **kw),
+                     enable_audit=enable_audit, enable_trace=enable_trace)
+
+
+class TestAuditSwitch:
+    def test_audit_disabled_refuses_audit_call(self):
+        sim = make_sim(enable_audit=False)
+        sim.enqueue_root(lambda ctx: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.audit()
+
+    def test_audit_disabled_keeps_no_commit_log(self):
+        sim = make_sim(enable_audit=False)
+        for _ in range(5):
+            sim.enqueue_root(lambda ctx: None)
+        sim.run()
+        assert sim.commit_log == []
+
+
+class TestTraceSwitch:
+    def test_trace_records_committed_and_aborted(self):
+        sim = make_sim(enable_trace=True)
+        cell = sim.cell("c", 0)
+
+        def t(ctx):
+            cell.add(ctx, 1)
+            ctx.compute(50)
+
+        for _ in range(12):
+            sim.enqueue_root(t)
+        stats = sim.run(max_cycles=10_000_000)
+        outcomes = {s.outcome for s in sim.trace.segments}
+        assert "committed" in outcomes
+        if stats.tasks_aborted:
+            assert "aborted" in outcomes
+
+    def test_trace_disabled_by_default(self):
+        sim = make_sim()
+        assert sim.trace is None
+
+
+class TestHighLevelMisuse:
+    def test_two_foralls_in_one_task_rejected(self):
+        sim = make_sim()
+        errors = []
+
+        def t(ctx):
+            forall(ctx, range(2), lambda c, i: None)
+            try:
+                forall(ctx, range(2), lambda c, i: None)
+            except DomainError as e:
+                errors.append(e)
+
+        sim.enqueue_root(t)
+        sim.run()
+        assert errors
+
+    def test_forall_over_empty_iterable(self):
+        sim = make_sim()
+        sim.enqueue_root(lambda ctx: forall(ctx, [], lambda c, i: None))
+        stats = sim.run()
+        assert stats.tasks_committed == 1
+
+
+class TestReprsAndSummaries:
+    def test_task_repr_shows_state_and_vt(self):
+        sim = make_sim()
+        task = sim.enqueue_root(lambda ctx: None, label="mytask")
+        assert "mytask" in repr(task)
+        assert "pending" in repr(task)
+        sim.run()
+        assert "committed" in repr(task)
+
+    def test_domain_repr(self):
+        from repro.core.domain import Domain
+        root = Domain(Ordering.UNORDERED)
+        assert "root" in repr(root)
+
+    def test_core_and_tile_repr(self):
+        sim = make_sim()
+        assert "Core0" in repr(sim.cores[0])
+        assert "Tile0" in repr(sim.tiles[0])
+
+    def test_summary_mentions_zooming_only_when_used(self):
+        sim = make_sim()
+        sim.enqueue_root(lambda ctx: None)
+        stats = sim.run()
+        assert "zooming" not in stats.summary()
+
+
+class TestMaxCyclesGuard:
+    def test_guard_raises_with_live_tasks(self):
+        sim = make_sim()
+
+        def chain(ctx, n):
+            ctx.compute(1000)
+            ctx.enqueue(chain, n + 1)  # unbounded
+
+        sim.enqueue_root(chain, 0)
+        with pytest.raises(SimulationError):
+            sim.run(max_cycles=50_000)

@@ -1,0 +1,161 @@
+"""Property-based tests: random Fractal programs must always serialize.
+
+Hypothesis generates random task graphs — random read/write footprints
+over a small address pool, random nesting (ordered and unordered
+subdomains), random fan-outs — and runs them on random machine shapes.
+Every run must commit all tasks, leave memory quiescent, and pass the
+commit-order serializability audit. Ordered-only programs must further be
+bit-identical to the serial reference executor.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Ordering, SerialExecutor, Simulator, SystemConfig
+
+# --- program descriptions --------------------------------------------------
+
+_op = st.tuples(st.sampled_from(["r", "w", "rmw"]),
+                st.integers(min_value=0, max_value=11))
+
+_leaf = st.lists(_op, min_size=1, max_size=4)
+
+_task = st.recursive(
+    _leaf.map(lambda ops: {"ops": ops, "sub": None}),
+    lambda children: st.fixed_dictionaries({
+        "ops": _leaf,
+        "sub": st.tuples(
+            st.sampled_from([Ordering.UNORDERED, Ordering.ORDERED_32]),
+            st.lists(children, min_size=1, max_size=3)),
+    }),
+    max_leaves=6,
+)
+
+_program = st.lists(_task, min_size=1, max_size=6)
+
+
+def _build(host, program, arr):
+    def body(ctx, desc, salt):
+        for i, (kind, slot) in enumerate(desc["ops"]):
+            addr = slot * 8
+            if kind == "r":
+                arr.get(ctx, addr)
+            elif kind == "w":
+                arr.set(ctx, addr, salt * 37 + i)
+            else:
+                arr.add(ctx, addr, 1)
+        sub = desc["sub"]
+        if sub is not None:
+            ordering, children = sub
+            ctx.create_subdomain(ordering)
+            for k, child in enumerate(children):
+                ts = k if ordering.is_ordered else None
+                ctx.enqueue_sub(body, child, salt * 7 + k + 1, ts=ts)
+
+    for i, desc in enumerate(program):
+        host.enqueue_root(body, desc, i + 1)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(program=_program,
+       n_cores=st.sampled_from([1, 4, 16]),
+       seed=st.integers(min_value=0, max_value=3))
+def test_random_programs_serialize(program, n_cores, seed):
+    sim = Simulator(SystemConfig.with_cores(n_cores, seed=seed))
+    arr = sim.array("arr", 12 * 8)
+    _build(sim, program, arr)
+    sim.run(max_cycles=30_000_000)
+    sim.audit()
+    sim.memory.assert_quiescent()
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(program=_program, n_cores=st.sampled_from([2, 8]))
+def test_ordered_programs_match_serial(program, n_cores):
+    """With an ordered root and ordered subdomains only, the result is
+    deterministic: the speculative run must equal the serial reference."""
+
+    def orderize(desc):
+        if desc["sub"] is not None:
+            _, children = desc["sub"]
+            desc = dict(desc,
+                        sub=(Ordering.ORDERED_32,
+                             [orderize(c) for c in children]))
+        return desc
+
+    program = [orderize(d) for d in program]
+
+    serial = SerialExecutor(root_ordering=Ordering.ORDERED_32)
+    s_arr = serial.array("arr", 12 * 8)
+    _build_ordered(serial, program, s_arr)
+    serial.run()
+
+    sim = Simulator(SystemConfig.with_cores(n_cores, conflict_mode="precise"),
+                    root_ordering=Ordering.ORDERED_32)
+    p_arr = sim.array("arr", 12 * 8)
+    _build_ordered(sim, program, p_arr)
+    sim.run(max_cycles=30_000_000)
+    sim.audit()
+
+    assert p_arr.snapshot() == s_arr.snapshot()
+
+
+def _build_ordered(host, program, arr):
+    def body(ctx, desc, salt):
+        for i, (kind, slot) in enumerate(desc["ops"]):
+            addr = slot * 8
+            if kind == "r":
+                arr.get(ctx, addr)
+            elif kind == "w":
+                arr.set(ctx, addr, salt * 37 + i)
+            else:
+                arr.add(ctx, addr, 1)
+        sub = desc["sub"]
+        if sub is not None:
+            ordering, children = sub
+            ctx.create_subdomain(ordering)
+            for k, child in enumerate(children):
+                ctx.enqueue_sub(body, child, salt * 7 + k + 1, ts=k)
+
+    for i, desc in enumerate(program):
+        host.enqueue_root(body, desc, i + 1, ts=i)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(program=_program)
+def test_rmw_counters_conserve(program):
+    """Every 'rmw' op increments; the final sum must equal the number of
+    rmw ops executed, regardless of conflicts and aborts."""
+    sim = Simulator(SystemConfig.with_cores(8))
+    arr = sim.array("arr", 12 * 8)
+    _build(sim, program, arr)
+
+    def count(desc):
+        n = sum(1 for kind, _ in desc["ops"] if kind == "rmw")
+        has_writes = any(kind == "w" for kind, _ in desc["ops"])
+        if desc["sub"] is not None:
+            n += sum(count(c) for c in desc["sub"][1])
+        return n
+
+    # 'w' ops stomp slots with unrelated values, so only run this check on
+    # programs without plain writes
+    if any(_has_writes(d) for d in program):
+        sim.run(max_cycles=30_000_000)
+        sim.audit()
+        return
+    expected = sum(count(d) for d in program)
+    sim.run(max_cycles=30_000_000)
+    sim.audit()
+    total = sum(arr.peek(slot * 8) for slot in range(12))
+    assert total == expected
+
+
+def _has_writes(desc):
+    if any(kind == "w" for kind, _ in desc["ops"]):
+        return True
+    if desc["sub"] is not None:
+        return any(_has_writes(c) for c in desc["sub"][1])
+    return False

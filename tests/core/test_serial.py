@@ -1,0 +1,165 @@
+"""Tests for the serial reference executor and simulator differential
+checks."""
+
+import pytest
+
+from repro import Ordering, SerialExecutor, Simulator, SystemConfig
+from repro.errors import DomainError, SimulationError
+
+
+class TestSerialExecution:
+    def test_runs_tasks(self):
+        host = SerialExecutor()
+        cell = host.cell("c", 0)
+        host.enqueue_root(lambda ctx: cell.set(ctx, 7))
+        host.run()
+        assert cell.peek() == 7
+
+    def test_ordered_root_respects_timestamps(self):
+        host = SerialExecutor(root_ordering=Ordering.ORDERED_32)
+        log = host.array("log", 4)
+        pos = host.cell("pos", 0)
+
+        def t(ctx, i):
+            p = pos.get(ctx)
+            log.set(ctx, p, i)
+            pos.set(ctx, p + 1)
+
+        for i in (3, 1, 0, 2):
+            host.enqueue_root(t, i, ts=i)
+        host.run()
+        assert log.snapshot() == [0, 1, 2, 3]
+
+    def test_children_after_parents(self):
+        host = SerialExecutor()
+        log = host.array("log", 3)
+        pos = host.cell("pos", 0)
+
+        def mark(ctx, tag):
+            p = pos.get(ctx)
+            log.set(ctx, p, tag)
+            pos.set(ctx, p + 1)
+
+        def parent(ctx):
+            mark(ctx, "p")
+            ctx.enqueue(mark, "c")
+
+        host.enqueue_root(parent)
+        host.enqueue_root(mark, "x")
+        host.run()
+        snap = log.snapshot()
+        assert snap.index("p") < snap.index("c")
+
+    def test_subdomain_tasks_follow_creator(self):
+        host = SerialExecutor()
+        log = []
+
+        def leaf(ctx, tag):
+            log.append(tag)
+
+        def creator(ctx):
+            log.append("creator")
+            ctx.create_subdomain(Ordering.UNORDERED)
+            ctx.enqueue_sub(leaf, "sub")
+
+        host.enqueue_root(creator)
+        host.enqueue_root(leaf, "later")
+        host.run()
+        assert log.index("creator") < log.index("sub")
+
+    def test_subdomain_atomic_before_later_root_task(self):
+        """Subdomain tasks run immediately after their creator, before any
+        later root task — the serial executor realizes the VT order."""
+        host = SerialExecutor()
+        log = []
+
+        def leaf(ctx, tag):
+            log.append(tag)
+
+        def creator(ctx):
+            ctx.create_subdomain(Ordering.UNORDERED)
+            ctx.enqueue_sub(leaf, "sub1")
+            ctx.enqueue_sub(leaf, "sub2")
+
+        host.enqueue_root(creator)
+        host.enqueue_root(leaf, "outside")
+        host.run()
+        assert log == ["sub1", "sub2", "outside"]
+
+    def test_unbounded_nesting(self):
+        host = SerialExecutor()
+        depths = []
+
+        def node(ctx, depth):
+            depths.append(depth)
+            if depth < 10:
+                ctx.create_subdomain(Ordering.UNORDERED)
+                ctx.enqueue_sub(node, depth + 1)
+
+        host.enqueue_root(node, 0)
+        host.run()
+        assert depths == list(range(11))
+
+    def test_cycle_accounting(self):
+        host = SerialExecutor()
+        cell = host.cell("c", 0)
+        host.enqueue_root(lambda ctx: (cell.set(ctx, 1),
+                                       ctx.compute(500))[-1])
+        host.run()
+        assert host.cycles >= 500
+        assert host.tasks_executed == 1
+
+    def test_run_twice_rejected(self):
+        host = SerialExecutor()
+        host.run()
+        with pytest.raises(SimulationError):
+            host.run()
+
+    def test_domain_rules_enforced(self):
+        host = SerialExecutor()
+        errors = []
+
+        def t(ctx):
+            try:
+                ctx.enqueue_sub(lambda c: None)
+            except DomainError as e:
+                errors.append(e)
+
+        host.enqueue_root(t)
+        host.run()
+        assert errors
+
+
+class TestDifferential:
+    """For order-deterministic programs, the speculative simulator must
+    produce exactly the serial executor's final memory."""
+
+    def _program(self, host):
+        arr = host.array("arr", 16)
+        acc = host.cell("acc", 0)
+
+        def leaf(ctx, i):
+            arr.set(ctx, i, acc.add(ctx, i))
+
+        def txn(ctx, base):
+            ctx.create_subdomain(Ordering.ORDERED_32)
+            for k in range(4):
+                ctx.enqueue_sub(leaf, base + k, ts=k)
+
+        for b in (0, 4, 8, 12):
+            host.enqueue_root(txn, b, ts=b)
+        return arr, acc
+
+    def test_sim_matches_serial(self):
+        serial = SerialExecutor(root_ordering=Ordering.ORDERED_32)
+        s_arr, s_acc = self._program(serial)
+        serial.run()
+
+        sim = Simulator(SystemConfig.with_cores(16, conflict_mode="precise"),
+                        root_ordering=Ordering.ORDERED_32)
+        p_arr, p_acc = self._program(sim)
+        sim.run()
+        sim.audit()
+
+        assert p_arr.snapshot() == s_arr.snapshot()
+        assert p_acc.peek() == s_acc.peek()

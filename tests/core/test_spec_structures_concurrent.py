@@ -1,0 +1,109 @@
+"""Integration tests: SpecDict/SpecQueue under real speculation."""
+
+import pytest
+
+from repro import Simulator, SystemConfig
+
+
+def make_sim(n_cores=16, **overrides):
+    overrides.setdefault("conflict_mode", "precise")
+    return Simulator(SystemConfig.with_cores(n_cores, **overrides))
+
+
+class TestConcurrentDict:
+    def test_put_if_absent_unique_winner(self):
+        """Many tasks race to claim the same key; exactly one must win."""
+        sim = make_sim()
+        d = sim.dict("d", capacity=4)
+        wins = sim.cell("wins", 0)
+
+        def claim(ctx, who):
+            if d.put_if_absent(ctx, "key", who):
+                wins.add(ctx, 1)
+
+        for i in range(24):
+            sim.enqueue_root(claim, i)
+        sim.run(max_cycles=10_000_000)
+        sim.audit()
+        assert wins.peek() == 1
+        assert d.peek("key") is not None
+
+    def test_disjoint_keys_parallel(self):
+        sim = make_sim()
+        d = sim.dict("d", capacity=64, stride=8)
+
+        def put(ctx, k):
+            d.put(ctx, k, k * 10)
+
+        for k in range(40):
+            sim.enqueue_root(put, k, hint=k)
+        stats = sim.run(max_cycles=10_000_000)
+        assert dict(d.items_nonspec()) == {k: k * 10 for k in range(40)}
+
+    def test_delete_and_reinsert_race(self):
+        sim = make_sim()
+        d = sim.dict("d", capacity=4)
+        d.poke("k", 1)
+
+        def deleter(ctx):
+            d.delete(ctx, "k")
+
+        def inserter(ctx):
+            d.put_if_absent(ctx, "k", 2)
+
+        for _ in range(6):
+            sim.enqueue_root(deleter)
+            sim.enqueue_root(inserter)
+        sim.run(max_cycles=10_000_000)
+        sim.audit()
+        assert d.peek("k") in (None, 1, 2)
+
+
+class TestConcurrentQueue:
+    def test_producers_consumers_conserve_items(self):
+        sim = make_sim()
+        q = sim.queue("q", capacity=64)
+        consumed = sim.cell("consumed", 0)
+        drained = sim.cell("drained", 0)
+
+        def produce(ctx, v):
+            q.push(ctx, v)
+
+        def consume(ctx):
+            v = q.pop(ctx, default=None)
+            if v is None:
+                drained.add(ctx, 1)
+            else:
+                consumed.add(ctx, 1)
+
+        for v in range(20):
+            sim.enqueue_root(produce, v)
+        for _ in range(30):
+            sim.enqueue_root(consume)
+        sim.run(max_cycles=20_000_000)
+        sim.audit()
+        assert consumed.peek() + q.size_nonspec() == 20
+        assert consumed.peek() + drained.peek() == 30
+
+    def test_fifo_order_preserved_with_single_consumer_chain(self):
+        sim = make_sim()
+        q = sim.queue("q", capacity=16)
+        log = sim.array("log", 8)
+        pos = sim.cell("pos", 0)
+        for v in (3, 1, 4, 1, 5):
+            q.mem.poke(q.region.addr(q._BUF + pos.peek()), v)
+            pos.poke(pos.peek() + 1)
+        q.mem.poke(q.region.addr(q._TAIL), 5)
+        pos.poke(0)
+
+        def drain(ctx):
+            v = q.pop(ctx, default=None)
+            if v is not None:
+                p = pos.get(ctx)
+                log.set(ctx, p, v)
+                pos.set(ctx, p + 1)
+                ctx.enqueue(drain)
+
+        sim.enqueue_root(drain)
+        sim.run(max_cycles=10_000_000)
+        assert log.snapshot()[:5] == [3, 1, 4, 1, 5]

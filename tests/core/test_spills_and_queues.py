@@ -1,0 +1,136 @@
+"""Tests for task spilling, commit-queue pressure, and queue stalls
+(paper Sec. 4.1, Table 2)."""
+
+import pytest
+
+from repro import Ordering, Simulator, SystemConfig
+
+
+def sim_with(n_cores=4, **overrides):
+    overrides.setdefault("conflict_mode", "precise")
+    return Simulator(SystemConfig.with_cores(n_cores, **overrides))
+
+
+class TestSpills:
+    def test_overfull_queue_spills_and_completes(self):
+        sim = sim_with(task_queue_per_core=8, spill_batch=5)
+        cell = sim.cell("c", 0)
+
+        def t(ctx):
+            cell.add(ctx, 1)
+            ctx.compute(100)
+
+        def fanout(ctx):
+            for _ in range(120):
+                ctx.enqueue(t)
+
+        sim.enqueue_root(fanout)
+        stats = sim.run(max_cycles=20_000_000)
+        assert cell.peek() == 120
+        # coalescers fire on the overfull queue; the children only become
+        # spillable once their parent commits (paper's policy), so only
+        # the spill *cycles* are guaranteed here
+        assert stats.breakdown.spill > 0
+
+    def test_root_fanout_spills_tasks(self):
+        sim = sim_with(task_queue_per_core=8, spill_batch=5)
+        cell = sim.cell("c", 0)
+
+        def t(ctx):
+            cell.add(ctx, 1)
+            ctx.compute(100)
+
+        for _ in range(120):
+            sim.enqueue_root(t)  # parentless: spillable immediately
+        stats = sim.run(max_cycles=20_000_000)
+        assert cell.peek() == 120
+        assert stats.tasks_spilled > 0
+        assert stats.breakdown.spill > 0
+
+    def test_spilled_tasks_only_with_committed_parents(self):
+        """Spill victims must have committed (or no) parents — squashing a
+        spilled task via its parent's abort still works, but the paper's
+        policy restricts spilling to parent-committed tasks."""
+        sim = sim_with(task_queue_per_core=8, spill_batch=5)
+        cell = sim.cell("c", 0)
+
+        def t(ctx):
+            cell.add(ctx, 1)
+
+        for _ in range(100):
+            sim.enqueue_root(t)  # parentless: all spillable
+        stats = sim.run(max_cycles=20_000_000)
+        assert cell.peek() == 100
+
+    def test_no_spills_with_roomy_queue(self):
+        sim = sim_with(task_queue_per_core=64)
+        cell = sim.cell("c", 0)
+        for _ in range(30):
+            sim.enqueue_root(lambda ctx: cell.add(ctx, 1))
+        stats = sim.run()
+        assert stats.tasks_spilled == 0
+
+
+class TestCommitQueuePressure:
+    def test_tiny_commit_queue_still_completes(self):
+        sim = sim_with(n_cores=4, commit_queue_per_core=1)
+        cell = sim.cell("c", 0)
+
+        def t(ctx):
+            cell.add(ctx, 1)
+            ctx.compute(50)
+
+        for _ in range(40):
+            sim.enqueue_root(t)
+        stats = sim.run(max_cycles=20_000_000)
+        assert cell.peek() == 40
+
+    def test_stall_cycles_recorded(self):
+        """Long tasks + tiny commit queue: finished tasks wait for
+        entries, which the breakdown must show as stalls."""
+        sim = sim_with(n_cores=4, commit_queue_per_core=1,
+                       commit_interval=500)
+        arr = sim.array("a", 64 * 8)
+
+        def t(ctx, i):
+            arr.set(ctx, i * 8, 1)
+            ctx.compute(40)
+
+        for i in range(64):
+            sim.enqueue_root(t, i)
+        stats = sim.run(max_cycles=20_000_000)
+        assert stats.breakdown.stall > 0
+
+    def test_ordered_pressure_aborts_make_progress(self):
+        """Commit queues wedged behind an earlier unfinished task trigger
+        the abort-to-free-space path (paper Sec. 4.1)."""
+        sim = Simulator(SystemConfig.with_cores(
+            4, commit_queue_per_core=1, conflict_mode="precise"),
+            root_ordering=Ordering.ORDERED_32)
+        cell = sim.cell("c", 0)
+
+        def late(ctx):
+            cell.add(ctx, 1)
+            ctx.compute(30)
+
+        def early_parent(ctx):
+            # enqueued last but with the earliest timestamps
+            for _ in range(4):
+                ctx.enqueue(late, ts=1)
+            ctx.compute(2000)
+
+        for _ in range(30):
+            sim.enqueue_root(late, ts=10)
+        sim.enqueue_root(early_parent, ts=0)
+        stats = sim.run(max_cycles=20_000_000)
+        assert cell.peek() == 34
+
+
+class TestSuperlinearCapacity:
+    def test_bigger_systems_have_bigger_queues(self):
+        """Per-core capacities are constant, so total capacity grows with
+        the system (paper Sec. 5)."""
+        small = SystemConfig.with_cores(4)
+        big = SystemConfig.with_cores(64)
+        assert big.total_task_queue == 16 * small.total_task_queue
+        assert big.total_commit_queue == 16 * small.total_commit_queue

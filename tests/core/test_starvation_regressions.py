@@ -1,0 +1,67 @@
+"""Regression tests for scheduler starvation livelocks.
+
+Each of these froze an earlier build (zero commits while coalescers,
+splitters, and pressure aborts cycled):
+
+1. The GVT-blocking pending task lived on a tile whose cores were all
+   finish-stalled (fixed: per-tile commit-queue pressure aborts).
+2. Splitters/coalescers compared frozen lower-bound keys, which mark
+   freshly-requeued early work as "latest" — subdomain tasks with old
+   real ancestor prefixes ping-ponged between queue and memory forever
+   (fixed: program-order (stripped) comparisons, never spilling the
+   earliest, and dispatch deferral only for same-cycle parents).
+"""
+
+import pytest
+
+from repro import Ordering, Simulator, SystemConfig
+from repro.apps import silo
+from repro.bench.harness import run_app
+
+
+class TestStarvationRegressions:
+    def test_silo_fractal_one_core_bloom(self):
+        """The original reproducer: 128 transactions, one core, default
+        (bloom) config. Used to cycle coalescer<->splitter forever."""
+        inp = silo.make_input(n_warehouses=2, n_districts=4, n_txns=128)
+        run = run_app(silo, inp, variant="fractal", n_cores=1,
+                      config=SystemConfig.with_cores(1),
+                      max_cycles=20_000_000)
+        silo.check(run.handles, inp)
+
+    def test_one_core_subdomain_floods(self):
+        """Many unordered roots each spawning an ordered subdomain on one
+        core with a small task queue: early subdomain work must never be
+        spilled behind later roots."""
+        sim = Simulator(SystemConfig.with_cores(
+            1, task_queue_per_core=24, conflict_mode="precise"))
+        done = sim.cell("done", 0)
+
+        def op(ctx, k):
+            done.add(ctx, 1)
+
+        def txn(ctx):
+            ctx.create_subdomain(Ordering.ORDERED_32)
+            for k in range(4):
+                ctx.enqueue_sub(op, k, ts=k)
+
+        for _ in range(60):
+            sim.enqueue_root(txn)
+        sim.run(max_cycles=20_000_000)
+        assert done.peek() == 240
+
+    def test_all_tiles_stalled_with_remote_blocker(self):
+        """Commit queues wedge on every tile while the earliest task waits
+        on one of them (per-tile pressure-abort regression)."""
+        sim = Simulator(SystemConfig.with_cores(
+            16, commit_queue_per_core=2, conflict_mode="precise"))
+        cell = sim.cell("c", 0)
+
+        def short(ctx):
+            cell.add(ctx, 1)
+            ctx.compute(40)
+
+        for _ in range(120):
+            sim.enqueue_root(short)
+        sim.run(max_cycles=20_000_000)
+        assert cell.peek() == 120

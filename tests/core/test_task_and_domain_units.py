@@ -1,0 +1,90 @@
+"""Unit tests for task descriptors and domain objects."""
+
+import pytest
+
+from repro.core.domain import Domain
+from repro.core.task import TaskDesc, TaskState
+from repro.errors import DomainError
+from repro.vt import Ordering
+
+
+class TestDomain:
+    def test_root_properties(self):
+        root = Domain(Ordering.UNORDERED)
+        assert root.is_root
+        assert root.depth == 1
+        with pytest.raises(DomainError):
+            root.require_super()
+
+    def test_nesting_depth(self):
+        root = Domain(Ordering.UNORDERED)
+        t = TaskDesc(lambda ctx: None, (), root)
+        sub = Domain(Ordering.ORDERED_32, creator=t, parent=root)
+        subsub = Domain(Ordering.UNORDERED, creator=t, parent=sub)
+        assert sub.depth == 2
+        assert subsub.depth == 3
+        assert subsub.require_super() is sub
+
+    def test_child_timestamp_rule(self):
+        d = Domain(Ordering.ORDERED_32)
+        assert d.validate_child_timestamp(5, 7) == 7
+        assert d.validate_child_timestamp(5, 5) == 5
+        with pytest.raises(DomainError):
+            d.validate_child_timestamp(5, 4)
+
+    def test_unordered_child_timestamp(self):
+        d = Domain(Ordering.UNORDERED)
+        assert d.validate_child_timestamp(None, None) == 0
+
+
+class TestTaskDesc:
+    def make(self, **kwargs):
+        return TaskDesc(lambda ctx: None, (), Domain(Ordering.UNORDERED),
+                        **kwargs)
+
+    def test_ids_unique(self):
+        assert self.make().tid != self.make().tid
+
+    def test_initial_state(self):
+        t = self.make()
+        assert t.state is TaskState.PENDING
+        assert t.is_live
+        assert not t.is_speculative
+        assert t.deps == set() and t.dependents == set()
+
+    def test_begin_attempt_resets(self):
+        t = self.make()
+        t.children = [self.make()]
+        t.aborted = True
+        t.retry_after = 99
+        t.begin_attempt()
+        assert t.children == [] and not t.aborted and t.retry_after == 0
+        assert t.attempt == 1
+
+    def test_speculative_states(self):
+        t = self.make()
+        for state, spec in [(TaskState.RUNNING, True),
+                            (TaskState.FINISHED, True),
+                            (TaskState.FINISH_STALLED, True),
+                            (TaskState.PENDING, False),
+                            (TaskState.SPILLED, False)]:
+            t.state = state
+            assert t.is_speculative is spec
+
+    def test_terminal_states_not_live(self):
+        t = self.make()
+        t.state = TaskState.COMMITTED
+        assert not t.is_live
+        t.state = TaskState.SQUASHED
+        assert not t.is_live
+
+    def test_still_executing_only_when_running(self):
+        t = self.make()
+        assert not t.still_executing()
+        t.state = TaskState.RUNNING
+        assert t.still_executing()
+        t.state = TaskState.FINISHED
+        assert not t.still_executing()
+
+    def test_label_override(self):
+        assert self.make(label="custom").label == "custom"

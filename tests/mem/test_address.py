@@ -1,0 +1,74 @@
+"""Tests for the address space and line/home mapping."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.mem import AddressSpace
+
+
+class TestRegions:
+    def test_alloc_and_addr(self):
+        space = AddressSpace()
+        r = space.alloc("a", 10)
+        assert r.addr(0) == r.base
+        assert r.addr(9) == r.base + 9
+
+    def test_bounds_checked(self):
+        space = AddressSpace()
+        r = space.alloc("a", 10)
+        with pytest.raises(MemoryError_):
+            r.addr(10)
+        with pytest.raises(MemoryError_):
+            r.addr(-1)
+
+    def test_names_unique(self):
+        space = AddressSpace()
+        space.alloc("a", 1)
+        with pytest.raises(MemoryError_):
+            space.alloc("a", 1)
+
+    def test_line_alignment_prevents_false_sharing(self):
+        space = AddressSpace(line_bytes=64)
+        a = space.alloc("a", 3)
+        b = space.alloc("b", 3)
+        assert space.line_of(a.addr(2)) != space.line_of(b.addr(0))
+
+    def test_unaligned_regions_can_share_lines(self):
+        space = AddressSpace(line_bytes=64)
+        a = space.alloc("a", 3, line_aligned=False)
+        b = space.alloc("b", 3, line_aligned=False)
+        assert space.line_of(a.addr(2)) == space.line_of(b.addr(0))
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(MemoryError_):
+            AddressSpace().alloc("z", 0)
+
+    def test_region_lookup(self):
+        space = AddressSpace()
+        r = space.alloc("x", 4)
+        assert space.region("x") is r
+        with pytest.raises(MemoryError_):
+            space.region("nope")
+
+    def test_contains(self):
+        space = AddressSpace()
+        r = space.alloc("x", 4)
+        assert r.addr(0) in r
+        assert (r.base + 4) not in r
+
+
+class TestMapping:
+    def test_line_of_groups_words(self):
+        space = AddressSpace(line_bytes=64)  # 8 words per line
+        assert space.line_of(0) == 0
+        assert space.line_of(7) == 0
+        assert space.line_of(8) == 1
+
+    def test_home_tile_interleaves_lines(self):
+        space = AddressSpace(line_bytes=64, n_tiles=4)
+        homes = {space.home_tile(i * 8) for i in range(8)}
+        assert homes == {0, 1, 2, 3}
+
+    def test_line_bytes_must_be_word_multiple(self):
+        with pytest.raises(MemoryError_):
+            AddressSpace(line_bytes=60)

@@ -1,0 +1,102 @@
+"""Tests for the conflict-detection models (Bloom vs precise)."""
+
+import pytest
+
+from repro.mem.conflicts import (
+    BloomConflictModel,
+    PreciseConflictModel,
+    make_conflict_model,
+)
+
+from .conftest import FakeOwner
+
+
+def attach(model, key):
+    o = FakeOwner((key,))
+    o.read_lines = set()
+    o.write_lines = set()
+    model.register(o)
+    return o
+
+
+class TestPrecise:
+    def test_never_false_conflicts(self):
+        model = PreciseConflictModel()
+        a, b = attach(model, 1), attach(model, 2)
+        for line in range(1000):
+            model.note_access(a, line, is_write=True)
+            assert model.false_conflict(b, line + 5000, is_write=True) is None
+
+    def test_live_tracking(self):
+        model = PreciseConflictModel()
+        a = attach(model, 1)
+        assert model.live_count == 1
+        model.unregister(a)
+        assert model.live_count == 0
+
+
+class TestBloomSampled:
+    def test_no_false_conflicts_with_tiny_footprints(self):
+        model = BloomConflictModel(bits=2048, ways=8, seed=1)
+        a, b = attach(model, 1), attach(model, 2)
+        for line in range(4):
+            model.note_access(a, line, is_write=True)
+        hits = sum(model.false_conflict(b, 10_000 + i, True) is not None
+                   for i in range(2000))
+        assert hits == 0
+
+    def test_saturated_signature_conflicts_constantly(self):
+        model = BloomConflictModel(bits=256, ways=4, seed=1)
+        a, b = attach(model, 1), attach(model, 2)
+        for line in range(3000):
+            model.note_access(a, line, is_write=True)
+        hits = sum(model.false_conflict(b, 10**6 + i, True) is not None
+                   for i in range(200))
+        assert hits > 150
+        assert model.false_positives == hits
+
+    def test_alone_never_conflicts(self):
+        model = BloomConflictModel(seed=1)
+        a = attach(model, 1)
+        for line in range(5000):
+            model.note_access(a, line, is_write=True)
+        assert model.false_conflict(a, 42, True) is None
+
+    def test_unregister_removes_fp_mass(self):
+        model = BloomConflictModel(bits=256, ways=4, seed=1)
+        a, b = attach(model, 1), attach(model, 2)
+        for line in range(3000):
+            model.note_access(a, line, is_write=True)
+        model.unregister(a)
+        hits = sum(model.false_conflict(b, 10**6 + i, True) is not None
+                   for i in range(500))
+        assert hits == 0
+
+
+class TestBloomExact:
+    def test_exact_probe_finds_aliases(self):
+        model = BloomConflictModel(bits=64, ways=2, seed=1, exact=True)
+        a, b = attach(model, 1), attach(model, 2)
+        for line in range(500):
+            model.note_access(a, line, is_write=True)
+            a.write_lines.add(line)
+        # some unseen line must alias in a 64-bit filter with 500 lines
+        hits = sum(model.false_conflict(b, 10**6 + i, True) is not None
+                   for i in range(50))
+        assert hits > 0
+
+    def test_exact_probe_excludes_true_hits(self):
+        model = BloomConflictModel(bits=2048, ways=8, seed=1, exact=True)
+        a, b = attach(model, 1), attach(model, 2)
+        model.note_access(a, 7, is_write=True)
+        a.write_lines.add(7)
+        # touching the truly-written line is a true conflict, not false
+        assert model.false_conflict(b, 7, True) is None
+
+
+class TestFactory:
+    def test_factory_modes(self):
+        assert isinstance(make_conflict_model("precise"), PreciseConflictModel)
+        assert isinstance(make_conflict_model("bloom"), BloomConflictModel)
+        with pytest.raises(ValueError):
+            make_conflict_model("magic")

@@ -1,0 +1,155 @@
+"""Tests for the typed speculative data structures."""
+
+import pytest
+
+from repro.errors import AppError, MemoryError_
+from repro.mem import SpecArray, SpecCell, SpecDict, SpecQueue
+from repro.mem.data import ABSENT
+
+from .conftest import FakeCtx
+
+
+@pytest.fixture
+def ctx(mem, owner_factory):
+    return FakeCtx(mem, owner_factory(1))
+
+
+class TestSpecCell:
+    def test_get_set(self, mem, ctx):
+        cell = SpecCell(mem, mem.space.alloc("c", 1))
+        cell.set(ctx, 5)
+        assert cell.get(ctx) == 5
+
+    def test_add_returns_new_value(self, mem, ctx):
+        cell = SpecCell(mem, mem.space.alloc("c", 1))
+        cell.poke(10)
+        assert cell.add(ctx, 3) == 13
+        assert cell.get(ctx) == 13
+
+    def test_poke_peek_nonspec(self, mem):
+        cell = SpecCell(mem, mem.space.alloc("c", 1))
+        cell.poke(42)
+        assert cell.peek() == 42
+
+
+class TestSpecArray:
+    def test_fill_and_snapshot(self, mem, ctx):
+        arr = SpecArray(mem, mem.space.alloc("a", 4), 4)
+        arr.fill([1, 2, 3, 4])
+        assert arr.snapshot() == [1, 2, 3, 4]
+
+    def test_get_set_add(self, mem, ctx):
+        arr = SpecArray(mem, mem.space.alloc("a", 4), 4)
+        arr.set(ctx, 2, 9)
+        assert arr.get(ctx, 2) == 9
+        assert arr.add(ctx, 2, 1) == 10
+
+    def test_bounds(self, mem, ctx):
+        arr = SpecArray(mem, mem.space.alloc("a", 4), 4)
+        with pytest.raises(MemoryError_):
+            arr.get(ctx, 4)
+
+    def test_len(self, mem):
+        arr = SpecArray(mem, mem.space.alloc("a", 7), 7)
+        assert len(arr) == 7
+
+
+class TestSpecDict:
+    def make(self, mem, cap=8, stride=1):
+        return SpecDict(mem, mem.space.alloc("d", cap * stride), cap,
+                        stride=stride)
+
+    def test_put_get(self, mem, ctx):
+        d = self.make(mem)
+        d.put(ctx, "k", 1)
+        assert d.get(ctx, "k") == 1
+
+    def test_get_missing_returns_default(self, mem, ctx):
+        d = self.make(mem)
+        assert d.get(ctx, "nope", default="dflt") == "dflt"
+        assert not d.contains(ctx, "nope")
+
+    def test_put_if_absent(self, mem, ctx):
+        d = self.make(mem)
+        assert d.put_if_absent(ctx, "k", 1)
+        assert not d.put_if_absent(ctx, "k", 2)
+        assert d.get(ctx, "k") == 1
+
+    def test_delete(self, mem, ctx):
+        d = self.make(mem)
+        d.put(ctx, "k", 1)
+        assert d.delete(ctx, "k")
+        assert not d.contains(ctx, "k")
+        assert not d.delete(ctx, "k")
+
+    def test_capacity_enforced(self, mem, ctx):
+        d = self.make(mem, cap=2)
+        d.put(ctx, "a", 1)
+        d.put(ctx, "b", 2)
+        with pytest.raises(AppError):
+            d.put(ctx, "c", 3)
+
+    def test_cannot_store_sentinel(self, mem, ctx):
+        d = self.make(mem)
+        with pytest.raises(MemoryError_):
+            d.put(ctx, "k", ABSENT)
+
+    def test_items_nonspec_skips_deleted(self, mem, ctx):
+        d = self.make(mem)
+        d.put(ctx, "a", 1)
+        d.put(ctx, "b", 2)
+        d.delete(ctx, "a")
+        assert dict(d.items_nonspec()) == {"b": 2}
+        assert d.len_nonspec() == 1
+
+    def test_stride_separates_lines(self, mem, ctx):
+        d = self.make(mem, cap=4, stride=8)
+        d.put(ctx, "a", 1)
+        d.put(ctx, "b", 2)
+        a0 = d._slot_addr("a")
+        a1 = d._slot_addr("b")
+        assert mem.space.line_of(a0) != mem.space.line_of(a1)
+
+    def test_rollback_restores_absence(self, mem, owner_factory):
+        d = self.make(mem)
+        t = owner_factory(5)
+        d.put(FakeCtx(mem, t), "k", 1)
+        mem.rollback(t)
+        assert d.peek("k") is None
+
+
+class TestSpecQueue:
+    def make(self, mem, cap=4):
+        return SpecQueue(mem, mem.space.alloc("q", cap + 2), cap)
+
+    def test_fifo(self, mem, ctx):
+        q = self.make(mem)
+        q.push(ctx, "a")
+        q.push(ctx, "b")
+        assert q.pop(ctx) == "a"
+        assert q.pop(ctx) == "b"
+
+    def test_empty_pop_returns_default(self, mem, ctx):
+        q = self.make(mem)
+        assert q.pop(ctx, default="empty") == "empty"
+
+    def test_overflow(self, mem, ctx):
+        q = self.make(mem, cap=2)
+        q.push(ctx, 1)
+        q.push(ctx, 2)
+        with pytest.raises(AppError):
+            q.push(ctx, 3)
+
+    def test_size(self, mem, ctx):
+        q = self.make(mem)
+        q.push(ctx, 1)
+        q.push(ctx, 2)
+        q.pop(ctx)
+        assert q.size(ctx) == 1
+        assert q.size_nonspec() == 1
+
+    def test_wraparound_ring(self, mem, ctx):
+        q = self.make(mem, cap=2)
+        for i in range(5):
+            q.push(ctx, i)
+            assert q.pop(ctx) == i

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import APPS, main
+
+
+def run_cli(*argv):
+    proc = subprocess.run([sys.executable, "-m", "repro", *argv],
+                          capture_output=True, text=True, timeout=300)
+    return proc
+
+
+class TestCli:
+    def test_apps_lists_everything(self):
+        proc = run_cli("apps")
+        assert proc.returncode == 0
+        for name in APPS:
+            assert name in proc.stdout
+
+    def test_config_prints_table2(self):
+        proc = run_cli("config")
+        assert proc.returncode == 0
+        assert "256 cores" in proc.stdout
+
+    def test_run_mis(self):
+        proc = run_cli("run", "mis", "--cores", "4", "--audit")
+        assert proc.returncode == 0
+        assert "result check: OK" in proc.stdout
+
+    def test_run_with_serial(self):
+        proc = run_cli("run", "silo", "--cores", "4", "--serial")
+        assert proc.returncode == 0
+        assert "serial reference" in proc.stdout
+
+    def test_unknown_app_fails(self):
+        proc = run_cli("run", "nope")
+        assert proc.returncode != 0
+        assert "unknown app" in proc.stderr
+
+    def test_bad_variant_fails(self):
+        proc = run_cli("run", "bfs", "--variant", "fractal")
+        assert proc.returncode != 0
+
+    def test_sweep_prints_chart(self):
+        proc = run_cli("sweep", "mis", "--variants", "flat,fractal",
+                       "--cores", "1,4")
+        assert proc.returncode == 0
+        assert "speedup vs cores" in proc.stdout
+        assert "1.00x" in proc.stdout
+
+    def test_main_callable_in_process(self, capsys):
+        assert main(["config"]) == 0
+        assert "GVT" in capsys.readouterr().out
+
+    def test_every_app_importable(self):
+        import importlib
+        for name, (module, variants) in APPS.items():
+            mod = importlib.import_module(module)
+            assert hasattr(mod, "make_input")
+            assert hasattr(mod, "build")
+            assert hasattr(mod, "check")

@@ -1,0 +1,78 @@
+"""Tests for SystemConfig (paper Table 2)."""
+
+import pytest
+
+from repro.config import LatencyModel, SystemConfig
+from repro.errors import ConfigError
+
+
+class TestPaperConfig:
+    def test_paper_256core_matches_table2(self):
+        cfg = SystemConfig.paper_256core()
+        assert cfg.n_cores == 256
+        assert cfg.n_tiles == 64
+        assert cfg.total_task_queue == 16384
+        assert cfg.total_commit_queue == 4096
+        assert cfg.vt_bits == 128
+        assert cfg.commit_interval == 200
+
+    def test_describe_covers_table2_rows(self):
+        text = SystemConfig.paper_256core().describe()
+        for token in ("256 cores", "64 tiles", "Bloom", "GVT",
+                      "coalescers", "hints", "mesh"):
+            assert token.lower() in text.lower()
+
+
+class TestWithCores:
+    @pytest.mark.parametrize("n,cpt", [(1, 1), (4, 4), (16, 4), (64, 4),
+                                       (256, 4)])
+    def test_paper_core_counts(self, n, cpt):
+        cfg = SystemConfig.with_cores(n)
+        assert cfg.n_cores == n
+        assert cfg.cores_per_tile == cpt
+
+    def test_awkward_counts_still_tile(self):
+        cfg = SystemConfig.with_cores(8)
+        assert cfg.n_cores == 8
+        assert cfg.mesh_dim ** 2 * cfg.cores_per_tile == 8
+
+    def test_prime_count_single_tile(self):
+        cfg = SystemConfig.with_cores(7)
+        assert cfg.n_cores == 7 and cfg.n_tiles == 1
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            SystemConfig.with_cores(0)
+
+
+class TestValidation:
+    def test_bad_conflict_mode(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(conflict_mode="psychic")
+
+    def test_bad_bloom_bits(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(bloom_bits=1000)
+
+    def test_bad_spill_threshold(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(spill_threshold=0.0)
+
+    def test_tiny_vt_budget(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(vt_bits=16)
+
+    def test_replace(self):
+        cfg = SystemConfig.with_cores(4)
+        cfg2 = cfg.replace(conflict_mode="precise")
+        assert cfg2.conflict_mode == "precise"
+        assert cfg2.n_cores == cfg.n_cores
+
+    def test_frozen(self):
+        cfg = SystemConfig.with_cores(4)
+        with pytest.raises(Exception):
+            cfg.mesh_dim = 2
+
+    def test_latency_model_defaults(self):
+        lat = LatencyModel()
+        assert lat.l1_hit < lat.l2_hit < lat.l3_hit < lat.mem_latency

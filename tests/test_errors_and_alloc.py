@@ -1,0 +1,67 @@
+"""Tests for the exception hierarchy and the host allocation API."""
+
+import pytest
+
+from repro import SerialExecutor, Simulator, SystemConfig
+from repro import errors
+from repro.errors import FractalError, MemoryError_
+
+
+class TestErrorHierarchy:
+    def test_all_library_errors_derive_from_fractal_error(self):
+        for name in ("ConfigError", "VTError", "VTBudgetExceeded",
+                     "DomainError", "TimestampError", "MemoryError_",
+                     "QueueError", "SimulationError",
+                     "SerializabilityViolation", "AppError"):
+            cls = getattr(errors, name)
+            assert issubclass(cls, FractalError), name
+
+    def test_specializations(self):
+        assert issubclass(errors.VTBudgetExceeded, errors.VTError)
+        assert issubclass(errors.TimestampError, errors.DomainError)
+        assert issubclass(errors.SerializabilityViolation,
+                          errors.SimulationError)
+
+    def test_memory_error_does_not_shadow_builtin(self):
+        assert errors.MemoryError_ is not MemoryError
+
+
+@pytest.mark.parametrize("host_factory", [
+    lambda: Simulator(SystemConfig.with_cores(4)),
+    SerialExecutor,
+], ids=["simulator", "serial"])
+class TestAllocAPI:
+    def test_cell_with_init(self, host_factory):
+        host = host_factory()
+        cell = host.cell("c", 42)
+        assert cell.peek() == 42
+
+    def test_array_with_init_iterable(self, host_factory):
+        host = host_factory()
+        arr = host.array("a", 4, init=(i * i for i in range(4)))
+        assert arr.snapshot() == [0, 1, 4, 9]
+
+    def test_array_with_fill(self, host_factory):
+        host = host_factory()
+        arr = host.array("a", 3, fill=-1)
+        assert arr.snapshot() == [-1, -1, -1]
+
+    def test_dict_and_queue(self, host_factory):
+        host = host_factory()
+        d = host.dict("d", capacity=4)
+        q = host.queue("q", capacity=4)
+        assert d.len_nonspec() == 0
+        assert q.size_nonspec() == 0
+
+    def test_duplicate_names_rejected(self, host_factory):
+        host = host_factory()
+        host.cell("x", 0)
+        with pytest.raises(MemoryError_):
+            host.cell("x", 0)
+
+    def test_regions_do_not_overlap(self, host_factory):
+        host = host_factory()
+        a = host.array("a", 10)
+        b = host.array("b", 10)
+        assert (a.region.base + a.region.size <= b.region.base
+                or b.region.base + b.region.size <= a.region.base)

@@ -1,0 +1,25 @@
+"""Every example must run end to end (they double as integration tests)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True,
+        timeout=600)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "examples must print their results"
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 4
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
