@@ -14,6 +14,7 @@ Set ``REPRO_BENCH_CORES=1,4,16,64,256`` to override the core-count sweep.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 from typing import Iterable, List, Optional
@@ -52,12 +53,27 @@ def run_once(app, inp, variant: str, n_cores: int, *,
                    check=check, max_cycles=max_cycles, **build_options)
 
 
-def emit(name: str, text: str) -> None:
-    """Print a result table and persist it under benchmarks/results/."""
+def emit(name: str, text: str,
+         runs: Optional[Iterable[AppRun]] = None) -> None:
+    """Print a result table and persist it under benchmarks/results/.
+
+    When ``runs`` is given, the structured stats are also written to
+    ``results/{name}.json`` (one ``RunStats.to_dict()`` per run), so
+    downstream consumers (collect_experiments.py) can rebuild tables from
+    data instead of scraping the text.
+    """
     print(f"\n===== {name} =====")
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if runs is not None:
+        doc = {"schema": "repro.bench-runs/1",
+               "runs": [{"app": r.app.rsplit(".", 1)[-1],
+                         "variant": r.variant,
+                         "n_cores": r.n_cores,
+                         "stats": r.stats.to_dict()} for r in runs]}
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(doc, indent=2) + "\n")
 
 
 def once(benchmark, fn):

@@ -24,7 +24,8 @@ def sweep(cores):
     rows = [[f"{n}c"] + [f"{base / runs[(v, n)].makespan:.2f}x"
                          for v in VARIANTS]
             for n in cores]
-    emit("fig06_mis_speedup", format_table(["cores"] + list(VARIANTS), rows))
+    emit("fig06_mis_speedup", format_table(["cores"] + list(VARIANTS), rows),
+         runs=runs.values())
     return runs
 
 

@@ -36,7 +36,8 @@ def breakdowns(top, apps=APPS):
                 ])
     emit(f"fig14b_breakdowns_{top}c",
          format_table(["run", "conflicts", "commit", "abort", "spill",
-                       "stall", "empty"], rows))
+                       "stall", "empty"], rows),
+         runs=results.values())
     return results
 
 

@@ -34,7 +34,8 @@ def breakdowns(top, apps=APPS):
                          run.stats.tasks_aborted])
     emit(f"fig15b_breakdowns_{top}c",
          format_table(["run", "commit", "abort", "spill", "stall",
-                       "empty", "aborted-attempts"], rows))
+                       "empty", "aborted-attempts"], rows),
+         runs=results.values())
     return results
 
 

@@ -1,12 +1,26 @@
 #!/usr/bin/env python
 """Assemble the measured-results section of EXPERIMENTS.md from
-benchmarks/results/*.txt (run after the bench suite)."""
+benchmarks/results/ (run after the bench suite).
 
+Benches that pass ``runs=`` to :func:`_common.emit` persist a structured
+``{stem}.json`` (one ``RunStats.to_dict()`` per run) next to the text
+table; those sections are rebuilt here from the data via
+``RunStats.from_dict`` — no text scraping. Sections without a JSON file
+fall back to the stored text table verbatim.
+"""
+
+import json
 import pathlib
+import sys
 
 HERE = pathlib.Path(__file__).resolve().parent
 RESULTS = HERE / "results"
 EXPERIMENTS = HERE.parent / "EXPERIMENTS.md"
+
+sys.path.insert(0, str(HERE.parent / "src"))
+
+from repro.bench.report import format_table  # noqa: E402
+from repro.core.stats import RunStats  # noqa: E402
 
 #: result file stem -> (section title, paper context line)
 SECTIONS = {
@@ -105,13 +119,36 @@ SECTIONS = {
 }
 
 
-def _matching(stem):
+def _matching(stem, suffix=".txt"):
     """The result file for ``stem``, or its per-subset tagged variants
     (the quick pytest benches emit e.g. fig17_stamp_16c_nesting.txt)."""
-    exact = RESULTS / f"{stem}.txt"
+    exact = RESULTS / f"{stem}{suffix}"
     if exact.exists():
         return [exact]
-    return sorted(RESULTS.glob(f"{stem}_*.txt"))
+    return sorted(RESULTS.glob(f"{stem}_*{suffix}"))
+
+
+def _render_runs_json(path):
+    """Rebuild a breakdown table from a structured {stem}.json export.
+
+    Every row is recomputed from ``RunStats.from_dict`` — the numbers come
+    from the run's metrics registry, not from the stored text table.
+    """
+    doc = json.loads(path.read_text())
+    rows = []
+    for entry in doc.get("runs", []):
+        stats = RunStats.from_dict(entry["stats"])
+        f = stats.breakdown.fractions()
+        rows.append([
+            f"{entry['app']}-{entry['variant']}", f"{entry['n_cores']}c",
+            f"{stats.makespan:,}",
+            f"{f['committed']:.1%}", f"{f['aborted']:.1%}",
+            f"{f['spill']:.1%}", f"{f['stall']:.1%}", f"{f['empty']:.1%}",
+            stats.tasks_committed, stats.tasks_aborted,
+        ])
+    return format_table(
+        ["run", "cores", "makespan", "commit", "abort", "spill", "stall",
+         "empty", "committed", "aborted-attempts"], rows)
 
 
 def main():
@@ -122,11 +159,18 @@ def main():
     found = 0
     for stem, (title, context) in SECTIONS.items():
         paths = _matching(stem)
+        json_paths = _matching(stem, suffix=".json")
         parts.append(f"\n### {title}\n\n{context}\n")
         if paths:
             found += 1
             body = "\n\n".join(p.read_text().rstrip() for p in paths)
             parts.append("\n```\n" + body + "\n```\n")
+            if json_paths:
+                body = "\n\n".join(_render_runs_json(p) for p in json_paths)
+                parts.append(
+                    "\nRegenerated from the structured metrics-JSON export "
+                    "(`RunStats.from_dict`, no text scraping):\n"
+                    "\n```\n" + body + "\n```\n")
         else:
             parts.append("\n*(not yet generated — run the bench suite)*\n")
     EXPERIMENTS.write_text("".join(parts))

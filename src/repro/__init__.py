@@ -60,6 +60,17 @@ from .core import (
     TaskState,
     audit_serializability,
 )
+from .telemetry import (
+    EventBus,
+    EventRecorder,
+    JsonlExporter,
+    MetricsRegistry,
+    metrics_snapshot,
+    to_perfetto,
+    write_events_jsonl,
+    write_metrics_json,
+    write_perfetto,
+)
 from .core.highlevel import (
     callcc,
     enqueue_all,
@@ -111,6 +122,15 @@ __all__ = [
     "TaskDesc",
     "TaskState",
     "audit_serializability",
+    "EventBus",
+    "EventRecorder",
+    "JsonlExporter",
+    "MetricsRegistry",
+    "metrics_snapshot",
+    "to_perfetto",
+    "write_events_jsonl",
+    "write_metrics_json",
+    "write_perfetto",
     "callcc",
     "enqueue_all",
     "enqueue_all_ordered",

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from ..telemetry.events import GvtTickEvent
+
 
 class GvtArbiter:
     """Computes commit frontiers and queues zoom requests."""
@@ -21,6 +23,8 @@ class GvtArbiter:
         self.base_stack: List[Tuple[object, int]] = []
         #: outstanding zoom requests: ("in"|"out", requesting task)
         self.zoom_requests: List[Tuple[str, object]] = []
+        #: telemetry bus (installed by the simulator; None/falsy = off)
+        self.bus = None
         # stats
         self.ticks = 0
         self.commits_total = 0
@@ -31,6 +35,13 @@ class GvtArbiter:
     def next_tick(self, now: int) -> int:
         """Cycle of the next arbiter update after ``now``."""
         return now + self.commit_interval
+
+    def note_tick(self, now: int, n_live: int, n_finished: int) -> None:
+        """Record one arbiter update (and emit its telemetry event)."""
+        self.ticks += 1
+        if self.bus:
+            self.bus.emit(GvtTickEvent(now, n_live, n_finished,
+                                       self.commits_total))
 
     @staticmethod
     def min_unfinished_key(sources) -> Optional[tuple]:

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from ..telemetry.events import DivertEvent
+
 
 def _mix(x: int) -> int:
     """SplitMix64 finalizer — a cheap, well-distributed integer hash."""
@@ -32,6 +34,10 @@ class HintScheduler:
         self.threshold = load_balance_threshold
         self._seed = _mix(seed + 0x9E3779B97F4A7C15)
         self._rr = 0
+        #: telemetry (installed by the simulator): bus emits a DivertEvent
+        #: whenever load balancing overrides a hint's home tile
+        self.bus = None
+        self.clock = None
 
     def tile_for(self, hint: Optional[int], units: Sequence) -> int:
         """Destination tile for a task with this hint.
@@ -54,6 +60,8 @@ class HintScheduler:
                        key=lambda t: units[t].pending_count)
         min_len = units[min_tile].pending_count
         if home_len > min_len + self.threshold:
+            if self.bus:
+                self.bus.emit(DivertEvent(self.clock(), hint, home, min_tile))
             return min_tile
         return home
 

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..telemetry.events import SpillEvent
+
 
 class SpillBuffer:
     """An in-memory buffer of spilled pending tasks (one per splitter)."""
@@ -55,6 +57,11 @@ class CoalescerJob:
         self.tile_id = tile_id
         self.duration = duration
 
+    def finish_event(self, now: int, n_tasks: int) -> SpillEvent:
+        """The telemetry event for this job's completion."""
+        return SpillEvent(now, self.tile_id, self.kind, n_tasks,
+                          self.duration)
+
     def __repr__(self) -> str:
         return f"Coalescer(tile={self.tile_id})"
 
@@ -75,6 +82,11 @@ class SplitterJob:
         self.tile_id = tile_id
         self.buffer = buffer
         self.duration = duration
+
+    def finish_event(self, now: int, n_tasks: int) -> SpillEvent:
+        """The telemetry event for this job's completion."""
+        return SpillEvent(now, self.tile_id, self.kind, n_tasks,
+                          self.duration)
 
     def __repr__(self) -> str:
         return f"Splitter(tile={self.tile_id}, {len(self.buffer)} tasks)"

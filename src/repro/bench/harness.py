@@ -14,6 +14,7 @@ from ..config import SystemConfig
 from ..core.serial import SerialExecutor
 from ..core.simulator import Simulator
 from ..core.stats import RunStats
+from ..telemetry import EventBus
 from ..vt import Ordering
 
 
@@ -31,6 +32,16 @@ class AppRun:
     def makespan(self) -> int:
         return self.stats.makespan
 
+    @property
+    def sim(self) -> Simulator:
+        """The simulator that produced this run (metrics live on it)."""
+        return self.handles["_sim"]
+
+    @property
+    def metrics(self):
+        """The run's :class:`repro.telemetry.MetricsRegistry`."""
+        return self.sim.metrics
+
 
 def _root_ordering(app, variant: str) -> Ordering:
     fn = getattr(app, "root_ordering", None)
@@ -41,12 +52,19 @@ def run_app(app, inp, variant: str = "fractal", n_cores: int = 4, *,
             config: Optional[SystemConfig] = None, check: bool = True,
             audit: bool = False, enable_trace: bool = False,
             max_cycles: Optional[int] = None,
+            telemetry: Optional[EventBus] = None,
             **build_options) -> AppRun:
-    """Build and run ``app`` (a module from :mod:`repro.apps`)."""
+    """Build and run ``app`` (a module from :mod:`repro.apps`).
+
+    ``telemetry`` is an :class:`~repro.telemetry.EventBus` with the
+    caller's subscribers (recorders, exporters) already attached; the
+    simulator publishes its event stream to it.
+    """
     cfg = config or SystemConfig.with_cores(n_cores)
     sim = Simulator(cfg, root_ordering=_root_ordering(app, variant),
                     name=f"{app.__name__.rsplit('.', 1)[-1]}-{variant}",
-                    enable_trace=enable_trace, enable_audit=audit)
+                    enable_trace=enable_trace, enable_audit=audit,
+                    bus=telemetry)
     handles = app.build(sim, inp, variant=variant, **build_options)
     stats = sim.run(max_cycles=max_cycles)
     if audit:
@@ -74,16 +92,19 @@ def run_serial(app, inp, variant: str = "fractal", *, check: bool = True,
 
 def sweep_cores(app, inp, variants: Iterable[str], core_counts: Iterable[int],
                 *, config_for=None, check: bool = True,
+                telemetry: Optional[EventBus] = None,
                 **build_options) -> List[AppRun]:
     """Run every (variant, core count) pair; returns all runs.
 
     ``config_for(n_cores, variant)`` may supply custom configs (e.g. the
-    precise-conflict runs of Fig. 14a).
+    precise-conflict runs of Fig. 14a). A ``telemetry`` bus is shared by
+    every run in the sweep; subscribers see the concatenated streams.
     """
     runs = []
     for variant in variants:
         for n in core_counts:
             cfg = config_for(n, variant) if config_for else None
             runs.append(run_app(app, inp, variant=variant, n_cores=n,
-                                config=cfg, check=check, **build_options))
+                                config=cfg, check=check, telemetry=telemetry,
+                                **build_options))
     return runs

@@ -3,7 +3,11 @@
 Commands:
 
 - ``run <app>`` — run one benchmark application on the simulator and
-  print its statistics (optionally against the serial reference).
+  print its statistics (optionally against the serial reference). The
+  telemetry flags export the run: ``--trace-out`` streams a JSONL event
+  log, ``--perfetto`` writes a Chrome/Perfetto trace, ``--metrics-out``
+  dumps the metrics registry + RunStats as JSON. Exits non-zero when the
+  result check fails (1) or the simulator hits an internal error (2).
 - ``apps`` — list available applications and their variants.
 - ``config`` — print the paper's Table 2 system configuration.
 - ``sweep <app>`` — scaling sweep over core counts with a speedup table
@@ -21,6 +25,9 @@ from .bench.harness import run_app, run_serial, sweep_cores
 from .bench.plots import speedup_chart
 from .bench.report import format_table, speedup_table
 from .config import SystemConfig
+from .errors import AppError, SimulationError
+from .telemetry import (EventBus, EventRecorder, JsonlExporter,
+                        to_perfetto, write_metrics_json, write_perfetto)
 
 #: app name -> (module path, variants)
 APPS = {
@@ -75,6 +82,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--serial", action="store_true",
                        help="also run the serial reference")
     p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="stream the event log to PATH as JSON Lines")
+    p_run.add_argument("--perfetto", metavar="PATH", default=None,
+                       help="write a Chrome/Perfetto trace JSON to PATH")
+    p_run.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="write the metrics registry + stats JSON to PATH")
 
     p_sweep = sub.add_parser("sweep", help="scaling sweep over core counts")
     p_sweep.add_argument("app")
@@ -97,12 +110,57 @@ def _cmd_run(args) -> int:
     cfg = SystemConfig.with_cores(args.cores, conflict_mode=args.conflicts,
                                   use_hints=not args.no_hints,
                                   seed=args.seed)
-    run = run_app(app, inp, variant=variant, n_cores=args.cores, config=cfg,
-                  audit=args.audit)
+
+    bus = recorder = exporter = None
+    if args.trace_out or args.perfetto:
+        bus = EventBus()
+        if args.perfetto:
+            recorder = EventRecorder()
+            bus.subscribe(recorder)
+        if args.trace_out:
+            try:
+                exporter = JsonlExporter(args.trace_out)
+            except OSError as exc:
+                print(f"cannot open --trace-out: {exc}", file=sys.stderr)
+                return 1
+            bus.subscribe(exporter)
+
+    try:
+        run = run_app(app, inp, variant=variant, n_cores=args.cores,
+                      config=cfg, audit=args.audit, telemetry=bus)
+    except SimulationError as exc:
+        print(f"simulation error: {exc}", file=sys.stderr)
+        return 2
+    except AppError as exc:
+        print(f"result check: FAILED — {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if exporter is not None:
+            exporter.close()
+
+    sim_name = f"{args.app}-{variant}"
+    try:
+        if recorder is not None:
+            write_perfetto(recorder.events, args.perfetto, sim_name=sim_name)
+            print(f"perfetto trace: {args.perfetto} "
+                  f"({len(recorder)} events)")
+        if exporter is not None:
+            print(f"event log: {args.trace_out} ({exporter.n_events} events)")
+        if args.metrics_out:
+            write_metrics_json(run.metrics, args.metrics_out, stats=run.stats)
+            print(f"metrics: {args.metrics_out}")
+    except OSError as exc:
+        print(f"cannot write export: {exc}", file=sys.stderr)
+        return 1
+
     print(run.stats.summary())
     print("result check: OK")
     if args.serial:
-        host = run_serial(app, inp, variant=variant)
+        try:
+            host = run_serial(app, inp, variant=variant)
+        except AppError as exc:
+            print(f"serial reference check: FAILED — {exc}", file=sys.stderr)
+            return 1
         print(f"serial reference: {host.cycles:,} cycles "
               f"({host.tasks_executed:,} tasks)")
         if host.cycles:

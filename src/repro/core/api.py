@@ -146,7 +146,7 @@ class TaskContext:
             # Elide the level: mark the caller's own domain as the
             # "subdomain" so enqueue_sub routes tasks to it.
             self.task.subdomain = self.task.domain
-            self.sim.stats.domains_flattened += 1
+            self.sim.metrics.inc("domains_flattened")
             return self.task.domain
         sub = Domain(ordering, creator=self.task, parent=self.task.domain)
         self.task.subdomain = sub

@@ -40,6 +40,10 @@ from ..errors import DomainError, SimulationError
 from ..mem.address import AddressSpace
 from ..mem.conflicts import make_conflict_model
 from ..mem.memory import SpecMemory
+from ..telemetry import events as tev
+from ..telemetry.bus import EventBus
+from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.timeline import TraceBuilder
 from ..vt import DomainVT, FractalVT, Ordering, TiebreakerAllocator
 from ..vt.tiebreaker import WrapAround
 from .api import NeedZoomIn, NeedZoomOut, TaskAborted, TaskContext
@@ -63,23 +67,39 @@ class Simulator(AllocAPI):
     def __init__(self, config: Optional[SystemConfig] = None, *,
                  root_ordering: Ordering = Ordering.UNORDERED,
                  name: str = "sim", enable_trace: bool = False,
-                 enable_audit: bool = True):
+                 enable_audit: bool = True,
+                 bus: Optional[EventBus] = None):
         self.config = config or SystemConfig.with_cores(4)
         self.name = name
         cfg = self.config
+
+        # Telemetry: every run owns a metrics registry (the single source
+        # of truth RunStats is rebuilt from) and an event bus. Emission
+        # sites guard on ``self._ebus`` — the bus when it has subscribers,
+        # else None — so a disabled run pays one None check per site (a
+        # truthiness test on the bus itself would call Python-level
+        # ``__bool__`` tens of thousands of times). Subscribers must
+        # attach before run(); _refresh_ebus() re-checks there.
+        self.metrics = MetricsRegistry()
+        self.bus = bus if bus is not None else EventBus()
+        self._ebus: Optional[EventBus] = None
 
         self.space = AddressSpace(cfg.line_bytes, cfg.n_tiles)
         self.conflicts = make_conflict_model(
             cfg.conflict_mode, bits=cfg.bloom_bits, ways=cfg.bloom_ways,
             seed=cfg.seed)
+        self.conflicts._live_gauge = self.metrics.gauge(
+            "live_speculative_tasks")
         self.memory = SpecMemory(self.space, self.conflicts)
         self.memory.abort_cascade = self._abort_cascade
+        self.memory.clock = lambda: self.now
         self.noc = MeshNoC(cfg.mesh_dim, cfg.latency.hop_straight,
                            cfg.latency.hop_turn)
         self.cache = CacheModel(self.space, self.noc, cfg.latency,
                                 seed=cfg.seed)
         self.scheduler = HintScheduler(cfg.n_tiles, cfg.use_hints,
                                        cfg.load_balance_threshold, cfg.seed)
+        self.scheduler.clock = lambda: self.now
         self.arbiter = GvtArbiter(cfg.commit_interval)
         core_bits = max(4, (max(cfg.n_cores - 1, 1)).bit_length())
         self.alloc = TiebreakerAllocator(cfg.tiebreaker_bits, core_bits)
@@ -123,10 +143,47 @@ class Simulator(AllocAPI):
         self.enable_audit = enable_audit
         self.commit_log: List[TaskDesc] = []
         self._initial_snapshot: Optional[Dict[int, Any]] = None
-        self.trace = Trace() if enable_trace else None
+        # The ASCII timeline is now just one bus consumer.
+        self.trace: Optional[Trace] = None
+        if enable_trace:
+            self.trace = Trace()
+            self.bus.subscribe(TraceBuilder(self.trace))
+        self._refresh_ebus()
 
         self.stats = RunStats(name=name, n_cores=cfg.n_cores)
         self._ran = False
+        self._cascade_seq = 0
+
+        # Cached metric handles for the hot accounting paths. Cycle
+        # categories carry a per-core label; task outcomes a per-depth
+        # label; enqueues a per-tile label.
+        m = self.metrics
+        self._m_cycles = {
+            cat: [m.counter("cycles", category=cat, core=c)
+                  for c in range(cfg.n_cores)]
+            for cat in ("committed", "aborted", "spill", "stall")}
+        self._m_enqueues = [m.counter("enqueues", tile=t)
+                            for t in range(cfg.n_tiles)]
+        self._m_tasks: Dict[Tuple[str, int], Any] = {}
+        self._m_spilled = m.counter("tasks_spilled")
+        self._m_domains = m.counter("domains_created")
+        self._m_wraps = m.counter("tiebreaker_wraparounds")
+        self._m_depth = m.gauge("max_depth")
+        self._m_depth.set(1)
+        self._m_task_len = m.histogram("committed_task_cycles")
+
+    def _refresh_ebus(self) -> None:
+        """Sync the cached emission handle with the bus's subscriber state.
+
+        Called at construction and again when run() starts, so subscribers
+        attached between the two still see the run-time event stream
+        (build-phase enqueues are only observable to subscribers attached
+        before the enqueue happens).
+        """
+        self._ebus = self.bus if self.bus._subs else None
+        self.memory.bus = self._ebus
+        self.scheduler.bus = self._ebus
+        self.arbiter.bus = self._ebus
 
     # ==================================================================
     # program construction
@@ -158,6 +215,7 @@ class Simulator(AllocAPI):
         if self._ran:
             raise SimulationError("a Simulator instance runs exactly once")
         self._ran = True
+        self._refresh_ebus()
         if self.enable_audit:
             self._initial_snapshot = dict(self.memory._values)
 
@@ -218,16 +276,30 @@ class Simulator(AllocAPI):
     # ==================================================================
     # enqueue / admit
     # ==================================================================
+    def _task_counter(self, outcome: str, depth: int):
+        """Cached ``tasks{outcome=,depth=}`` counter handle."""
+        key = (outcome, depth)
+        ctr = self._m_tasks.get(key)
+        if ctr is None:
+            ctr = self._m_tasks[key] = self.metrics.counter(
+                "tasks", outcome=outcome, depth=depth)
+        return ctr
+
     def _admit(self, task: TaskDesc) -> None:
         """Place a new or re-enqueued pending task into a task unit."""
         units = [t.unit for t in self.tiles]
         tile_id = self.scheduler.tile_for(task.hint, units)
         self._live[task] = None
         self.tiles[tile_id].unit.enqueue(task)
-        self.stats.enqueues += 1
+        self._m_enqueues[tile_id].value += 1
         task.domain.tasks_created += 1
-        if task.domain.depth > self.stats.max_depth:
-            self.stats.max_depth = task.domain.depth
+        depth = task.domain.depth
+        if depth > self._m_depth.value:
+            self._m_depth.value = depth
+        if self._ebus is not None:
+            self._ebus.emit(tev.EnqueueEvent(
+                self.now, task.tid, task.label, tile_id, depth,
+                task.parent.tid if task.parent is not None else None))
         self._maybe_spill(tile_id)
         if self._ran:
             self._wake_tile(tile_id)
@@ -353,6 +425,10 @@ class Simulator(AllocAPI):
         core.job = task
         task.begin_attempt()
         self.memory.attach_owner(task)
+        if self._ebus is not None:
+            self._ebus.emit(tev.DispatchEvent(
+                self.now, task.tid, task.label, core.cid, core.tile_id,
+                task.attempt))
 
         ctx = TaskContext(self, task, core.tile_id, core.cid)
         ctx.cycles = self.config.dequeue_cost
@@ -389,6 +465,9 @@ class Simulator(AllocAPI):
             return  # stale: the attempt was aborted while "running"
         unit = self.tiles[core.tile_id].unit
         task.finish_time = self.now
+        if self._ebus is not None:
+            self._ebus.emit(tev.FinishEvent(self.now, task.tid, core.cid,
+                                          task.duration))
         if unit.acquire_commit_entry():
             task.state = TaskState.FINISHED
             self._finished.append(task)
@@ -407,7 +486,8 @@ class Simulator(AllocAPI):
     def _on_tick(self) -> None:
         if not self._live:
             return
-        self.arbiter.ticks += 1
+        self.arbiter.note_tick(self.now, len(self._live),
+                               len(self._finished))
         gvt = self._compute_gvt()
         if self._finished:
             self._finished.sort(key=TaskDesc.order_key)
@@ -482,7 +562,7 @@ class Simulator(AllocAPI):
         return best
 
     def _note_subdomain(self, domain) -> None:
-        self.stats.domains_created += 1
+        self._m_domains.inc()
 
     def _commit_one(self, task: TaskDesc) -> None:
         key = task.order_key()
@@ -500,7 +580,8 @@ class Simulator(AllocAPI):
         elif task.state is TaskState.FINISH_STALLED:
             cunit = self.tiles[core.tile_id].unit
             cunit.finish_stalled.remove(task)
-            self.stats.breakdown.stall += self.now - task.finish_time
+            self._m_cycles["stall"][core.cid].value += (
+                self.now - task.finish_time)
             core.job = None
             self._wake_tile(core.tile_id)
         else:
@@ -510,16 +591,18 @@ class Simulator(AllocAPI):
         self._commit_seq += 1
         task.commit_time = self.now
         self._live.pop(task, None)
-        self.stats.breakdown.committed += task.duration
-        self.stats.tasks_committed += 1
+        depth = task.domain.depth
+        self._m_cycles["committed"][core.cid].value += task.duration
+        self._task_counter("committed", depth).value += 1
+        self._m_task_len.observe(task.duration)
         task.domain.tasks_committed += 1
         self.arbiter.commits_total += 1
         if self.enable_audit:
             self.commit_log.append(task)
-        if self.trace is not None:
-            self.trace.record(core.cid, task.dispatch_time,
-                              task.dispatch_time + task.duration,
-                              task.label, "committed")
+        if self._ebus is not None:
+            self._ebus.emit(tev.CommitEvent(
+                self.now, task.tid, task.label, core.cid,
+                task.dispatch_time, task.duration, depth))
 
     def _promote_stalled(self, tile_id: int) -> None:
         unit = self.tiles[tile_id].unit
@@ -528,7 +611,8 @@ class Simulator(AllocAPI):
             unit.finish_stalled.remove(stalled)
             unit.acquire_commit_entry()
             stalled.state = TaskState.FINISHED
-            self.stats.breakdown.stall += self.now - stalled.finish_time
+            self._m_cycles["stall"][stalled.core.cid].value += (
+                self.now - stalled.finish_time)
             stalled.finish_time = self.now
             stalled.core.job = None
             self._wake_tile(tile_id)
@@ -544,21 +628,38 @@ class Simulator(AllocAPI):
         (or listed in ``squash_extra``) are squashed — the re-executing
         parent will recreate them.
         """
-        cascade: Dict[TaskDesc, None] = {}
-        stack = list(victims)
-        while stack:
-            t = stack.pop()
-            if t in cascade or not t.is_live:
-                continue
-            cascade[t] = None
-            stack.extend(t.children)
-            stack.extend(t.dependents)
+        self._cascade_seq += 1
+        cascade_id = self._cascade_seq
+        # Each victim's hop distance from the seed set feeds the
+        # abort-chain-depth telemetry (how far one conflict propagated).
+        # Hops only surface in events, so the disabled path skips the
+        # (task, hop) pair bookkeeping entirely.
+        cascade: Dict[TaskDesc, int] = {}
+        if self._ebus is not None:
+            stack = [(v, 0) for v in victims]
+            while stack:
+                t, hop = stack.pop()
+                if t in cascade or not t.is_live:
+                    continue
+                cascade[t] = hop
+                stack.extend((c, hop + 1) for c in t.children)
+                stack.extend((d, hop + 1) for d in t.dependents)
+        else:
+            plain = list(victims)
+            while plain:
+                t = plain.pop()
+                if t in cascade or not t.is_live:
+                    continue
+                cascade[t] = 0
+                plain.extend(t.children)
+                plain.extend(t.dependents)
         for t in sorted(cascade, key=TaskDesc.order_key, reverse=True):
             squash = (t.parent is not None and t.parent in cascade) or (
                 squash_extra is not None and t in squash_extra)
-            self._undo_one(t, squash, reason)
+            self._undo_one(t, squash, reason, cascade_id, cascade[t])
 
-    def _undo_one(self, task: TaskDesc, squash: bool, reason: str) -> None:
+    def _undo_one(self, task: TaskDesc, squash: bool, reason: str,
+                  cascade_id: int = -1, hop: int = 0) -> None:
         state = task.state
         if state in (TaskState.RUNNING, TaskState.FINISH_STALLED,
                      TaskState.FINISHED):
@@ -573,12 +674,18 @@ class Simulator(AllocAPI):
             # finished victims roll back inside the task unit.
             if state is TaskState.RUNNING:
                 executed += self.config.abort_penalty
-            self.stats.breakdown.aborted += executed
-            self.stats.tasks_aborted += 1
-            if self.trace is not None and executed:
-                self.trace.record(task.core.cid, task.dispatch_time,
-                                  task.dispatch_time + executed,
-                                  task.label, "aborted")
+            self._m_cycles["aborted"][task.core.cid].value += executed
+            key = ("aborted", task.domain.depth)
+            ctr = self._m_tasks.get(key)
+            if ctr is None:
+                ctr = self._m_tasks[key] = self.metrics.counter(
+                    "tasks", outcome="aborted", depth=key[1])
+            ctr.value += 1
+            if self._ebus is not None:
+                self._ebus.emit(tev.AbortEvent(
+                    self.now, task.tid, task.label, task.core.cid,
+                    task.dispatch_time, executed, reason, False,
+                    cascade_id, hop))
             if task is not self._executing:
                 core = task.core
                 unit = self.tiles[core.tile_id].unit
@@ -589,7 +696,8 @@ class Simulator(AllocAPI):
                 elif state is TaskState.FINISH_STALLED:
                     unit.finish_stalled.remove(task)
                     self._finished.remove(task)
-                    self.stats.breakdown.stall += self.now - task.finish_time
+                    self._m_cycles["stall"][core.cid].value += (
+                        self.now - task.finish_time)
                     core.job = None
                     self._wake_tile(core.tile_id)
                 else:
@@ -618,7 +726,15 @@ class Simulator(AllocAPI):
             task.state = TaskState.SQUASHED
             self._live.pop(task, None)
             self._limbo.pop(task, None)
-            self.stats.tasks_squashed += 1
+            key = ("squashed", task.domain.depth)
+            ctr = self._m_tasks.get(key)
+            if ctr is None:
+                ctr = self._m_tasks[key] = self.metrics.counter(
+                    "tasks", outcome="squashed", depth=key[1])
+            ctr.value += 1
+            if self._ebus is not None:
+                self._ebus.emit(tev.SquashEvent(self.now, task.tid, task.label,
+                                              reason, cascade_id, hop))
         else:
             # Hold the task in limbo for the rollback latency so it cannot
             # re-dispatch (and re-conflict) within the same cycle.
@@ -639,7 +755,12 @@ class Simulator(AllocAPI):
                                 f"zoom-{direction} park",
                                 squash_extra=set(task.children))
         self.memory.rollback(task)
-        self.stats.breakdown.aborted += ctx.cycles
+        self._m_cycles["aborted"][task.core.cid].value += ctx.cycles
+        if self._ebus is not None:
+            self._ebus.emit(tev.AbortEvent(
+                self.now, task.tid, task.label, task.core.cid,
+                task.dispatch_time, ctx.cycles, f"zoom-{direction} park",
+                True, -1, 0))
         task.state = TaskState.WAIT_ZOOM
         self.zoom.park(task, direction, needed_bits)
         self._ensure_tick()
@@ -704,7 +825,7 @@ class Simulator(AllocAPI):
         core.job = None
         tile_id = core.tile_id
         unit = self.tiles[tile_id].unit
-        self.stats.breakdown.spill += job.duration
+        self._m_cycles["spill"][core.cid].value += job.duration
         if job.kind == "coalescer":
             self._coalescer_queued[tile_id] = False
             spillable = [t for t in unit.live_pending()
@@ -728,27 +849,34 @@ class Simulator(AllocAPI):
                     t.state = TaskState.SPILLED
                     t.spill_buffer = buf
                 self._spill_buffers.append(buf)
-                self.stats.tasks_spilled += len(victims)
+                self._m_spilled.value += len(victims)
                 duration = max(1, self.config.splitter_cost_per_task
                                * len(victims))
                 self._special_jobs[tile_id].append(
                     SplitterJob(tile_id, buf, duration))
+            if self._ebus is not None:
+                self._ebus.emit(job.finish_event(self.now, len(victims)))
         else:  # splitter
             buf = job.buffer
             if buf in self._spill_buffers:
                 self._spill_buffers.remove(buf)
-            for t in list(buf.tasks):
+            restored = list(buf.tasks)
+            for t in restored:
                 buf.remove(t)
                 t.state = TaskState.PENDING
                 t.spill_buffer = None
                 self._requeue(t)
+            if self._ebus is not None:
+                self._ebus.emit(job.finish_event(self.now, len(restored)))
         self._dispatch_tile(tile_id)
 
     # ==================================================================
     # tiebreaker wrap-around (paper Sec. 4.4)
     # ==================================================================
     def _compact_tiebreakers(self) -> None:
-        self.stats.tiebreaker_wraparounds += 1
+        self._m_wraps.inc()
+        if self._ebus is not None:
+            self._ebus.emit(tev.WraparoundEvent(self.now, len(self._live)))
         for t in self._live:
             t.vt = t.vt.compacted(self.alloc)
         self.alloc.compact(self.now)
@@ -766,19 +894,50 @@ class Simulator(AllocAPI):
     # wrap-up
     # ==================================================================
     def _finalize_stats(self) -> None:
+        """Fold module-owned counters into the registry, then rebuild
+        :class:`RunStats` from it — the registry is the only set of books."""
+        m = self.metrics
         s = self.stats
         s.makespan = self.now
-        total = s.n_cores * s.makespan
-        used = (s.breakdown.committed + s.breakdown.aborted
-                + s.breakdown.spill + s.breakdown.stall)
-        s.breakdown.empty = max(total - used, 0)
-        s.true_conflicts = self.memory.n_true_conflicts
-        s.false_positive_conflicts = getattr(self.conflicts,
-                                             "false_positives", 0)
-        s.zoom_ins = self.arbiter.zoom_ins
-        s.zoom_outs = self.arbiter.zoom_outs
-        s.gvt_ticks = self.arbiter.ticks
-        s.cache = self.cache.snapshot()
+
+        m.counter("conflicts", kind="true").value = \
+            self.memory.n_true_conflicts
+        m.counter("conflicts", kind="false_positive").value = getattr(
+            self.conflicts, "false_positives", 0)
+        m.counter("zooms", direction="in").value = self.arbiter.zoom_ins
+        m.counter("zooms", direction="out").value = self.arbiter.zoom_outs
+        m.counter("gvt_ticks").value = self.arbiter.ticks
+        m.counter("mem_accesses", op="load").value = self.memory.n_loads
+        m.counter("mem_accesses", op="store").value = self.memory.n_stores
+        for key, value in self.cache.snapshot().items():
+            m.counter("cache", event=key).value = value
+
+        bd = s.breakdown
+        bd.committed = m.total("cycles", category="committed")
+        bd.aborted = m.total("cycles", category="aborted")
+        bd.spill = m.total("cycles", category="spill")
+        bd.stall = m.total("cycles", category="stall")
+        used = bd.committed + bd.aborted + bd.spill + bd.stall
+        bd.empty = max(s.n_cores * s.makespan - used, 0)
+        m.counter("cycles", category="empty").value = bd.empty
+
+        s.tasks_committed = m.total("tasks", outcome="committed")
+        s.tasks_aborted = m.total("tasks", outcome="aborted")
+        s.tasks_squashed = m.total("tasks", outcome="squashed")
+        s.tasks_spilled = self._m_spilled.value
+        s.enqueues = m.total("enqueues")
+        s.domains_created = self._m_domains.value
+        s.domains_flattened = m.counter("domains_flattened").value
+        s.max_depth = self._m_depth.value
+        s.tiebreaker_wraparounds = self._m_wraps.value
+        s.true_conflicts = m.counter("conflicts", kind="true").value
+        s.false_positive_conflicts = m.counter(
+            "conflicts", kind="false_positive").value
+        s.zoom_ins = m.counter("zooms", direction="in").value
+        s.zoom_outs = m.counter("zooms", direction="out").value
+        s.gvt_ticks = m.counter("gvt_ticks").value
+        s.cache = {labels["event"]: c.value
+                   for labels, c in m.counters_named("cache")}
 
     # ------------------------------------------------------------------
     def audit(self) -> None:

@@ -11,7 +11,7 @@ The paper classifies every core cycle as one of:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, Optional
 
 
@@ -29,6 +29,16 @@ class CycleBreakdown:
     def total(self) -> int:
         """All core cycles: n_cores x makespan."""
         return self.committed + self.aborted + self.spill + self.stall + self.empty
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-safe category totals."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, int]) -> "CycleBreakdown":
+        """Inverse of :meth:`to_dict` (unknown keys ignored)."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in d.items() if k in known})
 
     def fractions(self) -> Dict[str, float]:
         """Per-category shares of total core cycles (Figs. 14b/15b bars)."""
@@ -92,6 +102,25 @@ class RunStats:
         """Aborted attempts / all attempts."""
         attempts = self.tasks_committed + self.tasks_aborted
         return self.tasks_aborted / attempts if attempts else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON round-trip export (nested :class:`CycleBreakdown` included).
+
+        The machine-readable form benchmarks persist instead of scraping
+        report text; ``from_dict(to_dict(s)) == s`` field-for-field.
+        """
+        d = asdict(self)
+        d["breakdown"] = self.breakdown.to_dict()
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunStats":
+        """Rebuild a :class:`RunStats` from its :meth:`to_dict` form."""
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in d.items() if k in known}
+        kwargs["breakdown"] = CycleBreakdown.from_dict(d.get("breakdown", {}))
+        kwargs["cache"] = dict(d.get("cache", {}))
+        return cls(**kwargs)
 
     def speedup_over(self, baseline: "RunStats") -> float:
         """Speedup of this run relative to ``baseline`` (same work)."""

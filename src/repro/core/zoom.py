@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..errors import SimulationError
+from ..telemetry.events import ZoomEvent
 from ..vt import DomainVT, FractalVT, Ordering, Tiebreaker
 from .task import TaskState
 from ..arch.spill import SpillBuffer
@@ -168,6 +169,9 @@ class ZoomController:
                     f"{base_dvt!r}")
             t.vt = t.vt.drop_base()
         sim._rebuild_queues()
+        if sim._ebus is not None:
+            sim._ebus.emit(ZoomEvent(sim.now, "in", len(self.frames),
+                                     len(victims)))
 
     def zoom_out(self) -> None:
         """Restore the most recently spilled base domain."""
@@ -182,8 +186,12 @@ class ZoomController:
         # active tasks, so this changes no order relations.
         for t in sim._active_live():
             t.vt = t.vt.with_base(restored)
-        for t in list(frame.buffer.tasks):
+        restored_tasks = list(frame.buffer.tasks)
+        for t in restored_tasks:
             t.state = TaskState.PENDING
             t.spill_buffer = None
             sim._requeue(t)
         sim._rebuild_queues()
+        if sim._ebus is not None:
+            sim._ebus.emit(ZoomEvent(sim.now, "out", len(self.frames),
+                                     len(restored_tasks)))

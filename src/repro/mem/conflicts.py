@@ -39,6 +39,10 @@ class ConflictPolicy:
 
     name = "abstract"
 
+    #: peak-live-tasks gauge (installed by the simulator; None = off).
+    #: register() implementations bump it inline to keep the hot path flat.
+    _live_gauge = None
+
     def register(self, owner) -> None:
         """Called when ``owner`` starts running speculatively."""
         raise NotImplementedError
@@ -70,6 +74,9 @@ class PreciseConflictModel(ConflictPolicy):
 
     def register(self, owner) -> None:
         self._live.add(owner)
+        g = self._live_gauge
+        if g is not None and len(self._live) > g.value:
+            g.value = len(self._live)
         owner.sig_read = None
         owner.sig_write = None
 
@@ -106,6 +113,9 @@ class BloomConflictModel(ConflictPolicy):
     # ------------------------------------------------------------------
     def register(self, owner) -> None:
         self._live.add(owner)
+        g = self._live_gauge
+        if g is not None and len(self._live) > g.value:
+            g.value = len(self._live)
         owner.sig_read = BloomSignature(self.family)
         owner.sig_write = BloomSignature(self.family)
         owner._fp_cached = 0.0

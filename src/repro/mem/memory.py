@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set
 
 from ..errors import MemoryError_, SimulationError
+from ..telemetry.events import ConflictEvent
 from .address import AddressSpace
 from .conflicts import ConflictPolicy, PreciseConflictModel
 from .undo_log import UndoLog
@@ -85,6 +86,10 @@ class SpecMemory:
         #: initialization pokes (fresh SpecDict slots) into the audit's
         #: initial snapshot.
         self.on_poke: Optional[Callable[[int, Any], None]] = None
+        #: telemetry (installed by the simulator): a falsy bus disables
+        #: conflict events; ``clock`` supplies the current cycle.
+        self.bus = None
+        self.clock: Callable[[], int] = lambda: 0
         # counters
         self.n_loads = 0
         self.n_stores = 0
@@ -151,6 +156,8 @@ class SpecMemory:
                        if w is not owner and w.order_key() > key]
             if victims:
                 self.n_true_conflicts += len(victims)
+                if self.bus:
+                    self._emit_conflict("read-write", owner, victims, line)
                 self._abort(victims, "read-write conflict")
             self._abort_if_earlier_writer_running(owner, line, key)
             if owner.aborted:
@@ -197,6 +204,8 @@ class SpecMemory:
                            and w not in victims)
         if victims:
             self.n_true_conflicts += len(victims)
+            if self.bus:
+                self._emit_conflict("write", owner, victims, line)
             self._abort(victims, "write conflict")
         if chain:
             self._abort_if_earlier_writer_running(owner, line, key)
@@ -254,8 +263,21 @@ class SpecMemory:
                 finish = getattr(w, "dispatch_time", 0) + getattr(w, "duration", 0)
                 owner.retry_after = max(getattr(owner, "retry_after", 0), finish)
                 self.n_true_conflicts += 1
+                if self.bus:
+                    self._emit_conflict("premature-access", w, [owner], line)
                 self._abort([owner], "access during earlier writer")
                 return
+
+    def _emit_conflict(self, cause: str, aggressor, victims: List,
+                       line: int) -> None:
+        """Publish a :class:`ConflictEvent` (callers guard on ``self.bus``)."""
+        self.bus.emit(ConflictEvent(
+            self.clock(), line, cause,
+            getattr(aggressor, "tid", -1), repr(getattr(aggressor, "vt", None)),
+            getattr(getattr(aggressor, "core", None), "cid", None),
+            [getattr(v, "tid", -1) for v in victims],
+            [repr(getattr(v, "vt", None)) for v in victims],
+            [getattr(getattr(v, "core", None), "cid", None) for v in victims]))
 
     def _abort(self, victims: List, reason: str) -> None:
         if self.abort_cascade is None:
@@ -270,6 +292,9 @@ class SpecMemory:
         # Hardware aborts the later of the two; "both signatures matched"
         # carries no direction, so VT decides.
         victim = owner if owner.order_key() > other.order_key() else other
+        if self.bus:
+            aggressor = other if victim is owner else owner
+            self._emit_conflict("false-positive", aggressor, [victim], line)
         self._abort([victim], "false positive")
 
     # ------------------------------------------------------------------

@@ -1,0 +1,93 @@
+"""repro.telemetry — structured observability for simulation runs.
+
+Three layers (see README "Observability"):
+
+- :class:`EventBus` + typed :mod:`events <repro.telemetry.events>` — every
+  observable state transition (dispatch, finish, abort+cause, squash,
+  conflict with addresses/VTs, commit, enqueue, spill, zoom, tiebreaker
+  wraparound, GVT tick) as a timestamped event, zero-overhead when no
+  subscriber is attached;
+- :class:`MetricsRegistry` — labeled counters/gauges/histograms that are
+  the single source of truth :class:`repro.core.stats.RunStats` is rebuilt
+  from;
+- exporters — JSONL event logs, Chrome/Perfetto ``trace_event`` JSON,
+  metrics-JSON snapshots — plus derived analyses (abort cascades,
+  conflict hot addresses, per-depth abort ratios) and the ASCII timeline
+  rebuilt as a bus consumer.
+"""
+
+from .bus import EventBus, EventRecorder
+from .events import (
+    EVENT_SCHEMA,
+    EVENT_TYPES,
+    AbortEvent,
+    CommitEvent,
+    ConflictEvent,
+    DispatchEvent,
+    DivertEvent,
+    EnqueueEvent,
+    Event,
+    FinishEvent,
+    GvtTickEvent,
+    SpillEvent,
+    SquashEvent,
+    WraparoundEvent,
+    ZoomEvent,
+    event_from_dict,
+)
+from .export import (
+    JsonlExporter,
+    metrics_snapshot,
+    read_events_jsonl,
+    write_events_jsonl,
+    write_metrics_json,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .perfetto import to_perfetto, write_perfetto
+
+_VALIDATE_NAMES = ("ValidationError", "validate_event_dict",
+                   "validate_jsonl")
+
+
+def __getattr__(name):
+    # Lazy so ``python -m repro.telemetry.validate`` does not import the
+    # module twice (once via the package, once as __main__).
+    if name in _VALIDATE_NAMES:
+        from . import validate
+        return getattr(validate, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "EVENT_TYPES",
+    "AbortEvent",
+    "CommitEvent",
+    "ConflictEvent",
+    "Counter",
+    "DispatchEvent",
+    "DivertEvent",
+    "EnqueueEvent",
+    "Event",
+    "EventBus",
+    "EventRecorder",
+    "FinishEvent",
+    "Gauge",
+    "GvtTickEvent",
+    "Histogram",
+    "JsonlExporter",
+    "MetricsRegistry",
+    "SpillEvent",
+    "SquashEvent",
+    "ValidationError",
+    "WraparoundEvent",
+    "ZoomEvent",
+    "event_from_dict",
+    "metrics_snapshot",
+    "read_events_jsonl",
+    "to_perfetto",
+    "validate_event_dict",
+    "validate_jsonl",
+    "write_events_jsonl",
+    "write_metrics_json",
+    "write_perfetto",
+]

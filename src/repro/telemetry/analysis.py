@@ -1,0 +1,104 @@
+"""Derived analyses over a recorded event stream / metrics registry.
+
+Offline answers to the questions the paper's evaluation asks of a run:
+where aborted work comes from (cascade sizes and chain depths), which
+addresses are contended (conflict hot-address top-K), and how abort
+behaviour varies with nesting depth (per-domain-depth abort ratios —
+the Figs. 14b/15b narrative).
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from typing import Dict, Iterable, List, Tuple
+
+from .events import Event
+from .metrics import MetricsRegistry
+
+
+def abort_cascades(events: Iterable[Event]) -> List[dict]:
+    """Summarize every abort cascade in the stream.
+
+    Returns one dict per cascade id: ``{"cascade", "t", "size", "depth",
+    "aborted", "squashed", "reasons"}`` where ``depth`` is the longest
+    victim chain (max hop + 1) — how far one conflict propagated through
+    children and data-dependents.
+    """
+    agg: Dict[int, dict] = {}
+    for e in events:
+        if e.KIND not in ("abort", "squash") or getattr(e, "cascade", -1) < 0:
+            continue
+        c = agg.get(e.cascade)
+        if c is None:
+            c = agg[e.cascade] = {"cascade": e.cascade, "t": e.t, "size": 0,
+                                  "depth": 0, "aborted": 0, "squashed": 0,
+                                  "reasons": set()}
+        c["size"] += 1
+        c["depth"] = max(c["depth"], e.hop + 1)
+        c["aborted" if e.KIND == "abort" else "squashed"] += 1
+        c["reasons"].add(e.reason)
+    out = sorted(agg.values(), key=lambda c: c["cascade"])
+    for c in out:
+        c["reasons"] = sorted(c["reasons"])
+    return out
+
+
+def abort_chain_depth_histogram(events: Iterable[Event]) -> Dict[int, int]:
+    """Cascade chain depth -> number of cascades reaching it."""
+    hist: Dict[int, int] = {}
+    for c in abort_cascades(events):
+        hist[c["depth"]] = hist.get(c["depth"], 0) + 1
+    return dict(sorted(hist.items()))
+
+
+def conflict_hot_addresses(events: Iterable[Event],
+                           k: int = 10) -> List[Tuple[int, int]]:
+    """Top-``k`` conflicting cache lines as ``(line, n_conflicts)``.
+
+    Each conflict event counts once per victim it killed — the cost
+    measure, not the occurrence measure.
+    """
+    tally: TallyCounter = TallyCounter()
+    for e in events:
+        if e.KIND == "conflict":
+            tally[e.line] += max(len(e.victims), 1)
+    return tally.most_common(k)
+
+
+def per_depth_abort_ratios(metrics: MetricsRegistry) -> Dict[int, float]:
+    """Domain depth -> aborted attempts / all attempts at that depth.
+
+    Reads the ``tasks{outcome=,depth=}`` counters the simulator maintains;
+    depths with no attempts are omitted.
+    """
+    committed: Dict[int, int] = {}
+    aborted: Dict[int, int] = {}
+    for labels, counter in metrics.counters_named("tasks"):
+        depth = labels.get("depth")
+        if depth is None:
+            continue
+        if labels.get("outcome") == "committed":
+            committed[depth] = committed.get(depth, 0) + counter.value
+        elif labels.get("outcome") == "aborted":
+            aborted[depth] = aborted.get(depth, 0) + counter.value
+    out: Dict[int, float] = {}
+    for depth in sorted(set(committed) | set(aborted)):
+        attempts = committed.get(depth, 0) + aborted.get(depth, 0)
+        if attempts:
+            out[depth] = aborted.get(depth, 0) / attempts
+    return out
+
+
+def summarize(events: Iterable[Event], metrics: MetricsRegistry,
+              top_k: int = 5) -> dict:
+    """One-stop derived-analysis bundle for reports and the metrics JSON."""
+    events = list(events)
+    cascades = abort_cascades(events)
+    return {
+        "abort_cascades": len(cascades),
+        "max_abort_chain_depth": max((c["depth"] for c in cascades),
+                                     default=0),
+        "abort_chain_depth_histogram": abort_chain_depth_histogram(events),
+        "conflict_hot_addresses": conflict_hot_addresses(events, top_k),
+        "per_depth_abort_ratios": per_depth_abort_ratios(metrics),
+    }

@@ -1,0 +1,86 @@
+"""The event bus: a zero-overhead-when-disabled subscriber fan-out.
+
+Producers hold a bus and guard every emission site with its truthiness::
+
+    if self.bus:
+        self.bus.emit(CommitEvent(...))
+
+With no subscribers the bus is falsy, so a disabled run pays one attribute
+access and boolean check per site — no event objects are ever built.
+Subscribers are plain callables invoked synchronously, in subscription
+order, with each event.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Sequence
+
+from .events import Event
+
+Subscriber = Callable[[Event], None]
+
+
+class EventBus:
+    """Synchronous publish/subscribe fan-out for simulation events."""
+
+    __slots__ = ("_subs",)
+
+    def __init__(self):
+        self._subs: List[Subscriber] = []
+
+    def __bool__(self) -> bool:
+        return bool(self._subs)
+
+    @property
+    def enabled(self) -> bool:
+        """True when at least one subscriber is attached."""
+        return bool(self._subs)
+
+    def subscribe(self, fn: Subscriber) -> Subscriber:
+        """Attach ``fn``; returns it so it can be unsubscribed later."""
+        self._subs.append(fn)
+        return fn
+
+    def unsubscribe(self, fn: Subscriber) -> None:
+        """Detach a subscriber (no-op when absent)."""
+        try:
+            self._subs.remove(fn)
+        except ValueError:
+            pass
+
+    def emit(self, event: Event) -> None:
+        """Deliver ``event`` to every subscriber, in subscription order."""
+        for fn in self._subs:
+            fn(event)
+
+
+class EventRecorder:
+    """A subscriber that collects events in memory (optionally filtered).
+
+    The standard consumer for exporters and offline analysis::
+
+        bus = EventBus()
+        rec = EventRecorder()
+        bus.subscribe(rec)
+        ... run ...
+        commits = rec.of("commit")
+    """
+
+    def __init__(self, kinds: Optional[Sequence[str]] = None):
+        self.events: List[Event] = []
+        self._kinds = frozenset(kinds) if kinds is not None else None
+
+    def __call__(self, event: Event) -> None:
+        if self._kinds is None or event.KIND in self._kinds:
+            self.events.append(event)
+
+    def of(self, *kinds: str) -> List[Event]:
+        """All recorded events whose kind is one of ``kinds``."""
+        wanted = frozenset(kinds)
+        return [e for e in self.events if e.KIND in wanted]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)

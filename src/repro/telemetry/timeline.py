@@ -1,0 +1,35 @@
+"""The ASCII timeline as an event-stream consumer.
+
+:class:`TraceBuilder` subscribes to a run's bus and reconstructs the
+:class:`repro.core.trace.Trace` that :func:`repro.core.trace.render_timeline`
+draws — the simulator no longer records trace segments itself; the Fig. 1
+chart is just one more telemetry consumer.
+"""
+
+from __future__ import annotations
+
+from ..core.trace import Trace
+from .events import Event
+
+
+class TraceBuilder:
+    """Bus subscriber that turns commit/abort events into trace segments.
+
+    Zoom-park rollbacks (``AbortEvent.parked``) are skipped to keep the
+    rendered timelines identical to the pre-telemetry charts, which only
+    showed counted aborts.
+    """
+
+    def __init__(self, trace: Trace):
+        self.trace = trace
+
+    def __call__(self, event: Event) -> None:
+        kind = event.KIND
+        if kind == "commit":
+            self.trace.record(event.core, event.start,
+                              event.start + event.duration,
+                              event.label, "committed")
+        elif kind == "abort" and not event.parked and event.core is not None:
+            self.trace.record(event.core, event.start,
+                              event.start + event.executed,
+                              event.label, "aborted")

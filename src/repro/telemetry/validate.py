@@ -1,0 +1,78 @@
+"""JSONL event-log validation against :data:`EVENT_SCHEMA`.
+
+Run as a module (the CI smoke job does)::
+
+    python -m repro.telemetry.validate trace.jsonl
+
+Exit code 0 = every line is a well-formed event of a known kind with all
+required fields and a non-negative integer timestamp; 1 = first violation
+is printed to stderr.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List, Optional
+
+from .events import EVENT_SCHEMA
+
+
+class ValidationError(ValueError):
+    """A JSONL line that is not a schema-conforming event."""
+
+
+def validate_event_dict(d: dict) -> None:
+    """Raise :class:`ValidationError` unless ``d`` is a valid event."""
+    kind = d.get("kind")
+    if kind not in EVENT_SCHEMA:
+        raise ValidationError(f"unknown event kind {kind!r}")
+    missing = [f for f in EVENT_SCHEMA[kind] if f not in d]
+    if missing:
+        raise ValidationError(f"{kind} event missing fields {missing}")
+    t = d.get("t")
+    if not isinstance(t, int) or isinstance(t, bool) or t < 0:
+        raise ValidationError(f"{kind} event has bad timestamp t={t!r}")
+
+
+def validate_jsonl(path) -> int:
+    """Validate a JSONL event log; returns the number of valid events."""
+    n = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                d = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValidationError(f"line {lineno}: not JSON ({exc})")
+            if not isinstance(d, dict):
+                raise ValidationError(f"line {lineno}: not an object")
+            try:
+                validate_event_dict(d)
+            except ValidationError as exc:
+                raise ValidationError(f"line {lineno}: {exc}")
+            n += 1
+    if n == 0:
+        raise ValidationError(f"{path}: no events")
+    return n
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.telemetry.validate <trace.jsonl>",
+              file=sys.stderr)
+        return 2
+    try:
+        n = validate_jsonl(argv[0])
+    except (OSError, ValidationError) as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    print(f"OK: {n} events conform to the schema")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

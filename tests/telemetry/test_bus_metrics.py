@@ -1,0 +1,120 @@
+"""Unit tests for the event bus and metrics registry."""
+
+import pytest
+
+from repro.telemetry import (
+    Counter,
+    EventBus,
+    EventRecorder,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.events import CommitEvent, FinishEvent
+
+
+def _commit(t=10, tid=1):
+    return CommitEvent(t, tid, "task", core=0, start=0, duration=10, depth=1)
+
+
+class TestEventBus:
+    def test_empty_bus_is_falsy(self):
+        bus = EventBus()
+        assert not bus
+        assert not bus.enabled
+
+    def test_bus_with_subscriber_is_truthy(self):
+        bus = EventBus()
+        bus.subscribe(lambda e: None)
+        assert bus
+        assert bus.enabled
+
+    def test_emit_delivers_in_subscription_order(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe(lambda e: order.append("a"))
+        bus.subscribe(lambda e: order.append("b"))
+        bus.emit(_commit())
+        assert order == ["a", "b"]
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        fn = bus.subscribe(seen.append)
+        bus.unsubscribe(fn)
+        assert not bus
+        bus.unsubscribe(fn)  # no-op when absent
+        bus.emit(_commit())
+        assert seen == []
+
+    def test_recorder_collects_and_filters(self):
+        bus = EventBus()
+        rec = bus.subscribe(EventRecorder())
+        only_commits = bus.subscribe(EventRecorder(kinds=("commit",)))
+        bus.emit(_commit(tid=1))
+        bus.emit(FinishEvent(5, 2, 0, 5))
+        assert len(rec) == 2
+        assert len(only_commits) == 1
+        assert [e.tid for e in rec.of("commit")] == [1]
+        assert [e.KIND for e in rec] == ["commit", "finish"]
+
+
+class TestMetrics:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_gauge_set_and_track_max(self):
+        g = Gauge()
+        g.set(3)
+        g.track_max(7)
+        g.track_max(2)
+        assert g.value == 7
+
+    def test_histogram_buckets_mean(self):
+        h = Histogram(bounds=(10, 100))
+        for v in (5, 50, 500):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == 555
+        assert snap["mean"] == pytest.approx(185.0)
+        assert snap["buckets"] == {"le_10": 1, "le_100": 1, "inf": 1}
+
+    def test_registry_get_or_create_identity(self):
+        m = MetricsRegistry()
+        a = m.counter("cycles", core=0, category="committed")
+        b = m.counter("cycles", category="committed", core=0)
+        assert a is b  # label order does not matter
+
+    def test_total_with_label_match(self):
+        m = MetricsRegistry()
+        m.inc("cycles", 10, category="committed", core=0)
+        m.inc("cycles", 20, category="committed", core=1)
+        m.inc("cycles", 5, category="aborted", core=0)
+        assert m.total("cycles", category="committed") == 30
+        assert m.total("cycles", core=0) == 15
+        assert m.total("cycles") == 35
+        assert m.total("missing") == 0
+
+    def test_counters_named(self):
+        m = MetricsRegistry()
+        m.inc("tasks", 2, outcome="committed", depth=1)
+        rows = m.counters_named("tasks")
+        assert len(rows) == 1
+        labels, counter = rows[0]
+        assert labels == {"outcome": "committed", "depth": 1}
+        assert counter.value == 2
+
+    def test_snapshot_shape(self):
+        m = MetricsRegistry()
+        m.inc("enqueues", tile=0)
+        m.gauge("max_depth").set(3)
+        m.histogram("lengths").observe(12)
+        snap = m.snapshot()
+        assert snap["counters"] == [
+            {"name": "enqueues", "labels": {"tile": 0}, "value": 1}]
+        assert snap["gauges"][0]["value"] == 3
+        assert snap["histograms"][0]["value"]["count"] == 1

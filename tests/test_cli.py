@@ -63,3 +63,84 @@ class TestCli:
             assert hasattr(mod, "make_input")
             assert hasattr(mod, "build")
             assert hasattr(mod, "check")
+
+
+class TestTelemetryFlags:
+    def test_trace_out_writes_valid_jsonl(self, tmp_path):
+        from repro.telemetry import read_events_jsonl
+        from repro.telemetry.validate import validate_jsonl
+        path = tmp_path / "t.jsonl"
+        assert main(["run", "mis", "--cores", "4",
+                     "--trace-out", str(path)]) == 0
+        n = validate_jsonl(path)
+        assert n > 0
+        events = read_events_jsonl(path)
+        assert {e.KIND for e in events} >= {"enqueue", "dispatch", "commit"}
+
+    def test_perfetto_and_metrics_out(self, tmp_path, capsys):
+        import json
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "m.json"
+        assert main(["run", "mis", "--cores", "4", "--perfetto", str(trace),
+                     "--metrics-out", str(metrics)]) == 0
+        doc = json.loads(trace.read_text())
+        assert doc["traceEvents"]
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+        m = json.loads(metrics.read_text())
+        assert m["schema"] == "repro.metrics/1"
+        # acceptance: registry cycle totals == the reported breakdown
+        totals = {}
+        for c in m["metrics"]["counters"]:
+            if c["name"] == "cycles":
+                cat = c["labels"]["category"]
+                totals[cat] = totals.get(cat, 0) + c["value"]
+        assert totals == m["stats"]["breakdown"]
+
+    def test_metrics_out_without_event_flags(self, tmp_path):
+        import json
+        metrics = tmp_path / "m.json"
+        assert main(["run", "silo", "--cores", "4",
+                     "--metrics-out", str(metrics)]) == 0
+        m = json.loads(metrics.read_text())
+        assert m["stats"]["tasks_committed"] > 0
+
+
+class TestExitCodes:
+    def test_check_failure_exits_1(self, monkeypatch, capsys):
+        from repro.apps import mis
+        from repro.errors import AppError
+
+        def bad_check(handles, inp):
+            raise AppError("forced failure")
+
+        monkeypatch.setattr(mis, "check", bad_check)
+        assert main(["run", "mis", "--cores", "4"]) == 1
+        assert "FAILED" in capsys.readouterr().err
+
+    def test_simulation_error_exits_2(self, monkeypatch, capsys):
+        from repro.apps import mis
+        from repro.errors import SimulationError
+
+        def bad_build(sim, inp, variant, **kw):
+            raise SimulationError("forced invariant violation")
+
+        monkeypatch.setattr(mis, "build", bad_build)
+        assert main(["run", "mis", "--cores", "4"]) == 2
+        assert "simulation error" in capsys.readouterr().err
+
+    def test_serial_check_failure_exits_1(self, monkeypatch, capsys):
+        from repro.apps import mis
+        from repro.errors import AppError
+
+        calls = {"n": 0}
+        real_check = mis.check
+
+        def second_check_fails(handles, inp):
+            calls["n"] += 1
+            if calls["n"] > 1:
+                raise AppError("serial mismatch")
+            return real_check(handles, inp)
+
+        monkeypatch.setattr(mis, "check", second_check_fails)
+        assert main(["run", "mis", "--cores", "4", "--serial"]) == 1
+        assert "serial reference check: FAILED" in capsys.readouterr().err
