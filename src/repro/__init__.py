@@ -35,6 +35,7 @@ from .errors import (
     QueueError,
     SerializabilityViolation,
     SimulationError,
+    TaskExecutionError,
     TimestampError,
     VTBudgetExceeded,
     VTError,
@@ -98,6 +99,7 @@ __all__ = [
     "QueueError",
     "SerializabilityViolation",
     "SimulationError",
+    "TaskExecutionError",
     "TimestampError",
     "VTBudgetExceeded",
     "VTError",

@@ -39,27 +39,37 @@ class HintScheduler:
         self.bus = None
         self.clock = None
 
-    def tile_for(self, hint: Optional[int], units: Sequence) -> int:
+    def tile_for(self, hint: Optional[int], units: Sequence,
+                 hard_cap: bool = False) -> int:
         """Destination tile for a task with this hint.
 
         ``units`` are the per-tile :class:`repro.arch.task_unit.TaskUnit`\\ s,
-        consulted for queue occupancy.
+        consulted for queue occupancy. With ``hard_cap`` (set by the
+        simulator's resilience machinery), a physically full home queue
+        always diverts to the least-loaded tile, trading locality for not
+        tripping the overflow degradation path.
         """
         if self.n_tiles == 1:
             return 0
         if hint is None or not self.use_hints:
             tile = self._rr
             self._rr = (self._rr + 1) % self.n_tiles
+            if hard_cap and units[tile].pending_count >= units[tile].task_queue_cap:
+                tile = min(range(self.n_tiles),
+                           key=lambda t: units[t].pending_count)
             return tile
         home = _mix(hint ^ self._seed) % self.n_tiles
         home_len = units[home].pending_count
         # Divert only when the home queue is clearly overloaded.
-        if home_len < self.threshold:
+        if home_len < self.threshold and not (
+                hard_cap and home_len >= units[home].task_queue_cap):
             return home
         min_tile = min(range(self.n_tiles),
                        key=lambda t: units[t].pending_count)
         min_len = units[min_tile].pending_count
-        if home_len > min_len + self.threshold:
+        if home_len > min_len + self.threshold or (
+                hard_cap and home_len >= units[home].task_queue_cap
+                and min_len < home_len):
             if self.bus:
                 self.bus.emit(DivertEvent(self.clock(), hint, home, min_tile))
             return min_tile

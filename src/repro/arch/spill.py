@@ -13,9 +13,30 @@ those buffers live on the zoom stack in :mod:`repro.core.zoom`.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional
 
+from ..core.task import TaskState
 from ..telemetry.events import SpillEvent
+
+
+def select_spill_victims(pending: List, stripped_key: Callable,
+                         batch: int) -> List:
+    """Choose up to ``batch`` tasks to spill from ``pending``.
+
+    Only tasks whose parents have committed (or are roots) can leave the
+    queue — spilled tasks must survive any abort cascade. Victims are the
+    *latest* in program order under ``stripped_key`` (frozen lower bounds
+    would mark freshly-requeued early work as "latest" and bounce it
+    straight back to memory), and the earliest spillable task always stays
+    resident: spilling it while it holds the GVT starves every commit.
+    """
+    spillable = [t for t in pending
+                 if t.parent is None
+                 or t.parent.state is TaskState.COMMITTED]
+    spillable.sort(key=lambda t: stripped_key(t.order_key()), reverse=True)
+    if spillable:
+        spillable.pop()
+    return spillable[:batch]
 
 
 class SpillBuffer:

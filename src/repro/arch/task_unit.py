@@ -106,6 +106,20 @@ class TaskUnit:
         """Occupied fraction of the task queue (spill trigger input)."""
         return self.pending_count / self.task_queue_cap
 
+    def snapshot(self) -> dict:
+        """JSON-safe queue state for crash bundles (repro.faults)."""
+        return {
+            "tile": self.tile_id,
+            "pending": self.pending_count,
+            "task_queue_cap": self.task_queue_cap,
+            "commit_occupancy": self.commit_occupancy,
+            "commit_queue_cap": self.commit_queue_cap,
+            "finish_stalled": [getattr(t, "tid", -1)
+                               for t in self.finish_stalled],
+            "peak_pending": self.peak_pending,
+            "peak_commit": self.peak_commit,
+        }
+
     # ------------------------------------------------------------------
     # commit queue
     # ------------------------------------------------------------------

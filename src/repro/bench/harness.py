@@ -53,23 +53,29 @@ def run_app(app, inp, variant: str = "fractal", n_cores: int = 4, *,
             audit: bool = False, enable_trace: bool = False,
             max_cycles: Optional[int] = None,
             telemetry: Optional[EventBus] = None,
+            faults=None, resilience=None,
+            crash_dump_dir: Optional[str] = None,
             **build_options) -> AppRun:
     """Build and run ``app`` (a module from :mod:`repro.apps`).
 
     ``telemetry`` is an :class:`~repro.telemetry.EventBus` with the
     caller's subscribers (recorders, exporters) already attached; the
-    simulator publishes its event stream to it.
+    simulator publishes its event stream to it. ``faults`` /
+    ``resilience`` / ``crash_dump_dir`` pass through to the simulator
+    (see :mod:`repro.faults`); a run stopped by the graceful watchdog
+    returns partial stats, so audit and result checks are skipped for it.
     """
     cfg = config or SystemConfig.with_cores(n_cores)
     sim = Simulator(cfg, root_ordering=_root_ordering(app, variant),
                     name=f"{app.__name__.rsplit('.', 1)[-1]}-{variant}",
                     enable_trace=enable_trace, enable_audit=audit,
-                    bus=telemetry)
+                    bus=telemetry, faults=faults, resilience=resilience,
+                    crash_dump_dir=crash_dump_dir)
     handles = app.build(sim, inp, variant=variant, **build_options)
     stats = sim.run(max_cycles=max_cycles)
-    if audit:
+    if audit and stats.completed:
         sim.audit()
-    if check:
+    if check and stats.completed:
         app.check(handles, inp)
     run = AppRun(app=app.__name__, variant=variant, n_cores=cfg.n_cores,
                  stats=stats, handles=handles)

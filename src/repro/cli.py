@@ -6,17 +6,27 @@ Commands:
   print its statistics (optionally against the serial reference). The
   telemetry flags export the run: ``--trace-out`` streams a JSONL event
   log, ``--perfetto`` writes a Chrome/Perfetto trace, ``--metrics-out``
-  dumps the metrics registry + RunStats as JSON. Exits non-zero when the
-  result check fails (1) or the simulator hits an internal error (2).
+  dumps the metrics registry + RunStats as JSON. The robustness flags
+  (see :mod:`repro.faults`): ``--faults`` loads a fault-injection plan,
+  ``--max-attempts`` bounds exception retries, ``--crash-dump-dir``
+  writes a crash bundle on failure.
 - ``apps`` — list available applications and their variants.
 - ``config`` — print the paper's Table 2 system configuration.
 - ``sweep <app>`` — scaling sweep over core counts with a speedup table
   and an ASCII chart.
+
+Exit codes (``run``): 0 success; 1 application failure (result check or
+:class:`repro.errors.AppError`, incl. a task exhausting its retries);
+2 simulator internal error or bad fault plan; 3 queue-resource
+exhaustion (:class:`repro.errors.QueueError`); 4 partial run — the
+resilience watchdog stopped the simulation and partial stats were
+reported.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import importlib
 import sys
 from typing import List, Optional
@@ -25,9 +35,19 @@ from .bench.harness import run_app, run_serial, sweep_cores
 from .bench.plots import speedup_chart
 from .bench.report import format_table, speedup_table
 from .config import SystemConfig
-from .errors import AppError, SimulationError
+from .errors import AppError, ConfigError, QueueError, SimulationError
+from .faults import ResiliencePolicy, load_fault_file
 from .telemetry import (EventBus, EventRecorder, JsonlExporter,
                         to_perfetto, write_metrics_json, write_perfetto)
+
+_EXIT_CODES = """\
+exit codes:
+  0  success
+  1  application failure (result check / AppError / retries exhausted)
+  2  simulator internal error, or an invalid --faults plan
+  3  queue-resource exhaustion (QueueError) despite degradation
+  4  partial run: the resilience watchdog stopped the simulation
+"""
 
 #: app name -> (module path, variants)
 APPS = {
@@ -69,7 +89,9 @@ def _build_parser() -> argparse.ArgumentParser:
                     "applications on the speculative simulator.")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_run = sub.add_parser("run", help="run one application")
+    p_run = sub.add_parser(
+        "run", help="run one application", epilog=_EXIT_CODES,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     p_run.add_argument("app", help="application name (see `apps`)")
     p_run.add_argument("--variant", default=None,
                        help="execution-model variant (default: best)")
@@ -88,6 +110,18 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write a Chrome/Perfetto trace JSON to PATH")
     p_run.add_argument("--metrics-out", metavar="PATH", default=None,
                        help="write the metrics registry + stats JSON to PATH")
+    p_run.add_argument("--faults", metavar="PLAN.json", default=None,
+                       help="inject faults from a seeded plan file "
+                            "(repro.faults; enables retry/backoff "
+                            "resilience unless the file disables it)")
+    p_run.add_argument("--max-attempts", type=int, default=None,
+                       metavar="N",
+                       help="retries-plus-one budget for task exceptions "
+                            "(enables the resilience policy; overrides "
+                            "the plan file's value)")
+    p_run.add_argument("--crash-dump-dir", metavar="DIR", default=None,
+                       help="write a JSON crash bundle here when the run "
+                            "fails or the watchdog fires")
 
     p_sweep = sub.add_parser("sweep", help="scaling sweep over core counts")
     p_sweep.add_argument("app")
@@ -101,6 +135,13 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _note_crash_dir(args) -> None:
+    """Point the user at the crash bundle after a failed run."""
+    if getattr(args, "crash_dump_dir", None):
+        print(f"crash bundle written under {args.crash_dump_dir}/",
+              file=sys.stderr)
+
+
 def _cmd_run(args) -> int:
     app, variants = _load(args.app)
     variant = args.variant or variants[-1]
@@ -110,6 +151,21 @@ def _cmd_run(args) -> int:
     cfg = SystemConfig.with_cores(args.cores, conflict_mode=args.conflicts,
                                   use_hints=not args.no_hints,
                                   seed=args.seed)
+
+    faults = resilience = None
+    if args.faults:
+        try:
+            faults, resilience = load_fault_file(args.faults)
+        except (OSError, ValueError, ConfigError) as exc:
+            print(f"cannot load --faults plan: {exc}", file=sys.stderr)
+            return 2
+        if resilience is None:
+            # injecting faults without any resilience would just crash
+            # the run; default to the standard retry/backoff policy
+            resilience = ResiliencePolicy()
+    if args.max_attempts is not None:
+        resilience = dataclasses.replace(resilience or ResiliencePolicy(),
+                                         max_attempts=args.max_attempts)
 
     bus = recorder = exporter = None
     if args.trace_out or args.perfetto:
@@ -127,12 +183,20 @@ def _cmd_run(args) -> int:
 
     try:
         run = run_app(app, inp, variant=variant, n_cores=args.cores,
-                      config=cfg, audit=args.audit, telemetry=bus)
+                      config=cfg, audit=args.audit, telemetry=bus,
+                      faults=faults, resilience=resilience,
+                      crash_dump_dir=args.crash_dump_dir)
+    except QueueError as exc:
+        print(f"queue exhaustion: {exc}", file=sys.stderr)
+        _note_crash_dir(args)
+        return 3
     except SimulationError as exc:
         print(f"simulation error: {exc}", file=sys.stderr)
+        _note_crash_dir(args)
         return 2
     except AppError as exc:
         print(f"result check: FAILED — {exc}", file=sys.stderr)
+        _note_crash_dir(args)
         return 1
     finally:
         if exporter is not None:
@@ -154,6 +218,15 @@ def _cmd_run(args) -> int:
         return 1
 
     print(run.stats.summary())
+    if not run.stats.completed:
+        failure = run.stats.failure
+        print(f"watchdog fired ({failure.get('limit_kind')}): partial "
+              f"stats above, {failure.get('n_live')} tasks left live",
+              file=sys.stderr)
+        if run.sim.crash_bundle_path:
+            print(f"crash bundle: {run.sim.crash_bundle_path}",
+                  file=sys.stderr)
+        return 4
     print("result check: OK")
     if args.serial:
         try:

@@ -27,21 +27,29 @@ queue dynamics and ordering exactly, and timing to first order.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Dict, List, Optional, Tuple
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..arch.cache import CacheModel
 from ..arch.gvt import GvtArbiter
 from ..arch.noc import MeshNoC
 from ..arch.scheduler import HintScheduler
-from ..arch.spill import CoalescerJob, SpillBuffer, SplitterJob
+from ..arch.spill import (CoalescerJob, SpillBuffer, SplitterJob,
+                          select_spill_victims)
 from ..arch.tile import Core, Tile
 from ..config import SystemConfig
-from ..errors import DomainError, SimulationError
+from ..errors import (DomainError, FractalError, QueueError,
+                      SerializabilityViolation, SimulationError,
+                      TaskExecutionError)
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan, InjectedFault
+from ..faults.resilience import (LivelockDetector, ResiliencePolicy,
+                                 backoff_delay)
 from ..mem.address import AddressSpace
 from ..mem.conflicts import make_conflict_model
 from ..mem.memory import SpecMemory
 from ..telemetry import events as tev
-from ..telemetry.bus import EventBus
+from ..telemetry.bus import EventBus, EventRingBuffer
 from ..telemetry.metrics import MetricsRegistry
 from ..telemetry.timeline import TraceBuilder
 from ..vt import DomainVT, FractalVT, Ordering, TiebreakerAllocator
@@ -50,7 +58,7 @@ from .api import NeedZoomIn, NeedZoomOut, TaskAborted, TaskContext
 from .domain import Domain
 from .hostbase import AllocAPI
 from .stats import CycleBreakdown, RunStats
-from .task import TaskDesc, TaskState
+from .task import TaskDesc, TaskState, tid_watermark
 from .trace import Trace
 from .zoom import ZoomController
 
@@ -61,6 +69,19 @@ _FINISH_SPECIAL = 3
 _REQUEUE = 4
 
 
+class _WatchdogFire(Exception):
+    """Internal control flow: a resilience watchdog limit was hit.
+
+    Raised from the tick handler to unwind the event loop without a
+    per-event flag check; run() catches it and returns partial stats.
+    """
+
+    def __init__(self, kind: str, limit: float):
+        super().__init__(kind)
+        self.kind = kind
+        self.limit = limit
+
+
 class Simulator(AllocAPI):
     """A Fractal chip executing one program."""
 
@@ -68,10 +89,34 @@ class Simulator(AllocAPI):
                  root_ordering: Ordering = Ordering.UNORDERED,
                  name: str = "sim", enable_trace: bool = False,
                  enable_audit: bool = True,
-                 bus: Optional[EventBus] = None):
+                 bus: Optional[EventBus] = None,
+                 faults: Optional[Union[FaultPlan, FaultInjector]] = None,
+                 resilience: Optional[ResiliencePolicy] = None,
+                 crash_dump_dir: Optional[str] = None):
         self.config = config or SystemConfig.with_cores(4)
         self.name = name
         cfg = self.config
+
+        # Fault injection & resilience (repro.faults). Both default off;
+        # every hook below guards on ``is not None`` so the vanilla path
+        # costs one None check per site (same discipline as telemetry).
+        if isinstance(faults, FaultPlan):
+            faults = FaultInjector(faults)
+        self._faults: Optional[FaultInjector] = faults
+        if faults is not None:
+            faults.clock = lambda: self.now
+            faults.tid_base = tid_watermark()
+        self._resil: Optional[ResiliencePolicy] = resilience
+        self._livelock: Optional[LivelockDetector] = (
+            LivelockDetector(resilience) if resilience is not None else None)
+        self.crash_dump_dir = crash_dump_dir
+        #: path of the bundle written by the last crash/watchdog, if any
+        self.crash_bundle_path: Optional[str] = None
+        self._crash_ring: Optional[EventRingBuffer] = None
+        self._safe_mode = False
+        self._throttled = False
+        self._aborts_total = 0
+        self._wall_start = 0.0
 
         # Telemetry: every run owns a metrics registry (the single source
         # of truth RunStats is rebuilt from) and an event bus. Emission
@@ -93,6 +138,8 @@ class Simulator(AllocAPI):
         self.memory = SpecMemory(self.space, self.conflicts)
         self.memory.abort_cascade = self._abort_cascade
         self.memory.clock = lambda: self.now
+        if faults is not None and faults.plan.conflict_rate > 0.0:
+            self.memory.fault_hook = faults.force_conflict
         self.noc = MeshNoC(cfg.mesh_dim, cfg.latency.hop_straight,
                            cfg.latency.hop_turn)
         self.cache = CacheModel(self.space, self.noc, cfg.latency,
@@ -105,11 +152,16 @@ class Simulator(AllocAPI):
         self.alloc = TiebreakerAllocator(cfg.tiebreaker_bits, core_bits)
         self.vt_budget = cfg.vt_bits
 
+        tq_cap = cfg.task_queue_per_tile
+        cq_cap = cfg.commit_queue_per_tile
+        if faults is not None:
+            # queue-squeeze site: shrunken physical capacities
+            tq_cap = faults.squeeze_capacity(tq_cap)
+            cq_cap = faults.squeeze_capacity(cq_cap)
         self.tiles: List[Tile] = []
         self.cores: List[Core] = []
         for t in range(cfg.n_tiles):
-            tile = Tile(t, cfg.cores_per_tile, cfg.task_queue_per_tile,
-                        cfg.commit_queue_per_tile)
+            tile = Tile(t, cfg.cores_per_tile, tq_cap, cq_cap)
             for _ in range(cfg.cores_per_tile):
                 core = Core(len(self.cores), t)
                 tile.cores.append(core)
@@ -148,6 +200,10 @@ class Simulator(AllocAPI):
         if enable_trace:
             self.trace = Trace()
             self.bus.subscribe(TraceBuilder(self.trace))
+        if crash_dump_dir is not None:
+            # last-N event ring feeding crash bundles (repro.faults.crashdump)
+            self._crash_ring = EventRingBuffer()
+            self.bus.subscribe(self._crash_ring)
         self._refresh_ebus()
 
         self.stats = RunStats(name=name, n_cores=cfg.n_cores)
@@ -171,6 +227,16 @@ class Simulator(AllocAPI):
         self._m_depth = m.gauge("max_depth")
         self._m_depth.set(1)
         self._m_task_len = m.histogram("committed_task_cycles")
+        # resilience counters exist only when a policy is active, so
+        # vanilla runs export byte-identical metrics to older versions
+        if resilience is not None:
+            self._m_exec_retries = m.counter("exec_fault_retries")
+            self._m_backoffs = m.counter("backoff_requeues")
+            self._m_safe_entries = m.counter("safe_mode_entries")
+        else:
+            self._m_exec_retries = None
+            self._m_backoffs = None
+            self._m_safe_entries = None
 
     def _refresh_ebus(self) -> None:
         """Sync the cached emission handle with the bus's subscriber state.
@@ -184,6 +250,8 @@ class Simulator(AllocAPI):
         self.memory.bus = self._ebus
         self.scheduler.bus = self._ebus
         self.arbiter.bus = self._ebus
+        if self._faults is not None:
+            self._faults.bus = self._ebus
 
     # ==================================================================
     # program construction
@@ -211,11 +279,18 @@ class Simulator(AllocAPI):
     # main loop
     # ==================================================================
     def run(self, max_cycles: Optional[int] = None) -> RunStats:
-        """Execute until all tasks commit; return the run's statistics."""
+        """Execute until all tasks commit; return the run's statistics.
+
+        ``max_cycles`` keeps its original hard-failure semantics (raise
+        :class:`SimulationError` on overrun). The graceful alternative is
+        :attr:`ResiliencePolicy.max_cycles` / ``max_wall_seconds``, which
+        stop the run and return partial stats with ``stats.failure`` set.
+        """
         if self._ran:
             raise SimulationError("a Simulator instance runs exactly once")
         self._ran = True
         self._refresh_ebus()
+        self._wall_start = time.monotonic()
         if self.enable_audit:
             self._initial_snapshot = dict(self.memory._values)
 
@@ -225,37 +300,46 @@ class Simulator(AllocAPI):
                 snap.setdefault(addr, value)
 
             self.memory.on_poke = fold_poke
-        for tile in self.tiles:
-            self._dispatch_tile(tile.tid)
-        self._ensure_tick()
-
         events = self._events
-        while events:
-            when, _, kind, payload = heapq.heappop(events)
-            if when < self.now:
-                raise SimulationError("time went backwards")
-            self.now = when
-            if max_cycles is not None and self.now > max_cycles:
-                raise SimulationError(
-                    f"exceeded max_cycles={max_cycles} with "
-                    f"{len(self._live)} live tasks")
-            if kind == _FINISH:
-                self._on_finish(*payload)
-            elif kind == _TICK:
-                self._tick_scheduled = False
-                self._on_tick()
-            elif kind == _CORE_FREE:
-                self._dispatch_tile(payload)
-            elif kind == _FINISH_SPECIAL:
-                self._on_finish_special(*payload)
-            elif kind == _REQUEUE:
-                self._on_requeue(payload)
+        try:
+            # initial dispatch runs task bodies too — keep it inside the
+            # crash-dump / watchdog envelope
+            for tile in self.tiles:
+                self._dispatch_tile(tile.tid)
+            self._ensure_tick()
+            while events:
+                when, _, kind, payload = heapq.heappop(events)
+                if when < self.now:
+                    raise SimulationError("time went backwards")
+                self.now = when
+                if max_cycles is not None and self.now > max_cycles:
+                    raise SimulationError(
+                        f"exceeded max_cycles={max_cycles} with "
+                        f"{len(self._live)} live tasks")
+                if kind == _FINISH:
+                    self._on_finish(*payload)
+                elif kind == _TICK:
+                    self._tick_scheduled = False
+                    self._on_tick()
+                elif kind == _CORE_FREE:
+                    self._dispatch_tile(payload)
+                elif kind == _FINISH_SPECIAL:
+                    self._on_finish_special(*payload)
+                elif kind == _REQUEUE:
+                    self._on_requeue(payload)
+        except _WatchdogFire as fire:
+            return self._watchdog_wrapup(fire)
+        except FractalError as exc:
+            self._dump_crash(type(exc).__name__, exc)
+            raise
 
         if self._live:
             stuck = list(self._live)[:5]
-            raise SimulationError(
+            exc = SimulationError(
                 f"simulation drained events with {len(self._live)} live "
                 f"tasks, e.g. {stuck}")
+            self._dump_crash("SimulationError", exc)
+            raise exc
         self.memory.assert_quiescent()
         self._finalize_stats()
         return self.stats
@@ -288,7 +372,8 @@ class Simulator(AllocAPI):
     def _admit(self, task: TaskDesc) -> None:
         """Place a new or re-enqueued pending task into a task unit."""
         units = [t.unit for t in self.tiles]
-        tile_id = self.scheduler.tile_for(task.hint, units)
+        tile_id = self.scheduler.tile_for(task.hint, units,
+                                          hard_cap=self._resil is not None)
         self._live[task] = None
         self.tiles[tile_id].unit.enqueue(task)
         self._m_enqueues[tile_id].value += 1
@@ -345,7 +430,15 @@ class Simulator(AllocAPI):
         for core in tile.cores:
             if not core.is_free:
                 continue
-            job = self._pick_job(tile)
+            allow_tasks = True
+            if self._safe_mode:
+                allow_tasks = self._safe_slot(tile)
+            elif self._throttled:
+                # throttled: at most one task in flight per tile, which
+                # shrinks the conflict window without stopping the chip
+                allow_tasks = not any(isinstance(c.job, TaskDesc)
+                                      for c in tile.cores)
+            job = self._pick_job(tile, allow_tasks)
             if job is None:
                 core.idle_since = self.now
                 continue
@@ -381,7 +474,7 @@ class Simulator(AllocAPI):
         return key[:-1] + ((key[-1][0],
                             self.alloc.lower_bound(self.now).raw),)
 
-    def _pick_job(self, tile: Tile):
+    def _pick_job(self, tile: Tile, allow_tasks: bool = True):
         specials = self._special_jobs[tile.tid]
         # Coalescers run ahead of everything. Splitters are deprioritized
         # behind regular tasks — but a splitter holding work in *program
@@ -403,11 +496,16 @@ class Simulator(AllocAPI):
                 if best_key is None or key < best_key:
                     best_i, best_key = i, key
         if best_i is not None:
+            if not allow_tasks:
+                # cores gated off tasks may still drain spilled work
+                return specials.pop(best_i)
             pending = tile.unit.live_pending()
             pending_key = (min(self._stripped(t.order_key())
                                for t in pending) if pending else None)
             if pending_key is None or best_key < pending_key:
                 return specials.pop(best_i)
+        if not allow_tasks:
+            return None
         return tile.unit.pop_best()
 
     def _dispatch_task(self, core: Core, task: TaskDesc) -> None:
@@ -434,6 +532,9 @@ class Simulator(AllocAPI):
         ctx.cycles = self.config.dequeue_cost
         self._executing, self._executing_ctx = task, ctx
         try:
+            if (self._faults is not None
+                    and self._faults.fail_attempt(task)):
+                raise InjectedFault("task_exception", task.tid, task.attempt)
             task.fn(ctx, *task.args)
         except TaskAborted:
             # the cascade already rolled us back and re-queued / squashed us
@@ -451,13 +552,81 @@ class Simulator(AllocAPI):
             core.job = None
             self._wake_tile(core.tile_id)
             return
+        except FractalError:
+            raise  # library invariants and typed API misuse stay fatal
+        except Exception as exc:  # app-code / injected task failure
+            self._on_task_exception(core, task, ctx, exc)
+            return
         finally:
             self._executing, self._executing_ctx = None, None
 
         task.duration = max(1, ctx.cycles + self.config.finish_cost)
+        if self._faults is not None:
+            task.duration = self._faults.stretch_duration(task, task.duration)
         self._schedule(self.now + task.duration, _FINISH,
                        (core, task, task.attempt))
         self._ensure_tick()
+
+    def _on_task_exception(self, core: Core, task: TaskDesc,
+                           ctx: TaskContext, exc: Exception) -> None:
+        """An attempt died on an exception (injected fault or app bug).
+
+        With a resilience policy and retry budget left, the attempt rolls
+        back exactly like a conflict abort — ``retry_after`` (set before
+        the cascade) pushes the requeue out by the exponential backoff.
+        Out of budget (or with no policy at all), the speculative state is
+        still rolled back cleanly, then the failure surfaces as a
+        :class:`TaskExecutionError` chained to the original exception.
+        """
+        policy = self._resil
+        task.n_exec_faults += 1
+        attempt = task.attempt
+        if policy is not None and task.n_exec_faults < policy.max_attempts:
+            delay = backoff_delay(policy, task.n_exec_faults)
+            task.retry_after = self.now + delay
+            # the cascade's requeue path emits the retry_backoff event
+            self._abort_cascade([task], "task exception")
+            self._m_exec_retries.inc()
+            core.job = None
+            self._schedule(self.now + self.config.abort_penalty,
+                           _CORE_FREE, core.tile_id)
+            return
+        vt_repr = repr(task.vt)
+        self._abort_cascade([task], "task exception (fatal)")
+        core.job = None
+        raise TaskExecutionError(
+            f"task {task.label}#{task.tid} failed on attempt {attempt}: "
+            f"{exc!r}", tid=task.tid, label=task.label, vt=vt_repr,
+            depth=task.domain.depth, attempt=attempt) from exc
+
+    def _safe_slot(self, tile: Tile) -> bool:
+        """Safe mode: may ``tile`` dispatch a task right now?
+
+        Serialized forward progress (Swarm-style, paper Sec. 2): at most
+        one task attempt runs chip-wide, and only the tile holding the
+        earliest pending task may dispatch it. Running alone, the earliest
+        live attempt cannot lose a conflict to a concurrent speculation,
+        so every safe-mode slot moves the commit frontier and the abort
+        storm drains instead of spinning.
+        """
+        for c in self.cores:
+            if isinstance(c.job, TaskDesc):
+                return False
+        best_tile = -1
+        best_key: Optional[tuple] = None
+        for t in self.tiles:
+            key = t.unit.peek_min_key()
+            if key is None:
+                continue
+            key = self._stripped(key)
+            if best_key is None or key < best_key:
+                best_key, best_tile = key, t.tid
+        if best_tile < 0:
+            return False
+        if best_tile != tile.tid:
+            self._wake_tile(best_tile)
+            return False
+        return True
 
     def _on_finish(self, core: Core, task: TaskDesc, attempt: int) -> None:
         if (task.attempt != attempt or task.state is not TaskState.RUNNING
@@ -488,6 +657,8 @@ class Simulator(AllocAPI):
             return
         self.arbiter.note_tick(self.now, len(self._live),
                                len(self._finished))
+        if self._resil is not None:
+            self._resilience_tick()
         gvt = self._compute_gvt()
         if self._finished:
             self._finished.sort(key=TaskDesc.order_key)
@@ -675,6 +846,7 @@ class Simulator(AllocAPI):
             if state is TaskState.RUNNING:
                 executed += self.config.abort_penalty
             self._m_cycles["aborted"][task.core.cid].value += executed
+            self._aborts_total += 1
             key = ("aborted", task.domain.depth)
             ctr = self._m_tasks.get(key)
             if ctr is None:
@@ -742,6 +914,18 @@ class Simulator(AllocAPI):
             task.state = TaskState.PENDING
             self._limbo[task] = None
             when = max(self.now + self.config.abort_penalty, task.retry_after)
+            if self._resil is not None:
+                # exponential backoff on every requeue; retry_after may
+                # already carry a (larger) exception-retry delay
+                when = max(when, self.now + backoff_delay(self._resil,
+                                                          task.n_aborts))
+                extra = when - self.now - self.config.abort_penalty
+                if extra > 0:
+                    self._m_backoffs.inc()
+                    if self._ebus is not None:
+                        self._ebus.emit(tev.RetryBackoffEvent(
+                            self.now, task.tid, task.label, task.attempt,
+                            extra, reason))
             self._schedule(when, _REQUEUE, task)
 
     # ==================================================================
@@ -820,6 +1004,23 @@ class Simulator(AllocAPI):
                 CoalescerJob(tile_id, duration))
             if self._ran:
                 self._wake_tile(tile_id)
+        if (self._resil is not None
+                and unit.pending_count > unit.task_queue_cap):
+            self._queue_overload(tile_id, unit)
+
+    def _spill_out(self, tile_id: int, unit, victims: List[TaskDesc]) -> None:
+        """Move ``victims`` from the task queue into a splitter buffer."""
+        buf = SpillBuffer(victims)
+        buf.is_zoom = False
+        for t in victims:
+            unit.remove(t)
+            t.state = TaskState.SPILLED
+            t.spill_buffer = buf
+        self._spill_buffers.append(buf)
+        self._m_spilled.value += len(victims)
+        duration = max(1, self.config.splitter_cost_per_task * len(victims))
+        self._special_jobs[tile_id].append(
+            SplitterJob(tile_id, buf, duration))
 
     def _on_finish_special(self, core: Core, job) -> None:
         core.job = None
@@ -828,32 +1029,11 @@ class Simulator(AllocAPI):
         self._m_cycles["spill"][core.cid].value += job.duration
         if job.kind == "coalescer":
             self._coalescer_queued[tile_id] = False
-            spillable = [t for t in unit.live_pending()
-                         if t.parent is None
-                         or t.parent.state is TaskState.COMMITTED]
-            # spill the tasks latest in *program order* (stripped keys):
-            # frozen lower bounds would mark freshly-requeued early work as
-            # "latest" and bounce it straight back to memory. The earliest
-            # spillable task always stays resident — spilling it while it
-            # holds the GVT starves every commit.
-            spillable.sort(key=lambda t: self._stripped(t.order_key()),
-                           reverse=True)
-            if spillable:
-                spillable.pop()
-            victims = spillable[:self.config.spill_batch]
+            victims = select_spill_victims(unit.live_pending(),
+                                           self._stripped,
+                                           self.config.spill_batch)
             if victims:
-                buf = SpillBuffer(victims)
-                buf.is_zoom = False
-                for t in victims:
-                    unit.remove(t)
-                    t.state = TaskState.SPILLED
-                    t.spill_buffer = buf
-                self._spill_buffers.append(buf)
-                self._m_spilled.value += len(victims)
-                duration = max(1, self.config.splitter_cost_per_task
-                               * len(victims))
-                self._special_jobs[tile_id].append(
-                    SplitterJob(tile_id, buf, duration))
+                self._spill_out(tile_id, unit, victims)
             if self._ebus is not None:
                 self._ebus.emit(job.finish_event(self.now, len(victims)))
         else:  # splitter
@@ -869,6 +1049,147 @@ class Simulator(AllocAPI):
             if self._ebus is not None:
                 self._ebus.emit(job.finish_event(self.now, len(restored)))
         self._dispatch_tile(tile_id)
+
+    # ==================================================================
+    # resilience: overload ladder, livelock escalation, watchdog
+    # ==================================================================
+    def _queue_overload(self, tile_id: int, unit) -> None:
+        """Degradation ladder for a task queue past its physical capacity.
+
+        (1) spill harder: a synchronous emergency coalesce (no coalescer
+        latency — the queue has no room to wait); (2) enter safe mode,
+        which stops speculative fan-out at its source; (3) past
+        ``queue_fail_factor`` x capacity, raise :class:`QueueError`.
+        """
+        overflow = unit.pending_count - unit.task_queue_cap
+        victims = select_spill_victims(
+            unit.live_pending(), self._stripped,
+            max(self.config.spill_batch, overflow))
+        if victims:
+            if self._ebus is not None:
+                self._ebus.emit(tev.QueuePressureEvent(
+                    self.now, tile_id, unit.pending_count,
+                    unit.task_queue_cap, "emergency_spill"))
+            self._spill_out(tile_id, unit, victims)
+            if self._ran:
+                self._wake_tile(tile_id)
+        if unit.pending_count <= unit.task_queue_cap:
+            return
+        if not self._safe_mode:
+            if self._ebus is not None:
+                self._ebus.emit(tev.QueuePressureEvent(
+                    self.now, tile_id, unit.pending_count,
+                    unit.task_queue_cap, "safe_mode"))
+            self._enter_safe_mode("queue_overflow")
+        if (unit.pending_count
+                > unit.task_queue_cap * self._resil.queue_fail_factor):
+            if self._ebus is not None:
+                self._ebus.emit(tev.QueuePressureEvent(
+                    self.now, tile_id, unit.pending_count,
+                    unit.task_queue_cap, "fail"))
+            raise QueueError(
+                f"tile {tile_id} task queue at {unit.pending_count} "
+                f"(> {self._resil.queue_fail_factor:g}x capacity "
+                f"{unit.task_queue_cap}) despite emergency spills and "
+                f"safe mode")
+
+    def _resilience_tick(self) -> None:
+        """Per-GVT-tick resilience work: watchdog limits, livelock FSM."""
+        policy = self._resil
+        if policy.max_cycles and self.now > policy.max_cycles:
+            raise _WatchdogFire("max_cycles", policy.max_cycles)
+        if (policy.max_wall_seconds
+                and time.monotonic() - self._wall_start
+                > policy.max_wall_seconds):
+            raise _WatchdogFire("max_wall_seconds", policy.max_wall_seconds)
+        det = self._livelock
+        if det is None:
+            return
+        action = det.note_tick(self._aborts_total,
+                               self.arbiter.commits_total)
+        if action is None:
+            return
+        if action == "safe_enter":
+            self._enter_safe_mode("livelock")
+            return
+        if action == "safe_exit":
+            self._exit_safe_mode()
+            return
+        if action == "throttle":
+            self._throttled = True
+        elif action == "release":
+            self._throttled = False
+            for tile in self.tiles:
+                self._wake_tile(tile.tid)
+        if self._ebus is not None:
+            aborts, commits = det.window_totals
+            self._ebus.emit(tev.LivelockThrottleEvent(
+                self.now, action, det.abort_rate, aborts, commits))
+
+    def _enter_safe_mode(self, cause: str) -> None:
+        if self._safe_mode:
+            return
+        self._safe_mode = True
+        self._throttled = False
+        det = self._livelock
+        if det is not None:
+            det.force_safe()
+            det.safe_since = self.now
+        if self._m_safe_entries is not None:
+            self._m_safe_entries.inc()
+        if self._ebus is not None:
+            rate = det.abort_rate if det is not None else 1.0
+            self._ebus.emit(tev.SafeModeEnterEvent(
+                self.now, rate, len(self._live), cause))
+
+    def _exit_safe_mode(self) -> None:
+        if not self._safe_mode:
+            return
+        self._safe_mode = False
+        det = self._livelock
+        if self._ebus is not None:
+            commits = det.safe_commits if det is not None else 0
+            since = det.safe_since if det is not None else self.now
+            self._ebus.emit(tev.SafeModeExitEvent(
+                self.now, commits, self.now - since))
+        for tile in self.tiles:
+            self._wake_tile(tile.tid)
+
+    def _watchdog_wrapup(self, fire: _WatchdogFire) -> RunStats:
+        """Graceful watchdog: report the failure instead of raising."""
+        self.metrics.counter("watchdog_fires", kind=fire.kind).inc()
+        if self._ebus is not None:
+            self._ebus.emit(tev.WatchdogEvent(
+                self.now, fire.kind, float(fire.limit), len(self._live)))
+        self.stats.failure = {
+            "reason": f"watchdog:{fire.kind}",
+            "limit_kind": fire.kind,
+            "limit": fire.limit,
+            "cycle": self.now,
+            "n_live": len(self._live),
+            "live_sample": [
+                {"tid": t.tid, "label": t.label, "state": t.state.name,
+                 "vt": repr(t.vt)}
+                for t in list(self._live)[:8]],
+        }
+        self._dump_crash("watchdog", None)
+        self._finalize_stats()
+        return self.stats
+
+    def _dump_crash(self, reason: str, exc: Optional[BaseException]) -> None:
+        """Write a crash bundle if a dump directory was configured.
+
+        Dump trouble must never mask the original failure, so everything
+        is swallowed (the path attribute stays None on a failed write).
+        """
+        if self.crash_dump_dir is None:
+            return
+        from ..faults.crashdump import write_crash_bundle
+        try:
+            self.crash_bundle_path = write_crash_bundle(
+                self, self.crash_dump_dir, reason, exc)
+        except Exception:
+            pass
 
     # ==================================================================
     # tiebreaker wrap-around (paper Sec. 4.4)
@@ -939,11 +1260,29 @@ class Simulator(AllocAPI):
         s.cache = {labels["event"]: c.value
                    for labels, c in m.counters_named("cache")}
 
+        if self._faults is not None:
+            for site, n in self._faults.injected.items():
+                if n:
+                    m.counter("faults_injected", site=site).value = n
+            if self.memory.n_injected_conflicts:
+                m.counter("conflicts", kind="injected").value = \
+                    self.memory.n_injected_conflicts
+            s.faults_injected = self._faults.total_injected
+        if self._resil is not None:
+            s.exec_fault_retries = self._m_exec_retries.value
+            s.backoff_requeues = self._m_backoffs.value
+            s.safe_mode_entries = self._m_safe_entries.value
+
     # ------------------------------------------------------------------
     def audit(self) -> None:
         """Re-check this run for serializability (raises on violation)."""
         from .audit import audit_serializability
         if not self.enable_audit:
             raise SimulationError("run was executed with enable_audit=False")
-        audit_serializability(self._initial_snapshot, self.commit_log,
-                              self.memory._values, default=self.memory.default)
+        try:
+            audit_serializability(self._initial_snapshot, self.commit_log,
+                                  self.memory._values,
+                                  default=self.memory.default)
+        except SerializabilityViolation as exc:
+            self._dump_crash("SerializabilityViolation", exc)
+            raise

@@ -12,7 +12,7 @@ The paper classifies every core cycle as one of:
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, fields
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 
 @dataclass
@@ -78,12 +78,27 @@ class RunStats:
 
     true_conflicts: int = 0
     false_positive_conflicts: int = 0
+
+    # resilience / fault injection (repro.faults); all zero when off
+    faults_injected: int = 0
+    exec_fault_retries: int = 0           # attempts retried after exceptions
+    backoff_requeues: int = 0             # requeues delayed by backoff
+    safe_mode_entries: int = 0
     zoom_ins: int = 0
     zoom_outs: int = 0
     tiebreaker_wraparounds: int = 0
     gvt_ticks: int = 0
 
     cache: Dict[str, int] = field(default_factory=dict)
+
+    #: set when the run ended early (watchdog fire): a JSON-safe report
+    #: with the limit hit and the work left; None for completed runs
+    failure: Optional[Dict[str, Any]] = None
+
+    @property
+    def completed(self) -> bool:
+        """True when the run drained every task (no failure report)."""
+        return self.failure is None
 
     @property
     def committed_cycles(self) -> int:
@@ -144,4 +159,14 @@ class RunStats:
             lines.append(f"  zooming: {self.zoom_ins} in / {self.zoom_outs} out")
         if self.tiebreaker_wraparounds:
             lines.append(f"  tiebreaker wraparounds: {self.tiebreaker_wraparounds}")
+        if self.faults_injected or self.safe_mode_entries:
+            lines.append(
+                f"  resilience: {self.faults_injected} faults injected, "
+                f"{self.exec_fault_retries} exception retries, "
+                f"{self.backoff_requeues} backoff requeues, "
+                f"{self.safe_mode_entries} safe-mode entries")
+        if self.failure is not None:
+            lines.append(
+                f"  PARTIAL RUN — {self.failure.get('reason', 'failure')}: "
+                f"{self.failure.get('n_live', '?')} tasks left live")
         return "\n".join(lines)

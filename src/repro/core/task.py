@@ -20,13 +20,24 @@ State machine::
 from __future__ import annotations
 
 import enum
-import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
 from ..vt import FractalVT
 from .domain import Domain
 
-_task_ids = itertools.count()
+#: the tid the next TaskDesc will take (process-global, monotonic)
+_tid_watermark = 0
+
+
+def tid_watermark() -> int:
+    """The tid the *next* TaskDesc will receive.
+
+    Tids are process-global, so within one process a second run of the
+    same workload sees different absolute tids. Anything that needs a
+    per-run task identity (e.g. hash-keyed fault injection) subtracts the
+    watermark captured at run construction.
+    """
+    return _tid_watermark
 
 
 class TaskState(enum.Enum):
@@ -47,7 +58,7 @@ class TaskDesc:
         # descriptor
         "tid", "fn", "args", "timestamp", "hint", "domain", "parent", "label",
         # lifecycle
-        "state", "vt", "attempt", "aborted", "n_aborts",
+        "state", "vt", "attempt", "aborted", "n_aborts", "n_exec_faults",
         "children", "subdomain",
         # placement
         "queue_tile", "queue_token", "core", "spill_buffer",
@@ -67,7 +78,9 @@ class TaskDesc:
                  timestamp: Optional[int] = None, hint: Optional[int] = None,
                  parent: Optional["TaskDesc"] = None,
                  label: Optional[str] = None):
-        self.tid = next(_task_ids)
+        global _tid_watermark
+        self.tid = _tid_watermark
+        _tid_watermark += 1
         self.fn = fn
         self.args = args
         self.timestamp = timestamp
@@ -81,6 +94,9 @@ class TaskDesc:
         self.attempt = 0
         self.aborted = False
         self.n_aborts = 0
+        # attempts that died to an exception escaping the task body
+        # (injected or app-code); bounds the resilience retry budget
+        self.n_exec_faults = 0
         self.children: List[TaskDesc] = []
         self.subdomain: Optional[Domain] = None
 

@@ -66,3 +66,22 @@ class SerializabilityViolation(SimulationError):
 
 class AppError(FractalError):
     """An application-level failure (invalid input graph, workload...)."""
+
+
+class TaskExecutionError(AppError):
+    """An exception escaped a task body and exhausted its retry budget.
+
+    The simulator rolls the attempt's speculative state back cleanly
+    before raising, so memory is consistent and a crash bundle can be
+    written. The original exception is chained as ``__cause__``; the
+    attributes identify the offending attempt for diagnostics.
+    """
+
+    def __init__(self, message: str, *, tid: int = -1, label: str = "task",
+                 vt: str = "", depth: int = 0, attempt: int = 0):
+        super().__init__(message)
+        self.tid = tid
+        self.label = label
+        self.vt = vt
+        self.depth = depth
+        self.attempt = attempt

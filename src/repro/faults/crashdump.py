@@ -1,0 +1,158 @@
+"""Crash bundles: one JSON file describing why a run died.
+
+When a run fails — a :class:`repro.errors.SimulationError`, a
+serializability violation, exhausted retries, a watchdog fire — the
+simulator calls :func:`write_crash_bundle` with the exception and its
+crash-dump directory. The bundle captures everything a post-mortem needs
+without a debugger attached: the telemetry event ring buffer, per-tile
+queue states, the GVT, the earliest live tasks with their fractal VTs,
+fault-injection counts, and a partial stats snapshot.
+
+``python -m repro.faults.crashdump <bundle.json>`` validates a bundle
+against :data:`CRASH_BUNDLE_SCHEMA` (the CI smoke job runs this).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+#: schema identifier stamped into every bundle
+CRASH_BUNDLE_SCHEMA = "repro.crash/1"
+
+#: top-level keys every bundle must carry
+_REQUIRED_KEYS = (
+    "schema", "run", "reason", "error", "cycle", "gvt", "n_live",
+    "live_tasks", "tiles", "resilience_state", "injections", "stats",
+    "events", "n_events_seen",
+)
+
+_LIVE_TASK_KEYS = ("tid", "label", "state", "attempt", "n_aborts", "vt",
+                   "depth")
+_TILE_KEYS = ("tile", "pending", "task_queue_cap", "commit_occupancy",
+              "commit_queue_cap", "finish_stalled")
+
+
+def _live_sample(sim, limit: int = 10) -> List[Dict[str, Any]]:
+    """The ``limit`` earliest live tasks (the ones wedging the GVT)."""
+    tasks = sorted((t for t in sim._live if t.vt is not None),
+                   key=lambda t: t.order_key())[:limit]
+    return [{
+        "tid": t.tid,
+        "label": t.label,
+        "state": t.state.value,
+        "attempt": t.attempt,
+        "n_aborts": t.n_aborts,
+        "vt": repr(t.vt),
+        "depth": t.domain.depth,
+    } for t in tasks]
+
+
+def build_crash_bundle(sim, reason: str,
+                       exc: Optional[BaseException] = None) -> dict:
+    """Snapshot ``sim``'s failure state as a JSON-safe dict."""
+    try:
+        gvt = sim._compute_gvt()
+    except Exception:                         # never let diagnostics throw
+        gvt = None
+    injector = getattr(sim, "_faults", None)
+    detector = getattr(sim, "_livelock", None)
+    ring = getattr(sim, "_crash_ring", None)
+    m = sim.metrics
+    return {
+        "schema": CRASH_BUNDLE_SCHEMA,
+        "run": sim.name,
+        "reason": reason,
+        "error": (None if exc is None else
+                  {"type": type(exc).__name__, "message": str(exc)}),
+        "cycle": sim.now,
+        "gvt": None if gvt is None else repr(gvt),
+        "n_live": len(sim._live),
+        "live_tasks": _live_sample(sim),
+        "tiles": [tile.unit.snapshot() for tile in sim.tiles],
+        "resilience_state": {
+            "mode": None if detector is None else detector.state,
+            "safe_commits": 0 if detector is None else detector.safe_commits,
+        },
+        "injections": None if injector is None else dict(injector.injected),
+        "stats": {
+            "tasks_committed": m.total("tasks", outcome="committed"),
+            "tasks_aborted": m.total("tasks", outcome="aborted"),
+            "tasks_squashed": m.total("tasks", outcome="squashed"),
+            "enqueues": m.total("enqueues"),
+            "gvt_ticks": sim.arbiter.ticks,
+            "commits_total": sim.arbiter.commits_total,
+        },
+        "events": ([] if ring is None
+                   else [e.to_dict() for e in ring]),
+        "n_events_seen": 0 if ring is None else ring.n_seen,
+    }
+
+
+def write_crash_bundle(sim, directory: str, reason: str,
+                       exc: Optional[BaseException] = None) -> str:
+    """Write a bundle under ``directory``; returns the file path.
+
+    The filename is deterministic (run name + cycle), so re-runs of the
+    same failure overwrite rather than accumulate.
+    """
+    bundle = build_crash_bundle(sim, reason, exc)
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"crash-{sim.name}-c{sim.now}.json")
+    with open(path, "w") as fh:
+        json.dump(bundle, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def validate_crash_bundle(doc: dict) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a well-formed crash bundle."""
+    if not isinstance(doc, dict):
+        raise ValueError("crash bundle must be a JSON object")
+    if doc.get("schema") != CRASH_BUNDLE_SCHEMA:
+        raise ValueError(f"bad schema {doc.get('schema')!r}, "
+                         f"expected {CRASH_BUNDLE_SCHEMA!r}")
+    missing = [k for k in _REQUIRED_KEYS if k not in doc]
+    if missing:
+        raise ValueError(f"missing bundle keys: {missing}")
+    for i, task in enumerate(doc["live_tasks"]):
+        absent = [k for k in _LIVE_TASK_KEYS if k not in task]
+        if absent:
+            raise ValueError(f"live_tasks[{i}] missing {absent}")
+    for i, tile in enumerate(doc["tiles"]):
+        absent = [k for k in _TILE_KEYS if k not in tile]
+        if absent:
+            raise ValueError(f"tiles[{i}] missing {absent}")
+    from ..telemetry.validate import validate_event_dict
+    for i, event in enumerate(doc["events"]):
+        try:
+            validate_event_dict(event)
+        except Exception as e:
+            raise ValueError(f"events[{i}] invalid: {e}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Validate crash bundle files given on the command line."""
+    import sys
+    paths = argv if argv is not None else sys.argv[1:]
+    if not paths:
+        print("usage: python -m repro.faults.crashdump BUNDLE.json ...",
+              file=sys.stderr)
+        return 2
+    for path in paths:
+        with open(path) as fh:
+            doc = json.load(fh)
+        try:
+            validate_crash_bundle(doc)
+        except ValueError as exc:
+            print(f"{path}: INVALID — {exc}", file=sys.stderr)
+            return 1
+        print(f"{path}: ok ({len(doc['events'])} buffered events, "
+              f"cycle {doc['cycle']}, reason {doc['reason']!r})")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

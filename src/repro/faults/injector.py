@@ -1,0 +1,114 @@
+"""The runtime side of fault injection.
+
+One :class:`FaultInjector` serves one run. Every decision is a pure hash
+of the plan seed and the attempt's identity (:func:`repro.faults.plan.hash01`),
+so injection is deterministic and independent of call order. The injector
+follows the simulator's telemetry convention: ``bus``/``clock`` are
+installed by the simulator, and every emission site guards on the bus.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..telemetry.events import FaultInjectedEvent
+from .plan import SITES, FaultPlan, hash01
+
+_SITE_IDS = {name: i + 1 for i, name in enumerate(SITES)}
+
+
+class FaultInjector:
+    """Draws deterministic injection decisions for one simulation run."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        #: per-site injection counts (crash bundles and stats read this)
+        self.injected: Dict[str, int] = {name: 0 for name in SITES}
+        #: telemetry (installed by the simulator; None = disabled)
+        self.bus = None
+        self.clock: Callable[[], int] = lambda: 0
+        #: tid of the run's first task (installed by the simulator).
+        #: Tids are process-global, so draws hash the *run-relative* tid —
+        #: otherwise a second run in the same process would draw a
+        #: different injection pattern from the same seed.
+        self.tid_base = 0
+        # forced-conflict draws take a per-access sequence number so one
+        # attempt is not doomed to refail at its first access forever
+        self._conflict_draws = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def total_injected(self) -> int:
+        """Injections performed so far, across all sites."""
+        return sum(self.injected.values())
+
+    def _budget_left(self) -> bool:
+        cap = self.plan.max_injections
+        return cap == 0 or self.total_injected < cap
+
+    def _targets(self, task) -> bool:
+        labels = self.plan.labels
+        return labels is None or task.label in labels
+
+    def _record(self, site: str, task, detail: str) -> None:
+        self.injected[site] += 1
+        if self.bus is not None:
+            self.bus.emit(FaultInjectedEvent(
+                self.clock(), site, task.tid, task.label, task.attempt,
+                detail))
+
+    # ------------------------------------------------------------------
+    # decision points (one per injection site)
+    # ------------------------------------------------------------------
+    def fail_attempt(self, task) -> bool:
+        """Should this attempt raise a transient exception at dispatch?"""
+        rate = self.plan.task_exception_rate
+        if not rate or not self._targets(task) or not self._budget_left():
+            return False
+        if hash01(self.plan.seed, _SITE_IDS["task_exception"],
+                  task.tid - self.tid_base, task.attempt) >= rate:
+            return False
+        self._record("task_exception", task, "transient exception")
+        return True
+
+    def force_conflict(self, owner, line: int, is_write: bool) -> bool:
+        """Should this speculative access be treated as a conflict?
+
+        Wired into :attr:`repro.mem.memory.SpecMemory.fault_hook`; a True
+        return aborts the accessor (and its cascade), exercising the
+        abort/retry machinery beyond what the workload provokes naturally.
+        """
+        rate = self.plan.conflict_rate
+        if not rate or not self._targets(owner) or not self._budget_left():
+            return False
+        self._conflict_draws += 1
+        if hash01(self.plan.seed, _SITE_IDS["conflict"],
+                  owner.tid - self.tid_base, owner.attempt,
+                  self._conflict_draws) >= rate:
+            return False
+        self._record("conflict", owner,
+                     f"forced conflict on line {line} "
+                     f"({'write' if is_write else 'read'})")
+        return True
+
+    def stretch_duration(self, task, duration: int) -> int:
+        """Runaway-task site: possibly stretch a finished attempt."""
+        rate = self.plan.slow_task_rate
+        if not rate or not self._targets(task) or not self._budget_left():
+            return duration
+        if hash01(self.plan.seed, _SITE_IDS["slow_task"],
+                  task.tid - self.tid_base, task.attempt) >= rate:
+            return duration
+        stretched = duration * self.plan.slow_task_factor
+        self._record("slow_task", task,
+                     f"duration {duration} -> {stretched}")
+        return stretched
+
+    def squeeze_capacity(self, capacity: int) -> int:
+        """Queue-squeeze site: scaled capacity (applied at construction)."""
+        factor = self.plan.queue_capacity_factor
+        if factor >= 1.0:
+            return capacity
+        squeezed = max(2, int(capacity * factor))
+        self.injected["queue_squeeze"] += 1
+        return squeezed

@@ -1,0 +1,156 @@
+"""Fault plans: seeded, deterministic descriptions of what to inject.
+
+A :class:`FaultPlan` names injection *sites* and per-site rates. Decisions
+are not drawn from a shared RNG stream — each one is a pure hash of
+``(seed, site, tid, attempt, draw)``, so the same plan produces the same
+injections on the same workload regardless of how unrelated code perturbs
+any global RNG, and two identical runs are byte-identical (the
+determinism contract the fault tests assert).
+
+Plans are JSON round-trippable; :func:`load_fault_file` reads the on-disk
+form, which may carry a sibling ``resilience`` section (see
+:class:`repro.faults.resilience.ResiliencePolicy`)::
+
+    {
+      "seed": 7,
+      "faults": {"task_exception_rate": 0.05, "conflict_rate": 0.01},
+      "resilience": {"max_attempts": 5}
+    }
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import ConfigError
+
+#: injection sites a plan can target
+SITES = ("task_exception", "conflict", "slow_task", "queue_squeeze")
+
+
+class InjectedFault(Exception):
+    """A transient, injected task failure.
+
+    Deliberately *not* a :class:`repro.errors.FractalError`: it takes the
+    same path through the simulator as any exception raised by application
+    code inside a task body, which is exactly the path it exists to test.
+    """
+
+    def __init__(self, site: str, tid: int, attempt: int):
+        super().__init__(f"injected {site} fault (task {tid}, "
+                         f"attempt {attempt})")
+        self.site = site
+        self.tid = tid
+        self.attempt = attempt
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finalizer (same mixer the hint scheduler uses)."""
+    x &= 0xFFFFFFFFFFFFFFFF
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
+    return x ^ (x >> 31)
+
+
+def hash01(seed: int, site: int, a: int, b: int, c: int = 0) -> float:
+    """Deterministic uniform draw in [0, 1) for one injection decision."""
+    h = _mix64(seed * 0x9E3779B97F4A7C15 + site)
+    h = _mix64(h ^ _mix64(a + 0xD1B54A32D192ED03))
+    h = _mix64(h ^ _mix64(b + 0x8CB92BA72F3D8DD7))
+    if c:
+        h = _mix64(h ^ _mix64(c))
+    return (h >> 11) / float(1 << 53)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to inject, where, and how often (all rates in [0, 1])."""
+
+    seed: int = 0
+    #: probability a task attempt raises a transient InjectedFault
+    task_exception_rate: float = 0.0
+    #: probability a speculative access is treated as a forced conflict
+    #: (aborts the accessor, exercising the retry path)
+    conflict_rate: float = 0.0
+    #: probability a finished attempt's duration is stretched
+    slow_task_rate: float = 0.0
+    #: multiplier applied to a stretched attempt's duration
+    slow_task_factor: int = 20
+    #: scale factor applied to task/commit queue capacities (< 1 squeezes)
+    queue_capacity_factor: float = 1.0
+    #: total injection budget across all sites (0 = unlimited)
+    max_injections: int = 0
+    #: restrict injection to tasks with these labels (None = all tasks)
+    labels: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        for name in ("task_exception_rate", "conflict_rate",
+                     "slow_task_rate"):
+            rate = getattr(self, name)
+            if not (0.0 <= rate <= 1.0):
+                raise ConfigError(f"{name} must be in [0, 1], got {rate}")
+        if self.slow_task_factor < 1:
+            raise ConfigError("slow_task_factor must be >= 1")
+        if not (0.0 < self.queue_capacity_factor <= 1.0):
+            raise ConfigError(
+                "queue_capacity_factor must be in (0, 1], got "
+                f"{self.queue_capacity_factor}")
+        if self.max_injections < 0:
+            raise ConfigError("max_injections must be >= 0")
+        if self.labels is not None and not isinstance(self.labels, tuple):
+            object.__setattr__(self, "labels", tuple(self.labels))
+
+    @property
+    def injects_anything(self) -> bool:
+        """True when any injection site is active."""
+        return bool(self.task_exception_rate or self.conflict_rate
+                    or self.slow_task_rate
+                    or self.queue_capacity_factor < 1.0)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe form (``labels`` as a list)."""
+        d = dataclasses.asdict(self)
+        if d["labels"] is not None:
+            d["labels"] = list(d["labels"])
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`; unknown keys are an error."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ConfigError(f"unknown FaultPlan keys: {sorted(unknown)}")
+        kwargs = dict(d)
+        if kwargs.get("labels") is not None:
+            kwargs["labels"] = tuple(kwargs["labels"])
+        return cls(**kwargs)
+
+
+def load_fault_file(path) -> Tuple[FaultPlan, Optional["ResiliencePolicy"]]:
+    """Read a fault-plan JSON file; returns ``(plan, resilience-or-None)``.
+
+    The file holds ``{"seed": ..., "faults": {...}, "resilience": {...}}``;
+    ``seed`` may also live inside ``faults``, and both sections are
+    optional (an empty file is a no-op plan).
+    """
+    from .resilience import ResiliencePolicy
+    with open(path) as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict):
+        raise ConfigError(f"fault file {path} must hold a JSON object")
+    unknown = set(doc) - {"seed", "faults", "resilience"}
+    if unknown:
+        raise ConfigError(f"unknown fault-file sections: {sorted(unknown)}")
+    faults = dict(doc.get("faults") or {})
+    if "seed" in doc:
+        faults.setdefault("seed", doc["seed"])
+    plan = FaultPlan.from_dict(faults)
+    resilience = None
+    if doc.get("resilience") is not None:
+        resilience = ResiliencePolicy.from_dict(doc["resilience"])
+    return plan, resilience

@@ -1,0 +1,197 @@
+"""Resilience policy: retry budgets, backoff, and livelock detection.
+
+The :class:`ResiliencePolicy` is pure configuration; the simulator owns
+the mechanisms. The :class:`LivelockDetector` watches the abort/commit
+mix over a sliding window of GVT ticks and escalates:
+
+``NORMAL`` → ``THROTTLED`` (dispatch restricted to one task per tile,
+shrinking the conflict window) → ``SAFE`` (fully serialized execution of
+the GVT-leading task — which nothing can abort before it finishes, so
+every safe-mode step commits work and the run provably moves forward,
+Swarm-style). Safe mode exits after the configured number of serialized
+commits once the abort rate has collapsed, restoring parallel dispatch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigError
+
+#: LivelockDetector states
+NORMAL, THROTTLED, SAFE = "normal", "throttled", "safe"
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Knobs for every graceful-degradation mechanism (all optional)."""
+
+    # --- retries -------------------------------------------------------
+    #: attempts (first try + retries) before a task exception is fatal;
+    #: 0 means task exceptions are always fatal (the no-policy default)
+    max_attempts: int = 5
+    #: exponential backoff on every abort requeue: base * factor^(n-1),
+    #: capped; 0 base disables backoff
+    backoff_base: int = 50
+    backoff_factor: float = 2.0
+    backoff_cap: int = 5_000
+
+    # --- livelock / safe mode -----------------------------------------
+    #: sliding window length in GVT ticks (0 disables the detector)
+    livelock_window: int = 8
+    #: windowed abort share that triggers dispatch throttling
+    throttle_threshold: float = 0.75
+    #: windowed abort share that triggers serialized safe mode
+    safe_mode_threshold: float = 0.92
+    #: serialized commits required before safe mode may exit
+    safe_mode_commits: int = 8
+    #: windowed abort share below which throttle/safe mode release
+    exit_threshold: float = 0.30
+
+    # --- queue overflow ------------------------------------------------
+    #: task-queue occupancy (x capacity) past which overflow is fatal
+    queue_fail_factor: float = 4.0
+
+    # --- watchdog ------------------------------------------------------
+    #: graceful cycle limit: the run stops and returns partial RunStats
+    #: with a failure report instead of raising (0 = off)
+    max_cycles: int = 0
+    #: graceful wall-clock limit in seconds (0 = off)
+    max_wall_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 0:
+            raise ConfigError("max_attempts must be >= 0")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ConfigError("backoff cycles must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigError("backoff_factor must be >= 1")
+        if self.livelock_window < 0:
+            raise ConfigError("livelock_window must be >= 0")
+        for name in ("throttle_threshold", "safe_mode_threshold",
+                     "exit_threshold"):
+            v = getattr(self, name)
+            if not (0.0 <= v <= 1.0):
+                raise ConfigError(f"{name} must be in [0, 1], got {v}")
+        if self.exit_threshold > self.throttle_threshold:
+            raise ConfigError("exit_threshold must not exceed "
+                              "throttle_threshold (hysteresis)")
+        if self.queue_fail_factor < 1.0:
+            raise ConfigError("queue_fail_factor must be >= 1")
+        if self.max_cycles < 0 or self.max_wall_seconds < 0:
+            raise ConfigError("watchdog limits must be >= 0")
+
+    def to_dict(self) -> dict:
+        """JSON-safe form."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ResiliencePolicy":
+        """Inverse of :meth:`to_dict`; unknown keys are an error."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown ResiliencePolicy keys: {sorted(unknown)}")
+        return cls(**d)
+
+
+def backoff_delay(policy: ResiliencePolicy, n_retries: int) -> int:
+    """Requeue delay in cycles before retry number ``n_retries`` (>= 1)."""
+    if policy.backoff_base <= 0 or n_retries <= 0:
+        return 0
+    delay = policy.backoff_base * policy.backoff_factor ** (n_retries - 1)
+    return min(int(delay), policy.backoff_cap)
+
+
+class LivelockDetector:
+    """Sliding-window abort-rate monitor driving throttle / safe mode.
+
+    Fed cumulative abort and commit totals once per GVT tick; transitions
+    are returned to the caller (the simulator), which owns the dispatch
+    policy and the telemetry emission.
+    """
+
+    def __init__(self, policy: ResiliencePolicy):
+        self.policy = policy
+        self.state = NORMAL
+        self._window: deque = deque(maxlen=max(policy.livelock_window, 1))
+        self._last_aborts = 0
+        self._last_commits = 0
+        #: commits observed since safe mode was entered
+        self.safe_commits = 0
+        #: cycle safe mode was entered (simulator-maintained, for events)
+        self.safe_since = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def abort_rate(self) -> float:
+        """Windowed aborted share of all attempt outcomes."""
+        aborts = sum(a for a, _ in self._window)
+        commits = sum(c for _, c in self._window)
+        total = aborts + commits
+        return aborts / total if total else 0.0
+
+    @property
+    def window_totals(self):
+        """``(aborts, commits)`` summed over the current window."""
+        return (sum(a for a, _ in self._window),
+                sum(c for _, c in self._window))
+
+    # ------------------------------------------------------------------
+    def note_tick(self, aborts_total: int, commits_total: int) -> Optional[str]:
+        """Record one GVT tick; returns a transition or None.
+
+        Transitions: ``"throttle"`` (NORMAL→THROTTLED), ``"safe_enter"``
+        (→SAFE), ``"release"`` (THROTTLED→NORMAL), ``"safe_exit"``
+        (SAFE→NORMAL).
+        """
+        policy = self.policy
+        if policy.livelock_window <= 0:
+            return None
+        da = aborts_total - self._last_aborts
+        dc = commits_total - self._last_commits
+        self._last_aborts, self._last_commits = aborts_total, commits_total
+        self._window.append((da, dc))
+        if self.state is SAFE:
+            self.safe_commits += dc
+            if (self.safe_commits >= policy.safe_mode_commits
+                    and self.abort_rate <= policy.exit_threshold):
+                self.state = NORMAL
+                self._window.clear()
+                return "safe_exit"
+            return None
+        if len(self._window) < self._window.maxlen:
+            return None  # not enough history to judge
+        rate = self.abort_rate
+        aborts, _ = self.window_totals
+        if not aborts:
+            if self.state is THROTTLED and rate <= policy.exit_threshold:
+                self.state = NORMAL
+                return "release"
+            return None
+        if rate >= policy.safe_mode_threshold:
+            self.state = SAFE
+            self.safe_commits = 0
+            return "safe_enter"
+        if self.state is NORMAL and rate >= policy.throttle_threshold:
+            self.state = THROTTLED
+            return "throttle"
+        if self.state is THROTTLED and rate <= policy.exit_threshold:
+            self.state = NORMAL
+            return "release"
+        return None
+
+    def force_safe(self) -> bool:
+        """Queue-overflow escalation: enter safe mode immediately.
+
+        Returns True when this call performed the transition.
+        """
+        if self.state is SAFE:
+            return False
+        self.state = SAFE
+        self.safe_commits = 0
+        return True

@@ -90,10 +90,16 @@ class SpecMemory:
         #: conflict events; ``clock`` supplies the current cycle.
         self.bus = None
         self.clock: Callable[[], int] = lambda: 0
+        #: fault injection (installed by the simulator when a plan forces
+        #: conflicts): ``fault_hook(owner, line, is_write) -> bool``; True
+        #: aborts the accessor as if its access had conflicted. None when
+        #: injection is off — one None check per access, like ``bus``.
+        self.fault_hook: Optional[Callable] = None
         # counters
         self.n_loads = 0
         self.n_stores = 0
         self.n_true_conflicts = 0
+        self.n_injected_conflicts = 0
 
     # ------------------------------------------------------------------
     # owner lifecycle
@@ -169,6 +175,11 @@ class SpecMemory:
             # accessor itself; the caller unwinds via TaskAborted.
             return self.default
 
+        if self.fault_hook is not None:
+            self._sample_injected_conflict(owner, line, is_write=False)
+            if owner.aborted:
+                return self.default
+
         value = self._values.get(addr, self.default)
 
         wchain = self._word_writers.get(addr)
@@ -215,6 +226,11 @@ class SpecMemory:
         self._sample_false_conflict(owner, line, is_write=True)
         if owner.aborted:
             return
+
+        if self.fault_hook is not None:
+            self._sample_injected_conflict(owner, line, is_write=True)
+            if owner.aborted:
+                return
 
         wchain = self._word_writers.setdefault(addr, [])
         if wchain and wchain[-1] is not owner:
@@ -284,6 +300,21 @@ class SpecMemory:
             raise SimulationError(
                 f"conflict ({reason}) with no abort_cascade installed")
         self.abort_cascade(victims, reason)
+
+    def _sample_injected_conflict(self, owner, line: int,
+                                  is_write: bool) -> None:
+        """Fault-injection site: treat this access as a forced conflict.
+
+        The accessor aborts (and retries) exactly as it would on a real
+        false positive against an earlier task; callers guard on
+        ``self.fault_hook``.
+        """
+        if not self.fault_hook(owner, line, is_write):
+            return
+        self.n_injected_conflicts += 1
+        if self.bus:
+            self._emit_conflict("injected", owner, [owner], line)
+        self._abort([owner], "injected conflict")
 
     def _sample_false_conflict(self, owner, line: int, is_write: bool) -> None:
         other = self.conflicts.false_conflict(owner, line, is_write)

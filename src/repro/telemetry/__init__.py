@@ -16,7 +16,7 @@ Three layers (see README "Observability"):
   rebuilt as a bus consumer.
 """
 
-from .bus import EventBus, EventRecorder
+from .bus import EventBus, EventRecorder, EventRingBuffer
 from .events import (
     EVENT_SCHEMA,
     EVENT_TYPES,
@@ -27,10 +27,17 @@ from .events import (
     DivertEvent,
     EnqueueEvent,
     Event,
+    FaultInjectedEvent,
     FinishEvent,
     GvtTickEvent,
+    LivelockThrottleEvent,
+    QueuePressureEvent,
+    RetryBackoffEvent,
+    SafeModeEnterEvent,
+    SafeModeExitEvent,
     SpillEvent,
     SquashEvent,
+    WatchdogEvent,
     WraparoundEvent,
     ZoomEvent,
     event_from_dict,
@@ -70,15 +77,23 @@ __all__ = [
     "Event",
     "EventBus",
     "EventRecorder",
+    "EventRingBuffer",
+    "FaultInjectedEvent",
     "FinishEvent",
     "Gauge",
     "GvtTickEvent",
     "Histogram",
     "JsonlExporter",
+    "LivelockThrottleEvent",
     "MetricsRegistry",
+    "QueuePressureEvent",
+    "RetryBackoffEvent",
+    "SafeModeEnterEvent",
+    "SafeModeExitEvent",
     "SpillEvent",
     "SquashEvent",
     "ValidationError",
+    "WatchdogEvent",
     "WraparoundEvent",
     "ZoomEvent",
     "event_from_dict",

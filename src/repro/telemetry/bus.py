@@ -13,6 +13,7 @@ order, with each event.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable, Iterator, List, Optional, Sequence
 
 from .events import Event
@@ -78,6 +79,30 @@ class EventRecorder:
         """All recorded events whose kind is one of ``kinds``."""
         wanted = frozenset(kinds)
         return [e for e in self.events if e.KIND in wanted]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+
+class EventRingBuffer:
+    """A subscriber that keeps only the most recent events.
+
+    Crash bundles (:mod:`repro.faults.crashdump`) subscribe one of these
+    so a failing run can report what led up to the failure without paying
+    for (or retaining) a full event log.
+    """
+
+    def __init__(self, maxlen: int = 512):
+        self.events: deque = deque(maxlen=maxlen)
+        #: total events seen (>= len(self) once the buffer wraps)
+        self.n_seen = 0
+
+    def __call__(self, event: Event) -> None:
+        self.events.append(event)
+        self.n_seen += 1
 
     def __len__(self) -> int:
         return len(self.events)

@@ -201,12 +201,105 @@ class DivertEvent(Event):
     tile: int
 
 
+@dataclass
+class FaultInjectedEvent(Event):
+    """The fault injector fired at one of its sites (see repro.faults)."""
+
+    KIND: ClassVar[str] = "fault_injected"
+
+    site: str            # "task_exception" | "conflict" | "slow_task"
+    tid: int
+    label: str
+    attempt: int
+    detail: str
+
+
+@dataclass
+class RetryBackoffEvent(Event):
+    """An aborted attempt was requeued with an exponential-backoff delay."""
+
+    KIND: ClassVar[str] = "retry_backoff"
+
+    tid: int
+    label: str
+    attempt: int
+    delay: int
+    reason: str
+
+
+@dataclass
+class LivelockThrottleEvent(Event):
+    """The livelock detector changed the dispatch throttle.
+
+    ``action`` is ``"throttle"`` (one task per tile from now on) or
+    ``"release"`` (normal dispatch restored); the rates describe the
+    sliding window that drove the decision.
+    """
+
+    KIND: ClassVar[str] = "livelock_throttle"
+
+    action: str
+    abort_rate: float
+    window_aborts: int
+    window_commits: int
+
+
+@dataclass
+class SafeModeEnterEvent(Event):
+    """Abort-storm escalation: execution is now fully serialized."""
+
+    KIND: ClassVar[str] = "safe_mode_enter"
+
+    abort_rate: float
+    n_live: int
+    cause: str           # "livelock" | "queue_overflow"
+
+
+@dataclass
+class SafeModeExitEvent(Event):
+    """Safe mode released after the required serialized commits."""
+
+    KIND: ClassVar[str] = "safe_mode_exit"
+
+    commits: int
+    cycles: int          # cycles spent serialized
+
+
+@dataclass
+class QueuePressureEvent(Event):
+    """A task queue exceeded its hard capacity and degradation kicked in.
+
+    ``action`` is ``"emergency_spill"``, ``"safe_mode"`` or ``"fail"``.
+    """
+
+    KIND: ClassVar[str] = "queue_pressure"
+
+    tile: int
+    pending: int
+    capacity: int
+    action: str
+
+
+@dataclass
+class WatchdogEvent(Event):
+    """The resilience watchdog stopped the run (partial stats returned)."""
+
+    KIND: ClassVar[str] = "watchdog_fire"
+
+    limit_kind: str      # "max_cycles" | "wall_clock"
+    limit: float
+    n_live: int
+
+
 #: every concrete event class, keyed by its wire ``kind``
 EVENT_TYPES: Dict[str, Type[Event]] = {
     cls.KIND: cls
     for cls in (EnqueueEvent, DispatchEvent, FinishEvent, CommitEvent,
                 AbortEvent, SquashEvent, ConflictEvent, SpillEvent,
-                ZoomEvent, WraparoundEvent, GvtTickEvent, DivertEvent)
+                ZoomEvent, WraparoundEvent, GvtTickEvent, DivertEvent,
+                FaultInjectedEvent, RetryBackoffEvent,
+                LivelockThrottleEvent, SafeModeEnterEvent,
+                SafeModeExitEvent, QueuePressureEvent, WatchdogEvent)
 }
 
 #: kind -> required field names (the JSONL schema)

@@ -3,7 +3,8 @@
 import pytest
 
 from repro import Ordering, Simulator, SystemConfig
-from repro.errors import DomainError, FractalError, TimestampError
+from repro.errors import (DomainError, FractalError, TaskExecutionError,
+                          TimestampError)
 
 
 def collect_error(sim, body):
@@ -105,15 +106,22 @@ class TestEnqueueValidation:
 
 class TestExceptionHygiene:
     def test_app_exceptions_propagate(self, sim):
+        # App-code exceptions surface as TaskExecutionError with the
+        # original exception chained, after a clean speculative rollback.
         class Boom(Exception):
             pass
 
         def t(ctx):
             raise Boom("app bug")
 
-        sim.enqueue_root(t)
-        with pytest.raises(Boom):
+        task = sim.enqueue_root(t)
+        with pytest.raises(TaskExecutionError) as exc_info:
             sim.run()
+        assert isinstance(exc_info.value.__cause__, Boom)
+        assert exc_info.value.tid == task.tid
+        assert exc_info.value.attempt == 1
+        # the failed attempt was rolled back, not left mid-flight
+        sim.memory.assert_quiescent()
 
     def test_labels_default_to_function_name(self, sim):
         def my_named_task(ctx):

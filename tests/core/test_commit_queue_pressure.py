@@ -1,0 +1,75 @@
+"""Commit-queue pressure: FINISH_STALLED cores and pressure aborts.
+
+Paper Sec. 4.1: when every commit-queue entry holds a finished task that
+cannot commit (an earlier task is still running), the tile frees space by
+aborting the highest-timestamp finished task. These tests drive that path
+directly: a long-running timestamp-0 task pins the GVT while a stream of
+short later tasks fills the commit queue.
+"""
+
+from repro import Ordering, Simulator, SystemConfig
+
+
+def _long_anchor(ctx):
+    ctx.compute(200_000)
+    ctx.store(0, 1)
+
+
+def _short(ctx, i):
+    # well past the anchor's cache line: the shorts must wedge the commit
+    # queue, not lose a line-granularity conflict to the anchor
+    ctx.store((i + 1) * 1024, i)
+
+
+def _build(n_short=8, commit_queue_per_core=1):
+    cfg = SystemConfig.with_cores(
+        2, conflict_mode="precise",
+        commit_queue_per_core=commit_queue_per_core)
+    assert cfg.n_tiles == 1
+    sim = Simulator(cfg, root_ordering=Ordering.ORDERED_32,
+                    name="cq-pressure")
+    sim.enqueue_root(_long_anchor, ts=0, label="anchor")
+    for i in range(n_short):
+        sim.enqueue_root(_short, i, ts=i + 1, label="short")
+    return sim
+
+
+class TestCommitQueuePressure:
+    def test_pressure_aborts_highest_timestamp_finished_task(self):
+        log = []
+        sim = _build()
+        sim.bus.subscribe(log.append)
+        stats = sim.run()
+        assert stats.tasks_committed == 9        # everything lands anyway
+        for i in range(8):
+            assert sim.memory.peek((i + 1) * 1024) == i
+        pressure = [e for e in log if e.KIND == "abort"
+                    and e.reason == "commit queue pressure"]
+        assert pressure, "the commit queue never wedged"
+        # victims are always later work than what eventually commits the
+        # frontier: no pressure abort may hit the anchor
+        assert all(e.label == "short" for e in pressure)
+        assert stats.tasks_aborted >= len(pressure)
+
+    def test_stalled_cores_resume_after_entries_free(self):
+        log = []
+        sim = _build()
+        sim.bus.subscribe(log.append)
+        sim.run()
+        # a stall happened (the queue filled while the anchor ran)...
+        assert any(e.KIND == "abort" and e.reason == "commit queue pressure"
+                   for e in log)
+        # ...and fully drained: nothing is left stalled or queued
+        unit = sim.tiles[0].unit
+        assert not unit.finish_stalled
+        assert unit.commit_occupancy == 0
+        assert unit.pending_count == 0
+
+    def test_roomy_commit_queue_never_wedges(self):
+        log = []
+        sim = _build(commit_queue_per_core=16)
+        sim.bus.subscribe(log.append)
+        stats = sim.run()
+        assert stats.tasks_committed == 9
+        assert not any(e.KIND == "abort"
+                       and e.reason == "commit queue pressure" for e in log)

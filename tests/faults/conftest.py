@@ -1,0 +1,51 @@
+"""Shared fixtures for fault-injection / resilience tests."""
+
+import pytest
+
+from repro import Simulator, SystemConfig
+
+
+def counter_task(ctx, i):
+    """Increment a shared counter — conflict-heavy by construction."""
+    v = ctx.load(0)
+    ctx.store(0, v + i)
+
+
+def build_counter_sim(n_tasks=40, n_cores=4, *, sim_kwargs=None,
+                      config_overrides=None, spread=True):
+    """A simulator whose tasks sum ``range(n_tasks)`` into address 0.
+
+    The expected final value is ``sum(range(n_tasks))`` — any lost or
+    doubled increment (e.g. a retry replaying a half-applied attempt)
+    breaks it, which makes this the canonical correctness probe for the
+    injection tests.
+    """
+    overrides = dict(config_overrides or {})
+    overrides.setdefault("conflict_mode", "precise")
+    cfg = SystemConfig.with_cores(n_cores, **overrides)
+    sim = Simulator(cfg, name="counter", **(sim_kwargs or {}))
+    for i in range(n_tasks):
+        sim.enqueue_root(counter_task, i,
+                         hint=(i % cfg.n_tiles) if spread else 0)
+    sim.memory.poke(0, 0)
+    return sim
+
+
+def expected_counter(n_tasks):
+    return sum(range(n_tasks))
+
+
+@pytest.fixture
+def event_log():
+    """Subscribe-able list capturing every event's KIND."""
+    class Log(list):
+        def __call__(self, event):
+            self.append(event)
+
+        def kinds(self):
+            return [e.KIND for e in self]
+
+        def of(self, kind):
+            return [e for e in self if e.KIND == kind]
+
+    return Log()

@@ -1,0 +1,112 @@
+"""Crash bundles: building, writing, validating, and the CLI validator."""
+
+import json
+
+import pytest
+
+from repro.errors import TaskExecutionError
+from repro.faults import FaultPlan
+from repro.faults.crashdump import (CRASH_BUNDLE_SCHEMA, build_crash_bundle,
+                                    main, validate_crash_bundle,
+                                    write_crash_bundle)
+
+from .conftest import build_counter_sim
+
+
+def _crashed_sim(tmp_path):
+    """A simulator that just died on an injected fatal task exception."""
+    plan = FaultPlan(seed=1, task_exception_rate=1.0)
+    sim = build_counter_sim(
+        4, 4, sim_kwargs=dict(faults=plan, crash_dump_dir=str(tmp_path)))
+    with pytest.raises(TaskExecutionError):
+        sim.run()
+    return sim
+
+
+class TestBundleFromRealFailure:
+    def test_dump_written_and_valid(self, tmp_path):
+        sim = _crashed_sim(tmp_path)
+        assert sim.crash_bundle_path is not None
+        with open(sim.crash_bundle_path) as fh:
+            doc = json.load(fh)
+        validate_crash_bundle(doc)          # raises on any malformation
+        assert doc["schema"] == CRASH_BUNDLE_SCHEMA
+        assert doc["reason"] == "TaskExecutionError"
+        assert doc["error"]["type"] == "TaskExecutionError"
+        assert doc["run"] == "counter"
+        assert doc["injections"].get("task_exception", 0) > 0
+        assert doc["n_events_seen"] >= len(doc["events"]) > 0
+        assert len(doc["tiles"]) == sim.config.n_tiles
+
+    def test_build_without_dump_dir_is_pure(self):
+        plan = FaultPlan(seed=1, task_exception_rate=1.0)
+        sim = build_counter_sim(4, 4, sim_kwargs=dict(faults=plan))
+        with pytest.raises(TaskExecutionError) as exc_info:
+            sim.run()
+        assert sim.crash_bundle_path is None   # no dir configured: no file
+        doc = build_crash_bundle(sim, "manual", exc_info.value)
+        json.dumps(doc)                        # JSON-safe even with no ring
+        assert doc["events"] == []
+        assert doc["error"]["type"] == "TaskExecutionError"
+
+    def test_deterministic_filename_overwrites(self, tmp_path):
+        plan = FaultPlan(seed=1, task_exception_rate=1.0)
+        sim = build_counter_sim(4, 4, sim_kwargs=dict(faults=plan))
+        with pytest.raises(TaskExecutionError):
+            sim.run()
+        first = write_crash_bundle(sim, str(tmp_path), "manual")
+        second = write_crash_bundle(sim, str(tmp_path), "manual")
+        assert first == second
+        assert len(list(tmp_path.iterdir())) == 1
+
+
+class TestValidation:
+    def _valid_doc(self, tmp_path):
+        sim = _crashed_sim(tmp_path)
+        with open(sim.crash_bundle_path) as fh:
+            return json.load(fh)
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_crash_bundle([1, 2])
+
+    def test_rejects_wrong_schema(self, tmp_path):
+        doc = self._valid_doc(tmp_path)
+        doc["schema"] = "repro.crash/999"
+        with pytest.raises(ValueError, match="bad schema"):
+            validate_crash_bundle(doc)
+
+    def test_rejects_missing_top_level_key(self, tmp_path):
+        doc = self._valid_doc(tmp_path)
+        del doc["gvt"]
+        with pytest.raises(ValueError, match="missing bundle keys"):
+            validate_crash_bundle(doc)
+
+    def test_rejects_malformed_live_task(self, tmp_path):
+        doc = self._valid_doc(tmp_path)
+        doc["live_tasks"] = [{"tid": 1}]
+        with pytest.raises(ValueError, match="live_tasks"):
+            validate_crash_bundle(doc)
+
+    def test_rejects_malformed_event(self, tmp_path):
+        doc = self._valid_doc(tmp_path)
+        doc["events"] = [{"kind": "no_such_event_kind"}]
+        with pytest.raises(ValueError, match="events\\[0\\]"):
+            validate_crash_bundle(doc)
+
+
+class TestValidatorCli:
+    def test_valid_bundle_returns_zero(self, tmp_path, capsys):
+        sim = _crashed_sim(tmp_path)
+        assert main([sim.crash_bundle_path]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_invalid_bundle_returns_one(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "nope"}))
+        assert main([str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_no_arguments_returns_two(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().err

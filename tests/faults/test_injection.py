@@ -1,0 +1,137 @@
+"""Simulation-level injection tests: every site, retry/backoff, budgets."""
+
+import pytest
+
+from repro import Simulator, SystemConfig
+from repro.errors import TaskExecutionError
+from repro.faults import FaultInjector, FaultPlan, ResiliencePolicy
+
+from .conftest import build_counter_sim, expected_counter
+
+
+class TestTransientExceptions:
+    def test_retries_preserve_correctness(self, event_log):
+        plan = FaultPlan(seed=3, task_exception_rate=0.4)
+        sim = build_counter_sim(
+            40, 4, sim_kwargs=dict(faults=plan,
+                                   resilience=ResiliencePolicy(
+                                       max_attempts=10)))
+        sim.bus.subscribe(event_log)
+        stats = sim.run()
+        assert stats.tasks_committed == 40
+        assert sim.memory.peek(0) == expected_counter(40)
+        assert stats.faults_injected > 0
+        assert stats.exec_fault_retries > 0
+        assert event_log.of("fault_injected")
+        assert event_log.of("retry_backoff")
+        sim.audit()
+
+    def test_backoff_delays_grow(self, event_log):
+        plan = FaultPlan(seed=0, task_exception_rate=1.0,
+                         max_injections=3)
+        policy = ResiliencePolicy(max_attempts=10, backoff_base=100,
+                                  backoff_factor=2.0, backoff_cap=10_000)
+        sim = build_counter_sim(1, 1, sim_kwargs=dict(faults=plan,
+                                                      resilience=policy))
+        sim.bus.subscribe(event_log)
+        stats = sim.run()
+        assert stats.tasks_committed == 1
+        delays = [e.delay for e in event_log.of("retry_backoff")]
+        assert len(delays) == 3           # one per injected failure
+        assert delays == sorted(delays)   # exponential growth
+        assert delays[1] >= 2 * delays[0] - sim.config.abort_penalty
+
+    def test_without_policy_exception_is_fatal(self):
+        plan = FaultPlan(seed=1, task_exception_rate=1.0)
+        sim = build_counter_sim(4, 4, sim_kwargs=dict(faults=plan))
+        with pytest.raises(TaskExecutionError) as exc_info:
+            sim.run()
+        err = exc_info.value
+        assert err.tid >= 0
+        assert err.attempt == 1
+        assert err.vt
+        assert "injected task_exception" in str(err.__cause__)
+        sim.memory.assert_quiescent()  # rollback left memory clean
+
+    def test_exhausted_budget_is_fatal_with_attempt_count(self):
+        plan = FaultPlan(seed=1, task_exception_rate=1.0)
+        policy = ResiliencePolicy(max_attempts=3, backoff_base=1)
+        sim = build_counter_sim(2, 2, sim_kwargs=dict(faults=plan,
+                                                      resilience=policy))
+        with pytest.raises(TaskExecutionError) as exc_info:
+            sim.run()
+        assert exc_info.value.attempt == 3
+
+
+class TestOtherSites:
+    def test_forced_conflicts_preserve_correctness(self, event_log):
+        plan = FaultPlan(seed=2, conflict_rate=0.3, max_injections=200)
+        sim = build_counter_sim(
+            40, 4, sim_kwargs=dict(faults=plan,
+                                   resilience=ResiliencePolicy()))
+        sim.bus.subscribe(event_log)
+        stats = sim.run()
+        assert stats.tasks_committed == 40
+        assert sim.memory.peek(0) == expected_counter(40)
+        assert sim.memory.n_injected_conflicts > 0
+        injected = [e for e in event_log.of("conflict")
+                    if e.cause == "injected"]
+        assert injected
+        sim.audit()
+
+    def test_slow_tasks_stretch_the_makespan(self):
+        def run(plan):
+            sim = build_counter_sim(20, 4, sim_kwargs=dict(faults=plan))
+            return sim.run().makespan
+
+        base = run(None)
+        slow = run(FaultPlan(seed=5, slow_task_rate=1.0,
+                             slow_task_factor=50))
+        assert slow > 5 * base
+
+    def test_queue_squeeze_shrinks_capacities(self):
+        plan = FaultPlan(seed=0, queue_capacity_factor=0.25)
+        cfg = SystemConfig.with_cores(4, conflict_mode="precise")
+        sim = Simulator(cfg, faults=plan, resilience=ResiliencePolicy())
+        unit = sim.tiles[0].unit
+        assert unit.task_queue_cap == max(2, cfg.task_queue_per_tile // 4)
+        assert unit.commit_queue_cap == max(2, cfg.commit_queue_per_tile // 4)
+
+
+class TestTargetingAndBudget:
+    def test_labels_filter(self):
+        plan = FaultPlan(seed=1, task_exception_rate=1.0,
+                         labels=("victim",))
+        injector = FaultInjector(plan)
+
+        class Stub:
+            def __init__(self, label):
+                self.tid, self.attempt, self.label = 1, 1, label
+
+        assert injector.fail_attempt(Stub("victim"))
+        assert not injector.fail_attempt(Stub("bystander"))
+
+    def test_max_injections_budget(self):
+        plan = FaultPlan(seed=3, task_exception_rate=1.0, max_injections=5)
+        sim = build_counter_sim(
+            30, 4, sim_kwargs=dict(faults=plan,
+                                   resilience=ResiliencePolicy(
+                                       max_attempts=50)))
+        stats = sim.run()
+        assert stats.tasks_committed == 30
+        assert stats.faults_injected == 5
+
+    def test_vanilla_run_unaffected_by_wiring(self):
+        # no faults, no resilience: the new hooks must all be inert
+        sim = build_counter_sim(30, 4)
+        stats = sim.run()
+        assert stats.tasks_committed == 30
+        assert stats.faults_injected == 0
+        assert stats.safe_mode_entries == 0
+        assert sim.memory.peek(0) == expected_counter(30)
+        # no resilience/fault counters leak into vanilla metrics exports
+        exported = str(sim.metrics.snapshot())
+        for name in ("faults_injected", "exec_fault_retries",
+                     "safe_mode_entries", "backoff_requeues"):
+            assert name not in exported
+        sim.audit()

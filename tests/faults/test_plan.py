@@ -1,0 +1,110 @@
+"""FaultPlan construction, validation, round-trips, and file loading."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import FaultPlan, ResiliencePolicy, load_fault_file
+from repro.faults.plan import SITES, hash01
+
+
+class TestHash01:
+    def test_deterministic_and_bounded(self):
+        draws = [hash01(7, 1, tid, attempt)
+                 for tid in range(50) for attempt in range(3)]
+        assert draws == [hash01(7, 1, tid, attempt)
+                         for tid in range(50) for attempt in range(3)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+
+    def test_varies_with_every_argument(self):
+        base = hash01(1, 2, 3, 4)
+        assert hash01(2, 2, 3, 4) != base
+        assert hash01(1, 3, 3, 4) != base
+        assert hash01(1, 2, 4, 4) != base
+        assert hash01(1, 2, 3, 5) != base
+        assert hash01(1, 2, 3, 4, 1) != base
+
+    def test_roughly_uniform(self):
+        draws = [hash01(0, 1, i, 1) for i in range(2000)]
+        assert 0.45 < sum(draws) / len(draws) < 0.55
+
+
+class TestFaultPlan:
+    def test_defaults_inject_nothing(self):
+        assert not FaultPlan().injects_anything
+
+    @pytest.mark.parametrize("field", ["task_exception_rate",
+                                       "conflict_rate", "slow_task_rate"])
+    def test_any_rate_activates(self, field):
+        assert FaultPlan(**{field: 0.1}).injects_anything
+
+    def test_queue_squeeze_activates(self):
+        assert FaultPlan(queue_capacity_factor=0.5).injects_anything
+
+    @pytest.mark.parametrize("kwargs", [
+        {"task_exception_rate": 1.5},
+        {"conflict_rate": -0.1},
+        {"slow_task_factor": 0},
+        {"queue_capacity_factor": 0.0},
+        {"queue_capacity_factor": 1.5},
+        {"max_injections": -1},
+    ])
+    def test_validation_rejects(self, kwargs):
+        with pytest.raises(ConfigError):
+            FaultPlan(**kwargs)
+
+    def test_round_trip(self):
+        plan = FaultPlan(seed=9, task_exception_rate=0.25,
+                         slow_task_rate=0.1, slow_task_factor=5,
+                         max_injections=100, labels=("relax", "visit"))
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+        json.dumps(plan.to_dict())  # JSON-safe
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigError, match="unknown FaultPlan keys"):
+            FaultPlan.from_dict({"task_exception_rate": 0.1, "typo": 1})
+
+    def test_labels_list_coerced_to_tuple(self):
+        plan = FaultPlan(labels=["a", "b"])
+        assert plan.labels == ("a", "b")
+
+    def test_sites_cover_the_documented_set(self):
+        assert set(SITES) == {"task_exception", "conflict", "slow_task",
+                              "queue_squeeze"}
+
+
+class TestLoadFaultFile:
+    def _write(self, tmp_path, doc):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(doc))
+        return path
+
+    def test_full_file(self, tmp_path):
+        path = self._write(tmp_path, {
+            "seed": 5,
+            "faults": {"task_exception_rate": 0.1},
+            "resilience": {"max_attempts": 3},
+        })
+        plan, policy = load_fault_file(path)
+        assert plan.seed == 5
+        assert plan.task_exception_rate == 0.1
+        assert policy == ResiliencePolicy(max_attempts=3)
+
+    def test_top_level_seed_hoisted_into_faults(self, tmp_path):
+        plan, _ = load_fault_file(self._write(tmp_path, {"seed": 11}))
+        assert plan.seed == 11
+
+    def test_missing_resilience_is_none(self, tmp_path):
+        plan, policy = load_fault_file(self._write(
+            tmp_path, {"faults": {"conflict_rate": 0.2}}))
+        assert policy is None
+        assert plan.conflict_rate == 0.2
+
+    def test_unknown_section_rejected(self, tmp_path):
+        with pytest.raises(ConfigError, match="unknown fault-file sections"):
+            load_fault_file(self._write(tmp_path, {"fautls": {}}))
+
+    def test_non_object_rejected(self, tmp_path):
+        with pytest.raises(ConfigError, match="JSON object"):
+            load_fault_file(self._write(tmp_path, [1, 2]))

@@ -1,0 +1,121 @@
+"""Unit tests for ResiliencePolicy, backoff, and the livelock detector."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import LivelockDetector, ResiliencePolicy, backoff_delay
+from repro.faults.resilience import NORMAL, SAFE, THROTTLED
+
+
+class TestPolicy:
+    def test_round_trip(self):
+        policy = ResiliencePolicy(max_attempts=3, backoff_base=10,
+                                  max_cycles=1000)
+        assert ResiliencePolicy.from_dict(policy.to_dict()) == policy
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": -1},
+        {"backoff_factor": 0.5},
+        {"throttle_threshold": 1.5},
+        {"exit_threshold": 0.9, "throttle_threshold": 0.5},
+        {"queue_fail_factor": 0.5},
+        {"max_cycles": -1},
+    ])
+    def test_validation_rejects(self, kwargs):
+        with pytest.raises(ConfigError):
+            ResiliencePolicy(**kwargs)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigError):
+            ResiliencePolicy.from_dict({"max_atempts": 3})
+
+
+class TestBackoff:
+    def test_exponential_curve(self):
+        policy = ResiliencePolicy(backoff_base=10, backoff_factor=2.0,
+                                  backoff_cap=100)
+        assert [backoff_delay(policy, n) for n in range(1, 6)] == \
+            [10, 20, 40, 80, 100]
+
+    def test_disabled_base_gives_zero(self):
+        policy = ResiliencePolicy(backoff_base=0)
+        assert backoff_delay(policy, 5) == 0
+
+    def test_zeroth_retry_gives_zero(self):
+        assert backoff_delay(ResiliencePolicy(), 0) == 0
+
+
+def make_detector(**overrides):
+    overrides.setdefault("livelock_window", 4)
+    overrides.setdefault("throttle_threshold", 0.6)
+    overrides.setdefault("safe_mode_threshold", 0.9)
+    overrides.setdefault("safe_mode_commits", 3)
+    overrides.setdefault("exit_threshold", 0.3)
+    return LivelockDetector(ResiliencePolicy(**overrides))
+
+
+def feed(det, deltas):
+    """Feed (aborts, commits) per-tick deltas; return transitions seen."""
+    aborts = commits = 0
+    out = []
+    for da, dc in deltas:
+        aborts += da
+        commits += dc
+        out.append(det.note_tick(aborts, commits))
+    return out
+
+
+class TestLivelockDetector:
+    def test_quiet_run_stays_normal(self):
+        det = make_detector()
+        assert feed(det, [(0, 5)] * 10) == [None] * 10
+        assert det.state is NORMAL
+
+    def test_no_judgement_before_window_fills(self):
+        det = make_detector()
+        assert feed(det, [(9, 1)] * 3) == [None] * 3
+        assert det.state is NORMAL
+
+    def test_throttle_then_release(self):
+        det = make_detector()
+        transitions = feed(det, [(7, 3)] * 4)     # 70% aborts
+        assert transitions[-1] == "throttle"
+        assert det.state is THROTTLED
+        transitions = feed(det, [(0, 10)] * 4)    # rate collapses
+        assert "release" in transitions
+        assert det.state is NORMAL
+
+    def test_safe_mode_entry_and_exit(self):
+        det = make_detector()
+        transitions = feed(det, [(19, 1)] * 4)    # 95% aborts
+        assert transitions[-1] == "safe_enter"
+        assert det.state is SAFE
+        # serialized: commits flow, aborts stop; needs >= 3 safe commits
+        # and the windowed rate back under exit_threshold
+        transitions = feed(det, [(0, 2)] * 6)
+        assert "safe_exit" in transitions
+        assert det.state is NORMAL
+        assert det.safe_commits >= 3
+
+    def test_safe_mode_holds_until_commits_accumulate(self):
+        det = make_detector(safe_mode_commits=50)
+        feed(det, [(19, 1)] * 4)
+        assert det.state is SAFE
+        assert feed(det, [(0, 2)] * 6) == [None] * 6  # only 12 commits
+        assert det.state is SAFE
+
+    def test_force_safe(self):
+        det = make_detector()
+        assert det.force_safe() is True
+        assert det.state is SAFE
+        assert det.force_safe() is False  # already there
+
+    def test_window_disabled(self):
+        det = make_detector(livelock_window=0)
+        assert feed(det, [(100, 0)] * 5) == [None] * 5
+
+    def test_abort_rate_and_window_totals(self):
+        det = make_detector()
+        feed(det, [(3, 1)] * 4)
+        assert det.window_totals == (12, 4)
+        assert det.abort_rate == pytest.approx(0.75)

@@ -1,0 +1,153 @@
+"""Livelock throttling, safe mode, queue-overflow ladder, and watchdog."""
+
+import json
+
+import pytest
+
+from repro import Simulator, SystemConfig
+from repro.errors import QueueError
+from repro.faults import FaultPlan, ResiliencePolicy
+from repro.faults.crashdump import validate_crash_bundle
+
+from .conftest import build_counter_sim, expected_counter
+
+
+class TestSafeMode:
+    def test_abort_storm_enters_and_exits_safe_mode(self, event_log):
+        # a bounded injection budget lets the storm subside, so the run
+        # must demonstrably *leave* safe mode too, not just enter it
+        plan = FaultPlan(seed=1, conflict_rate=0.6, max_injections=200)
+        policy = ResiliencePolicy(backoff_base=0, livelock_window=4,
+                                  throttle_threshold=0.5,
+                                  safe_mode_threshold=0.8,
+                                  safe_mode_commits=4, exit_threshold=0.3)
+        sim = build_counter_sim(200, 4,
+                                sim_kwargs=dict(faults=plan,
+                                                resilience=policy))
+        sim.bus.subscribe(event_log)
+        stats = sim.run()
+        assert stats.tasks_committed == 200
+        assert sim.memory.peek(0) == expected_counter(200)
+        enters = event_log.of("safe_mode_enter")
+        exits = event_log.of("safe_mode_exit")
+        assert enters and exits
+        assert stats.safe_mode_entries == len(enters)
+        assert all(e.cause == "livelock" for e in enters)
+        assert all(e.commits >= policy.safe_mode_commits for e in exits)
+        sim.audit()
+
+    def test_throttle_fires_below_safe_threshold(self, event_log):
+        plan = FaultPlan(seed=4, conflict_rate=0.5, max_injections=120)
+        policy = ResiliencePolicy(backoff_base=0, livelock_window=4,
+                                  throttle_threshold=0.4,
+                                  safe_mode_threshold=1.0,
+                                  exit_threshold=0.2)
+        sim = build_counter_sim(120, 4,
+                                sim_kwargs=dict(faults=plan,
+                                                resilience=policy))
+        sim.bus.subscribe(event_log)
+        stats = sim.run()
+        assert stats.tasks_committed == 120
+        throttles = event_log.of("livelock_throttle")
+        assert any(e.action == "throttle" for e in throttles)
+        assert any(e.action == "release" for e in throttles)
+        for e in throttles:
+            if e.action == "throttle":
+                assert e.abort_rate >= policy.throttle_threshold
+
+
+class TestQueueOverflow:
+    def test_emergency_spill_relieves_pressure(self, event_log):
+        # one tile, tiny queue, plenty of spillable root tasks: the
+        # ladder's first rung (synchronous coalesce) must be enough
+        sim = build_counter_sim(
+            60, 4,
+            sim_kwargs=dict(resilience=ResiliencePolicy(livelock_window=0)),
+            config_overrides=dict(task_queue_per_core=4))
+        sim.bus.subscribe(event_log)
+        stats = sim.run()
+        assert stats.tasks_committed == 60
+        assert sim.memory.peek(0) == expected_counter(60)
+        spills = event_log.of("queue_pressure")
+        assert spills and all(e.action == "emergency_spill" for e in spills)
+        assert stats.tasks_spilled > 0
+
+    def test_unspillable_overflow_escalates_to_queue_error(self, event_log):
+        # children of a still-RUNNING parent cannot be spilled (they
+        # would not survive its abort), so a single fan-out task blows
+        # straight through the ladder: spill finds no victims, safe mode
+        # cannot shed load mid-body, and the hard cap fires
+        def noop(ctx):
+            pass
+
+        def fanout(ctx):
+            for _ in range(200):
+                ctx.enqueue(noop)
+
+        cfg = SystemConfig.with_cores(4, conflict_mode="precise",
+                                      task_queue_per_core=4)
+        policy = ResiliencePolicy(queue_fail_factor=2.0, livelock_window=0)
+        sim = Simulator(cfg, resilience=policy)
+        sim.bus.subscribe(event_log)
+        sim.enqueue_root(fanout)
+        with pytest.raises(QueueError):
+            sim.run()
+        actions = [e.action for e in event_log.of("queue_pressure")]
+        assert "safe_mode" in actions
+        assert actions[-1] == "fail"
+        assert event_log.of("safe_mode_enter")[0].cause == "queue_overflow"
+
+
+def _slow_task(ctx, i):
+    ctx.compute(10_000)
+    v = ctx.load(i + 1)
+    ctx.store(i + 1, v + 1)
+
+
+class TestWatchdog:
+    def test_max_cycles_returns_partial_stats(self, tmp_path, event_log):
+        cfg = SystemConfig.with_cores(4, conflict_mode="precise")
+        sim = Simulator(cfg, resilience=ResiliencePolicy(max_cycles=5_000),
+                        crash_dump_dir=str(tmp_path))
+        sim.bus.subscribe(event_log)
+        for i in range(40):
+            sim.enqueue_root(_slow_task, i)
+        stats = sim.run()                      # returns — must not raise
+        assert not stats.completed
+        failure = stats.failure
+        assert failure["reason"] == "watchdog:max_cycles"
+        assert failure["limit_kind"] == "max_cycles"
+        assert failure["limit"] == 5_000
+        assert failure["cycle"] > 5_000
+        assert failure["n_live"] > 0
+        assert 0 < len(failure["live_sample"]) <= 8
+        assert {"tid", "label", "state", "vt"} <= set(
+            failure["live_sample"][0])
+        fires = event_log.of("watchdog_fire")
+        assert len(fires) == 1
+        assert fires[0].limit_kind == "max_cycles"
+        # the crash bundle landed next to the partial stats and validates
+        assert sim.crash_bundle_path is not None
+        doc = json.loads(open(sim.crash_bundle_path).read())
+        validate_crash_bundle(doc)
+        assert doc["reason"] == "watchdog"
+
+    def test_wall_clock_limit_fires(self):
+        cfg = SystemConfig.with_cores(2, conflict_mode="precise")
+        sim = Simulator(cfg, resilience=ResiliencePolicy(
+            max_wall_seconds=1e-9))
+        for i in range(20):
+            sim.enqueue_root(_slow_task, i)
+        stats = sim.run()
+        assert not stats.completed
+        assert stats.failure["reason"] == "watchdog:max_wall_seconds"
+
+    def test_partial_stats_still_summarize(self):
+        cfg = SystemConfig.with_cores(2, conflict_mode="precise")
+        sim = Simulator(cfg, resilience=ResiliencePolicy(max_cycles=3_000))
+        for i in range(20):
+            sim.enqueue_root(_slow_task, i)
+        stats = sim.run()
+        text = stats.summary()
+        assert "PARTIAL RUN" in text
+        assert "watchdog:max_cycles" in text

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+import pathlib
 import subprocess
 import sys
 
@@ -144,3 +146,70 @@ class TestExitCodes:
         monkeypatch.setattr(mis, "check", second_check_fails)
         assert main(["run", "mis", "--cores", "4", "--serial"]) == 1
         assert "serial reference check: FAILED" in capsys.readouterr().err
+
+
+class TestFaultFlags:
+    plans = pathlib.Path(__file__).parent.parent / "benchmarks" / "faultplans"
+
+    def test_run_help_documents_exit_codes_and_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--help"])
+        out = capsys.readouterr().out
+        assert "--faults" in out
+        assert "--max-attempts" in out
+        assert "--crash-dump-dir" in out
+        for code in ("0 ", "1 ", "2 ", "3 ", "4 "):
+            assert code in out
+        assert "QueueError" in out
+        assert "watchdog" in out
+
+    def test_transient_plan_still_succeeds(self, capsys):
+        assert main(["run", "mis", "--cores", "4", "--audit",
+                     "--faults", str(self.plans / "transient.json")]) == 0
+        out = capsys.readouterr().out
+        assert "result check: OK" in out
+        assert "resilience:" in out
+        assert "faults injected" in out
+
+    def test_invalid_plan_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"fautls": {}}')
+        assert main(["run", "mis", "--faults", str(bad)]) == 2
+        assert "cannot load --faults plan" in capsys.readouterr().err
+        missing = tmp_path / "nope.json"
+        assert main(["run", "mis", "--faults", str(missing)]) == 2
+
+    def test_watchdog_partial_run_exits_4(self, tmp_path, capsys):
+        plan = tmp_path / "wd.json"
+        plan.write_text('{"resilience": {"max_cycles": 200}}')
+        dump = tmp_path / "bundles"
+        assert main(["run", "mis", "--cores", "4",
+                     "--faults", str(plan),
+                     "--crash-dump-dir", str(dump)]) == 4
+        err = capsys.readouterr().err
+        assert "watchdog fired" in err
+        assert "crash bundle" in err
+        bundles = list(dump.glob("crash-*.json"))
+        assert len(bundles) == 1
+        from repro.faults.crashdump import validate_crash_bundle
+        validate_crash_bundle(json.loads(bundles[0].read_text()))
+
+    def test_queue_error_exits_3(self, monkeypatch, capsys):
+        import repro.cli as cli
+        from repro.errors import QueueError
+
+        def overflow(*a, **kw):
+            raise QueueError("task queue wedged beyond recovery")
+
+        monkeypatch.setattr(cli, "run_app", overflow)
+        assert main(["run", "mis", "--cores", "4"]) == 3
+        assert "queue" in capsys.readouterr().err.lower()
+
+    def test_max_attempts_overrides_plan(self, capsys):
+        # exhausting retries turns an injected transient into a fatal
+        # AppError -> exit 1; the same plan with its own budget passes
+        plan = self.plans / "transient.json"
+        assert main(["run", "mis", "--cores", "4", "--faults", str(plan),
+                     "--max-attempts", "1"]) == 1
+        assert main(["run", "mis", "--cores", "4", "--faults", str(plan),
+                     "--max-attempts", "8"]) == 0
