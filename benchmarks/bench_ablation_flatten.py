@@ -8,9 +8,8 @@ under a tight VT budget and shows the flattening policy removing the
 zooming cost.
 """
 
-from _common import core_counts, emit, once
+from _common import core_counts, emit, once, run_once
 from repro.apps import zoomtree
-from repro.bench.harness import run_app
 from repro.bench.report import format_table
 from repro.config import SystemConfig
 
@@ -23,9 +22,10 @@ def sweep(n_cores):
         cfg = SystemConfig.with_cores(
             n_cores, vt_bits=64, conflict_mode="precise",
             flatten_nesting=flatten, flatten_depth_threshold=2)
-        run = run_app(zoomtree, inp, variant="fractal", n_cores=n_cores,
-                      config=cfg, flattenable=True, max_cycles=200_000_000)
-        zoomtree.check(run.handles, inp)
+        # result check runs inside run_once (check=True); cached repeats
+        # are served straight from the result cache
+        run = run_once(zoomtree, inp, "fractal", n_cores, config=cfg,
+                       flattenable=True, max_cycles=200_000_000)
         results[name] = run
         rows.append([name, f"{run.makespan:,}", run.stats.zoom_ins,
                      run.stats.domains_flattened, run.stats.max_depth])

@@ -7,22 +7,19 @@ timelines (ASCII) and checks the load-balance signature: the busiest-core
 share of committed cycles must be flatter in the fractal version.
 """
 
-from collections import Counter
-
-from _common import emit, once
+from _common import emit, once, run_once
 from repro.apps import maxflow
-from repro.bench.harness import run_app
-from repro.config import SystemConfig
 from repro.core.trace import render_timeline
 
 N_CORES = 8
 
 
 def run_traced(variant):
+    # live=True: this bench renders the per-core trace, which only exists
+    # on an in-process simulator — never served from the result cache
     inp = maxflow.make_input(b=4, layers=4)
-    cfg = SystemConfig.with_cores(N_CORES)
-    return run_app(maxflow, inp, variant=variant, n_cores=N_CORES,
-                   config=cfg, enable_trace=True)
+    return run_once(maxflow, inp, variant, N_CORES, live=True,
+                    enable_trace=True)
 
 
 def longest_task(run):

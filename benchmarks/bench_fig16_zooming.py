@@ -8,9 +8,8 @@ paper's 39 M-task tree is beyond a Python-resident simulation; the
 normalized shape is what is compared).
 """
 
-from _common import core_counts, emit, once
+from _common import core_counts, emit, once, run_once
 from repro.apps import zoomtree
-from repro.bench.harness import run_app
 from repro.bench.report import format_table
 from repro.config import SystemConfig
 
@@ -24,10 +23,9 @@ def run_tree(fanout, max_depth, n_cores):
     cfg = SystemConfig.with_cores(
         n_cores, vt_bits=zoomtree.vt_bits_for_depth(max_depth),
         conflict_mode="precise")
-    run = run_app(zoomtree, inp, variant="fractal", n_cores=n_cores,
-                  config=cfg)
-    zoomtree.check(run.handles, inp)
-    return run
+    # result check runs inside run_once (check=True); cached repeats are
+    # served straight from the result cache
+    return run_once(zoomtree, inp, "fractal", n_cores, config=cfg)
 
 
 def sweep(n_cores, fanouts=FANOUTS):

@@ -20,13 +20,20 @@ from ..vt import Ordering
 
 @dataclass
 class AppRun:
-    """Outcome of one application run."""
+    """Outcome of one application run.
+
+    ``cached`` marks a run rebuilt from the :mod:`repro.farm` result
+    cache (or executed in a farm worker): its stats are byte-identical
+    to a live run's, but there is no in-process simulator behind it, so
+    :attr:`sim` / :attr:`metrics` / ``handles`` are unavailable.
+    """
 
     app: str
     variant: str
     n_cores: int
     stats: RunStats
     handles: Dict
+    cached: bool = False
 
     @property
     def makespan(self) -> int:
@@ -35,7 +42,12 @@ class AppRun:
     @property
     def sim(self) -> Simulator:
         """The simulator that produced this run (metrics live on it)."""
-        return self.handles["_sim"]
+        try:
+            return self.handles["_sim"]
+        except KeyError:
+            raise AttributeError(
+                "this AppRun has no live simulator (cache/farm result); "
+                "re-run with the cache bypassed to inspect sim state")
 
     @property
     def metrics(self):
@@ -99,18 +111,44 @@ def run_serial(app, inp, variant: str = "fractal", *, check: bool = True,
 def sweep_cores(app, inp, variants: Iterable[str], core_counts: Iterable[int],
                 *, config_for=None, check: bool = True,
                 telemetry: Optional[EventBus] = None,
+                jobs: int = 1, cache=None, farm=None,
                 **build_options) -> List[AppRun]:
     """Run every (variant, core count) pair; returns all runs.
 
     ``config_for(n_cores, variant)`` may supply custom configs (e.g. the
     precise-conflict runs of Fig. 14a). A ``telemetry`` bus is shared by
     every run in the sweep; subscribers see the concatenated streams.
+
+    With ``jobs > 1``, a ``cache`` (:class:`repro.farm.ResultCache`), or
+    a prebuilt ``farm`` (:class:`repro.farm.Farm`), the sweep is executed
+    as a deterministic parallel job graph instead: results come back in
+    the same order with identical stats, but the returned runs carry no
+    live simulator/handles (``AppRun.cached`` semantics), and the
+    ``telemetry`` bus sees farm-level events rather than per-cycle
+    simulator events (those stay in the workers). Job failures raise
+    :class:`repro.errors.FarmError` after the whole sweep has been
+    attempted.
     """
-    runs = []
-    for variant in variants:
-        for n in core_counts:
-            cfg = config_for(n, variant) if config_for else None
-            runs.append(run_app(app, inp, variant=variant, n_cores=n,
-                                config=cfg, check=check, telemetry=telemetry,
-                                **build_options))
-    return runs
+    if jobs <= 1 and cache is None and farm is None:
+        runs = []
+        for variant in variants:
+            for n in core_counts:
+                cfg = config_for(n, variant) if config_for else None
+                runs.append(run_app(app, inp, variant=variant, n_cores=n,
+                                    config=cfg, check=check,
+                                    telemetry=telemetry, **build_options))
+        return runs
+
+    from ..farm import Farm, JobSpec
+    specs = [JobSpec(app=app.__name__, variant=variant, n_cores=n,
+                     config=(config_for(n, variant) if config_for else None),
+                     input_obj=inp, check=check,
+                     build_options=dict(build_options))
+             for variant in variants for n in core_counts]
+    if farm is None:
+        farm = Farm(jobs=jobs, cache=cache, bus=telemetry)
+    results = farm.run(specs)
+    farm.raise_on_failures(results)
+    return [AppRun(app=spec.app, variant=spec.variant, n_cores=res.n_cores,
+                   stats=res.stats, handles={}, cached=True)
+            for spec, res in zip(specs, results)]

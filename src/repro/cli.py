@@ -13,7 +13,11 @@ Commands:
 - ``apps`` — list available applications and their variants.
 - ``config`` — print the paper's Table 2 system configuration.
 - ``sweep <app>`` — scaling sweep over core counts with a speedup table
-  and an ASCII chart.
+  and an ASCII chart. ``--jobs N`` fans the sweep out over a
+  :class:`repro.farm.Farm` worker pool; ``--cache`` reuses / populates
+  the content-addressed result cache so repeated sweeps only execute
+  jobs whose digest is missing or stale (``--cache-dir`` relocates it,
+  ``--summary-out`` dumps the farm summary JSON).
 
 Exit codes (``run``): 0 success; 1 application failure (result check or
 :class:`repro.errors.AppError`, incl. a task exhausting its retries);
@@ -35,7 +39,8 @@ from .bench.harness import run_app, run_serial, sweep_cores
 from .bench.plots import speedup_chart
 from .bench.report import format_table, speedup_table
 from .config import SystemConfig
-from .errors import AppError, ConfigError, QueueError, SimulationError
+from .errors import (AppError, ConfigError, FarmError, QueueError,
+                     SimulationError)
 from .faults import ResiliencePolicy, load_fault_file
 from .telemetry import (EventBus, EventRecorder, JsonlExporter,
                         to_perfetto, write_metrics_json, write_perfetto)
@@ -129,6 +134,22 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="comma-separated (default: all)")
     p_sweep.add_argument("--cores", default="1,4,16",
                          help="comma-separated core counts")
+    p_sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes for the sweep (repro.farm; "
+                              "default 1 = in-process)")
+    p_sweep.add_argument("--cache", action="store_true",
+                         help="reuse/populate the content-addressed result "
+                              "cache; only missing or stale digests run")
+    p_sweep.add_argument("--cache-dir", metavar="DIR",
+                         default="benchmarks/results/.cache",
+                         help="result-cache location (default: "
+                              "benchmarks/results/.cache)")
+    p_sweep.add_argument("--timeout", type=float, default=0.0, metavar="SEC",
+                         help="graceful per-job wall-clock watchdog "
+                              "(partial stats instead of a kill)")
+    p_sweep.add_argument("--summary-out", metavar="PATH", default=None,
+                         help="write the farm summary (jobs, cache "
+                              "hits/misses, wall time) as JSON")
 
     sub.add_parser("apps", help="list applications")
     sub.add_parser("config", help="print the Table 2 configuration")
@@ -248,12 +269,37 @@ def _cmd_sweep(args) -> int:
                 else list(all_variants))
     cores = [int(c) for c in args.cores.split(",")]
     inp = app.make_input()
-    runs = sweep_cores(app, inp, variants, cores)
+
+    farm = None
+    if args.jobs > 1 or args.cache or args.timeout or args.summary_out:
+        from .farm import Farm, ResultCache
+        cache = ResultCache(args.cache_dir) if args.cache else None
+        farm = Farm(jobs=args.jobs, cache=cache, timeout_s=args.timeout,
+                    progress=sys.stderr.isatty())
+    try:
+        runs = sweep_cores(app, inp, variants, cores, farm=farm)
+    except FarmError as exc:
+        print(f"farm: {exc}", file=sys.stderr)
+        for label, err in exc.failures:
+            print(f"  {label}: {err}", file=sys.stderr)
+        return 2
     print(speedup_table(runs, baseline_variant=variants[0],
                         baseline_cores=cores[0]))
     print()
     print(speedup_chart(runs, baseline_variant=variants[0],
                         baseline_cores=cores[0]))
+    if farm is not None:
+        s = farm.summary()
+        print(f"[farm] {s['jobs']} jobs on {s['workers']} workers: "
+              f"{s['cache_hits']} cached, {s['failed']} failed, "
+              f"{s['retries']} retries in {s['wall_s']:.2f}s",
+              file=sys.stderr)
+        if args.summary_out:
+            import json as _json
+            with open(args.summary_out, "w") as f:
+                _json.dump({"schema": "repro.farm-summary/1", **s}, f,
+                           indent=2)
+                f.write("\n")
     return 0
 
 

@@ -64,6 +64,18 @@ class SerializabilityViolation(SimulationError):
     equivalent to any serial order. Always a bug in the simulator."""
 
 
+class FarmError(FractalError):
+    """A parallel-execution failure in :mod:`repro.farm` that survived the
+    farm's retry budget (worker crashes, jobs that keep raising).
+
+    The per-job errors are in ``failures``: a list of
+    ``(job label, error string)`` pairs."""
+
+    def __init__(self, message: str, failures=None):
+        super().__init__(message)
+        self.failures = list(failures or [])
+
+
 class AppError(FractalError):
     """An application-level failure (invalid input graph, workload...)."""
 

@@ -1,0 +1,355 @@
+"""The Farm: a deterministic parallel scheduler for simulation jobs.
+
+``Farm.run(specs)`` executes a list of :class:`~repro.farm.job.JobSpec`
+on a ``multiprocessing`` worker pool and returns one
+:class:`~repro.farm.job.JobResult` per spec **in input order**, no matter
+which worker finished first — so any table rendered from the results is
+byte-identical to a serial run. On top of the pool it layers:
+
+- a :class:`~repro.farm.cache.ResultCache` pass that satisfies jobs whose
+  content address already has a fresh entry without executing anything;
+- worker warm-up (the heavy ``repro`` imports are paid once per worker,
+  not on each worker's first job);
+- bounded in-flight backpressure (at most ``jobs * backlog_factor``
+  submitted but unfinished jobs, so huge sweeps don't pickle every input
+  up front);
+- per-job timeouts via the :mod:`repro.faults` graceful watchdog (the
+  job returns partial stats instead of being killed) and parent-side
+  retries for crashed/raising jobs using the same exponential
+  :func:`repro.faults.backoff_delay` curve, read in milliseconds;
+- telemetry: worker metric registries are merged into one parent
+  :class:`~repro.telemetry.MetricsRegistry`, farm-level events
+  (``job_start``/``job_done``/``cache_hit``/``worker_crash``) are
+  published on the parent's :class:`~repro.telemetry.EventBus`, and an
+  optional single-line live progress display tracks the sweep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import FarmError
+from ..faults.resilience import ResiliencePolicy, backoff_delay
+from ..telemetry import (CacheHitEvent, EventBus, JobDoneEvent,
+                         JobStartEvent, MetricsRegistry, WorkerCrashEvent)
+from .cache import ResultCache
+from .job import JobResult, JobSpec, execute_job
+from .shard import shard_index
+
+#: retry curve reused from repro.faults; cycles read as milliseconds here
+_DEFAULT_RETRY = ResiliencePolicy(backoff_base=200, backoff_factor=2.0,
+                                  backoff_cap=5_000)
+
+
+def _warmup_worker() -> None:
+    # Pay the heavy imports once per worker, not on its first job.
+    import repro.bench.harness  # noqa: F401  (pulls simulator + telemetry)
+    import repro.apps  # noqa: F401
+
+
+class Farm:
+    """Parallel executor for :class:`JobSpec` lists (see module docs).
+
+    ``jobs <= 1`` executes inline in the parent process (identical code
+    path minus the pool), which is both the determinism baseline and the
+    debuggable mode. ``registry``/``bus`` default to fresh private
+    instances; pass shared ones to aggregate across farms.
+    """
+
+    def __init__(self, jobs: int = 1, *,
+                 cache: Optional[ResultCache] = None,
+                 bus: Optional[EventBus] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 max_attempts: int = 2,
+                 timeout_s: float = 0.0,
+                 backlog_factor: int = 4,
+                 progress: bool = False,
+                 trace_dir: Optional[str] = None,
+                 collect_metrics: bool = True,
+                 retry_policy: Optional[ResiliencePolicy] = None,
+                 warmup: bool = True):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.jobs = jobs
+        self.cache = cache
+        self.bus = bus if bus is not None else EventBus()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.max_attempts = max_attempts
+        self.timeout_s = timeout_s
+        self.backlog_factor = max(1, backlog_factor)
+        self.progress = progress
+        self.trace_dir = str(trace_dir) if trace_dir else None
+        self.collect_metrics = collect_metrics
+        self.retry_policy = retry_policy or _DEFAULT_RETRY
+        self.warmup = warmup
+        # lifetime counters (across run() calls) for summary()
+        self.n_jobs = 0
+        self.n_done = 0
+        self.n_failed = 0
+        self.n_cache_hits = 0
+        self.n_retries = 0
+        self.n_worker_crashes = 0
+        self.wall_s = 0.0
+        self._t0 = time.monotonic()
+
+    # ------------------------------------------------------------------
+    def _now_ms(self) -> int:
+        return int((time.monotonic() - self._t0) * 1000)
+
+    def _emit(self, event) -> None:
+        if self.bus:
+            self.bus.emit(event)
+
+    def _with_timeout(self, spec: JobSpec) -> JobSpec:
+        """Attach the graceful wall-clock watchdog for ``timeout_s``.
+
+        Applied *before* digests are computed: a timed job is a different
+        content address than an untimed one, because the watchdog can
+        change its result (partial stats).
+        """
+        if self.timeout_s <= 0:
+            return spec
+        base = spec.resilience
+        if base is None:
+            # watchdog only — every other resilience mechanism stays off
+            # so stats match a policy-free run that doesn't hit the limit
+            base = ResiliencePolicy(max_attempts=0, backoff_base=0,
+                                    livelock_window=0)
+        if base.max_wall_seconds and base.max_wall_seconds <= self.timeout_s:
+            policy = base
+        else:
+            policy = dataclasses.replace(base,
+                                         max_wall_seconds=self.timeout_s)
+        return dataclasses.replace(spec, resilience=policy)
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[JobSpec],
+            shard: Optional[Tuple[int, int]] = None) -> List[JobResult]:
+        """Execute every spec; results come back in input order.
+
+        ``shard=(k, n)`` (1-based ``k``) keeps only the jobs whose digest
+        falls in that deterministic shard — the distributed-sweep entry
+        point. Failed jobs (retries exhausted) come back with ``error``
+        set; they never raise here so one bad job cannot sink a sweep.
+        """
+        t_run = time.monotonic()
+        specs = [self._with_timeout(s) for s in specs]
+        if shard is not None:
+            k, n = shard
+            specs = [s for s in specs
+                     if shard_index(s.digest(), n) == k - 1]
+        self.n_jobs += len(specs)
+        results: List[Optional[JobResult]] = [None] * len(specs)
+
+        pending: List[int] = []
+        for i, spec in enumerate(specs):
+            hit = self.cache.get(spec.digest()) if self.cache else None
+            if hit is not None:
+                cfg_cores = spec.resolved_config().n_cores
+                results[i] = JobResult(
+                    digest=spec.digest(), app=spec.app, variant=spec.variant,
+                    n_cores=cfg_cores, label=spec.display, stats=hit,
+                    cached=True)
+                self.n_cache_hits += 1
+                self.n_done += 1
+                self.registry.inc("farm_jobs", status="cached")
+                self._emit(CacheHitEvent(t=self._now_ms(),
+                                         digest=spec.digest(), app=spec.app,
+                                         variant=spec.variant,
+                                         n_cores=cfg_cores))
+            else:
+                pending.append(i)
+
+        self._progress(len(specs), running=0)
+        if pending:
+            if self.jobs <= 1:
+                self._run_inline(specs, pending, results)
+            else:
+                self._run_pool(specs, pending, results)
+        self.wall_s += time.monotonic() - t_run
+        self._progress(len(specs), running=0, final=True)
+        return [r for r in results if r is not None]  # all are set
+
+    # ------------------------------------------------------------------
+    def _finalize(self, spec: JobSpec, res: JobResult,
+                  results: List[Optional[JobResult]], idx: int) -> None:
+        results[idx] = res
+        self.n_done += 1
+        if res.error is not None:
+            self.n_failed += 1
+            self.registry.inc("farm_jobs", status="failed")
+        else:
+            self.registry.inc("farm_jobs", status="done")
+            if res.metrics is not None:
+                self.registry.merge_snapshot(res.metrics)
+            # never cache partial (watchdog-stopped) results
+            if (self.cache is not None and res.stats is not None
+                    and res.stats.completed and not res.cached):
+                self.cache.put(spec, res.stats, wall_s=res.wall_s)
+        self._emit(JobDoneEvent(t=self._now_ms(), digest=res.digest,
+                                ok=res.error is None, cached=res.cached,
+                                wall_ms=int(res.wall_s * 1000),
+                                error=res.error or ""))
+
+    def _retry_delay_s(self, attempt: int) -> float:
+        return backoff_delay(self.retry_policy, attempt) / 1000.0
+
+    def _run_inline(self, specs, pending, results) -> None:
+        for idx in pending:
+            spec = specs[idx]
+            attempt = 1
+            while True:
+                self._emit(JobStartEvent(t=self._now_ms(),
+                                         digest=spec.digest(), app=spec.app,
+                                         variant=spec.variant,
+                                         n_cores=spec.resolved_config().n_cores,
+                                         attempt=attempt))
+                res = execute_job(spec, self.trace_dir, self.collect_metrics)
+                res.attempts = attempt
+                if res.error is None or attempt >= self.max_attempts:
+                    break
+                self.n_retries += 1
+                self.registry.inc("farm_retries")
+                time.sleep(self._retry_delay_s(attempt))
+                attempt += 1
+            self._finalize(spec, res, results, idx)
+            self._progress(len(specs), running=0)
+
+    def _run_pool(self, specs, pending, results) -> None:
+        max_inflight = self.jobs * self.backlog_factor
+        queue = deque((idx, 1, 0.0) for idx in pending)
+        inflight = {}
+        executor = self._make_executor()
+        try:
+            while queue or inflight:
+                now = time.monotonic()
+                while queue and len(inflight) < max_inflight:
+                    idx, attempt, ready_at = queue[0]
+                    if ready_at > now:
+                        break
+                    queue.popleft()
+                    spec = specs[idx]
+                    fut = executor.submit(execute_job, spec, self.trace_dir,
+                                          self.collect_metrics)
+                    inflight[fut] = (idx, attempt)
+                    self._emit(JobStartEvent(
+                        t=self._now_ms(), digest=spec.digest(), app=spec.app,
+                        variant=spec.variant,
+                        n_cores=spec.resolved_config().n_cores,
+                        attempt=attempt))
+                self._progress(len(specs), running=len(inflight))
+                if not inflight:
+                    time.sleep(min(0.05, max(0.0, queue[0][2] - now)))
+                    continue
+                done, _ = wait(list(inflight), timeout=0.2,
+                               return_when=FIRST_COMPLETED)
+                crashed = False
+                for fut in done:
+                    idx, attempt = inflight.pop(fut)
+                    exc = fut.exception()
+                    if exc is not None:
+                        # worker died (or spec failed to pickle): the pool
+                        # is broken; every in-flight job went down with it
+                        crashed = True
+                        self.n_worker_crashes += 1
+                        self.registry.inc("farm_worker_crashes")
+                        self._emit(WorkerCrashEvent(
+                            t=self._now_ms(), n_inflight=len(inflight) + 1,
+                            detail=f"{type(exc).__name__}: {exc}"))
+                        self._requeue_or_fail(specs, idx, attempt,
+                                              f"worker crash: {exc}",
+                                              queue, results)
+                        continue
+                    res = fut.result()
+                    res.attempts = attempt
+                    if res.error is not None and attempt < self.max_attempts:
+                        self.n_retries += 1
+                        self.registry.inc("farm_retries")
+                        queue.append((idx, attempt + 1,
+                                      time.monotonic()
+                                      + self._retry_delay_s(attempt)))
+                    else:
+                        self._finalize(specs[idx], res, results, idx)
+                if crashed:
+                    # drain the victims — salvage any future that finished
+                    # cleanly before the pool broke, requeue the rest
+                    for fut, (idx, attempt) in list(inflight.items()):
+                        if fut.done() and fut.exception() is None:
+                            res = fut.result()
+                            res.attempts = attempt
+                            if (res.error is not None
+                                    and attempt < self.max_attempts):
+                                self.n_retries += 1
+                                self.registry.inc("farm_retries")
+                                queue.append((idx, attempt + 1,
+                                              time.monotonic()
+                                              + self._retry_delay_s(attempt)))
+                            else:
+                                self._finalize(specs[idx], res, results, idx)
+                        else:
+                            self._requeue_or_fail(specs, idx, attempt,
+                                                  "worker pool broke",
+                                                  queue, results)
+                    inflight.clear()
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    executor = self._make_executor()
+                self._progress(len(specs), running=len(inflight))
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def _requeue_or_fail(self, specs, idx, attempt, detail, queue,
+                         results) -> None:
+        if attempt < self.max_attempts:
+            self.n_retries += 1
+            self.registry.inc("farm_retries")
+            queue.append((idx, attempt + 1,
+                          time.monotonic() + self._retry_delay_s(attempt)))
+        else:
+            spec = specs[idx]
+            res = JobResult(digest=spec.digest(), app=spec.app,
+                            variant=spec.variant,
+                            n_cores=spec.resolved_config().n_cores,
+                            label=spec.display, error=detail,
+                            attempts=attempt)
+            self._finalize(spec, res, results, idx)
+
+    def _make_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.jobs,
+            initializer=_warmup_worker if self.warmup else None)
+
+    # ------------------------------------------------------------------
+    def _progress(self, total: int, *, running: int,
+                  final: bool = False) -> None:
+        if not self.progress:
+            return
+        line = (f"\r[farm] {self.n_done}/{total} jobs  "
+                f"({self.n_cache_hits} cached, {running} running, "
+                f"{self.n_failed} failed)")
+        print(line, end="\n" if final else "", file=sys.stderr, flush=True)
+
+    def summary(self) -> dict:
+        """Lifetime totals (JSON-safe), for BENCH summaries and logs."""
+        cache = self.cache.stats() if self.cache else None
+        return {"workers": self.jobs, "jobs": self.n_jobs,
+                "done": self.n_done, "failed": self.n_failed,
+                "cache_hits": self.n_cache_hits, "retries": self.n_retries,
+                "worker_crashes": self.n_worker_crashes,
+                "wall_s": round(self.wall_s, 3), "cache": cache}
+
+    def raise_on_failures(self, results: Sequence[JobResult]) -> None:
+        """Raise :class:`~repro.errors.FarmError` if any result failed."""
+        failures = [(r.label, r.error) for r in results
+                    if r.error is not None]
+        if failures:
+            label, err = failures[0]
+            raise FarmError(
+                f"{len(failures)} of {len(results)} farm jobs failed "
+                f"(first: {label}: {err})", failures=failures)

@@ -1,0 +1,60 @@
+"""Deterministic sharding of job sets across workers or CI machines.
+
+Assignment is by a keyed hash of each item's stable key — never by list
+position or arrival time — so a job lands on the same shard no matter
+which other jobs run alongside it, which machine computes the split, or
+how many times the sweep is re-run. That is what lets ``run_all.py
+--shard K/N`` fan the bench suite across a CI matrix with no
+coordination, and keeps any per-shard artifact layout reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Iterable, List, Sequence, TypeVar
+
+from ..errors import ConfigError
+
+T = TypeVar("T")
+
+
+def shard_index(key: str, n_shards: int) -> int:
+    """The shard (0-based) that ``key`` deterministically belongs to."""
+    if n_shards < 1:
+        raise ConfigError(f"n_shards must be >= 1, got {n_shards}")
+    h = hashlib.blake2b(key.encode(), digest_size=8).digest()
+    return int.from_bytes(h, "big") % n_shards
+
+
+def deterministic_shards(items: Iterable[T], n_shards: int, *,
+                         key: Callable[[T], str] = str) -> List[List[T]]:
+    """Partition ``items`` into ``n_shards`` stable groups.
+
+    Within each shard, items keep their input order. The split is a pure
+    function of each item's ``key(item)`` string, so adding or removing
+    unrelated items never moves an existing item between shards.
+    """
+    shards: List[List[T]] = [[] for _ in range(n_shards)]
+    for item in items:
+        shards[shard_index(key(item), n_shards)].append(item)
+    return shards
+
+
+def parse_shard(text: str) -> tuple:
+    """Parse a ``K/N`` CLI shard selector into ``(k, n)``; 1-based K."""
+    try:
+        k_s, n_s = text.split("/", 1)
+        k, n = int(k_s), int(n_s)
+    except ValueError:
+        raise ConfigError(f"shard must look like K/N, got {text!r}")
+    if not (1 <= k <= n):
+        raise ConfigError(f"shard K/N needs 1 <= K <= N, got {text!r}")
+    return k, n
+
+
+def select_shard(items: Sequence[T], k: int, n: int, *,
+                 key: Callable[[T], str] = str) -> List[T]:
+    """Items of 1-based shard ``k`` of ``n`` (order preserved)."""
+    if not (1 <= k <= n):
+        raise ConfigError(f"need 1 <= k <= n, got k={k}, n={n}")
+    return [it for it in items if shard_index(key(it), n) == k - 1]

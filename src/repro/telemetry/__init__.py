@@ -21,6 +21,7 @@ from .events import (
     EVENT_SCHEMA,
     EVENT_TYPES,
     AbortEvent,
+    CacheHitEvent,
     CommitEvent,
     ConflictEvent,
     DispatchEvent,
@@ -30,6 +31,8 @@ from .events import (
     FaultInjectedEvent,
     FinishEvent,
     GvtTickEvent,
+    JobDoneEvent,
+    JobStartEvent,
     LivelockThrottleEvent,
     QueuePressureEvent,
     RetryBackoffEvent,
@@ -38,6 +41,7 @@ from .events import (
     SpillEvent,
     SquashEvent,
     WatchdogEvent,
+    WorkerCrashEvent,
     WraparoundEvent,
     ZoomEvent,
     event_from_dict,
@@ -68,6 +72,7 @@ __all__ = [
     "EVENT_SCHEMA",
     "EVENT_TYPES",
     "AbortEvent",
+    "CacheHitEvent",
     "CommitEvent",
     "ConflictEvent",
     "Counter",
@@ -83,6 +88,8 @@ __all__ = [
     "Gauge",
     "GvtTickEvent",
     "Histogram",
+    "JobDoneEvent",
+    "JobStartEvent",
     "JsonlExporter",
     "LivelockThrottleEvent",
     "MetricsRegistry",
@@ -94,6 +101,7 @@ __all__ = [
     "SquashEvent",
     "ValidationError",
     "WatchdogEvent",
+    "WorkerCrashEvent",
     "WraparoundEvent",
     "ZoomEvent",
     "event_from_dict",

@@ -1,0 +1,128 @@
+"""benchmarks/run_all.py CLI tests: selection, failure summary, summary JSON.
+
+The real bench modules take minutes; these tests point run_all at tiny
+stand-in bench modules written to a tmp dir and monkeypatched into
+``BENCHES``.
+"""
+
+import importlib
+import json
+import pathlib
+import sys
+
+import pytest
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+@pytest.fixture()
+def run_all():
+    sys.path.insert(0, str(BENCH_DIR))
+    try:
+        yield importlib.import_module("run_all")
+    finally:
+        while str(BENCH_DIR) in sys.path:
+            sys.path.remove(str(BENCH_DIR))
+
+
+@pytest.fixture()
+def fake_benches(run_all, tmp_path, monkeypatch):
+    """Three stand-in bench modules: two pass, one raises."""
+    # snapshot the env keys main() mutates so teardown restores them
+    monkeypatch.setenv("REPRO_BENCH_CACHE", "0")
+    (tmp_path / "bench_alpha.py").write_text(
+        "print('alpha table')\n")
+    (tmp_path / "bench_beta.py").write_text(
+        "print('beta table')\n")
+    (tmp_path / "bench_broken.py").write_text(
+        "raise RuntimeError('bench exploded')\n")
+    monkeypatch.syspath_prepend(str(tmp_path))
+    monkeypatch.setattr(run_all, "BENCHES",
+                        ["bench_alpha", "bench_beta", "bench_broken"])
+    return run_all
+
+
+class TestSelection:
+    def test_only_and_prefix_optional(self, fake_benches):
+        sel = fake_benches.resolve_selection(only=["alpha,bench_beta"])
+        assert sel == ["bench_alpha", "bench_beta"]
+
+    def test_skip(self, fake_benches):
+        sel = fake_benches.resolve_selection(skip=["broken"])
+        assert sel == ["bench_alpha", "bench_beta"]
+
+    def test_unknown_name_rejected(self, fake_benches):
+        with pytest.raises(SystemExit):
+            fake_benches.resolve_selection(only=["nope"])
+
+    def test_list_flag(self, fake_benches, capsys, tmp_path):
+        rc = fake_benches.main(["--list", "--skip", "broken"])
+        assert rc == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out == ["bench_alpha", "bench_beta"]
+
+    def test_shard_flag_partitions(self, fake_benches, capsys):
+        names = set()
+        for k in (1, 2):
+            fake_benches.main(["--list", "--shard", f"{k}/2"])
+            names.update(capsys.readouterr().out.split())
+        assert names == {"bench_alpha", "bench_beta", "bench_broken"}
+
+
+class TestExecution:
+    def test_success_run_and_summary(self, fake_benches, tmp_path, capsys):
+        out_path = tmp_path / "summary.json"
+        rc = fake_benches.main(["--only", "alpha,beta", "--no-cache",
+                                "--summary-out", str(out_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "alpha table" in out and "beta table" in out
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == "repro.bench-summary/1"
+        assert doc["ok"] is True
+        assert [b["name"] for b in doc["benches"]] == ["bench_alpha",
+                                                       "bench_beta"]
+        assert all(b["ok"] for b in doc["benches"])
+        assert set(doc["cache"]) == {"hits", "misses"}
+
+    def test_failure_summary_and_exit_code(self, fake_benches, tmp_path,
+                                           capsys):
+        out_path = tmp_path / "summary.json"
+        rc = fake_benches.main(["--no-cache",
+                                "--summary-out", str(out_path)])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "alpha table" in captured.out   # others still ran
+        assert "1 of 3 benches FAILED" in captured.err
+        assert "bench_broken" in captured.err
+        assert "bench exploded" in captured.err
+        doc = json.loads(out_path.read_text())
+        assert doc["ok"] is False
+        broken = next(b for b in doc["benches"]
+                      if b["name"] == "bench_broken")
+        assert not broken["ok"]
+        assert "bench exploded" in broken["error"]
+
+    def test_parallel_jobs_same_outputs(self, fake_benches, tmp_path,
+                                        capsys):
+        out_path = tmp_path / "summary.json"
+        rc = fake_benches.main(["--only", "alpha,beta", "--jobs", "2",
+                                "--no-cache",
+                                "--summary-out", str(out_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # outputs print in submission order even under --jobs
+        assert out.index("alpha table") < out.index("beta table")
+        doc = json.loads(out_path.read_text())
+        assert doc["jobs"] == 2 and doc["ok"] is True
+
+    def test_run_bench_reports_cache_stats(self, fake_benches, tmp_path,
+                                           monkeypatch):
+        (tmp_path / "bench_counts.py").write_text(
+            "import _common\n"
+            "_common._CACHE_STATS['hits'] += 2\n"
+            "_common._CACHE_STATS['misses'] += 1\n")
+        monkeypatch.syspath_prepend(str(tmp_path))
+        rec = fake_benches.run_bench("bench_counts")
+        assert rec["error"] is None
+        assert rec["cache"] == {"hits": 2, "misses": 1}

@@ -1,0 +1,76 @@
+"""A tiny app module (repro.apps convention) for farm tests.
+
+Fast deterministic simulation plus controllable failure modes, driven by
+a scratch directory shipped in the input (so the behaviour survives the
+trip through worker processes):
+
+- ``fail_times=N``: the first N ``build`` calls raise RuntimeError — the
+  farm's retry path. Attempts are counted with marker files in
+  ``scratch`` because each attempt may land in a different process.
+- ``crash_times=N``: the first N ``build`` calls ``os._exit`` the whole
+  process — the worker-crash/pool-rebuild path. Never use inline.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.vt import Ordering
+
+
+@dataclass
+class FakeInput:
+    n_tasks: int = 8
+    work_cycles: int = 100
+    fail_times: int = 0
+    crash_times: int = 0
+    scratch: Optional[str] = None
+
+
+def make_input(n_tasks: int = 8, work_cycles: int = 100,
+               fail_times: int = 0, crash_times: int = 0,
+               scratch: Optional[str] = None) -> FakeInput:
+    return FakeInput(n_tasks, work_cycles, fail_times, crash_times, scratch)
+
+
+def _attempt_number(scratch: str, kind: str) -> int:
+    """Count this call via a marker file; returns 1 for the first call."""
+    root = pathlib.Path(scratch)
+    root.mkdir(parents=True, exist_ok=True)
+    n = len(list(root.glob(f"{kind}-*"))) + 1
+    (root / f"{kind}-{n}-{os.getpid()}").touch()
+    return n
+
+
+def build(host, inp: FakeInput, variant: str = "fractal") -> Dict:
+    if inp.scratch:
+        if inp.crash_times and (_attempt_number(inp.scratch, "crash")
+                                <= inp.crash_times):
+            os._exit(3)
+        if inp.fail_times and (_attempt_number(inp.scratch, "fail")
+                               <= inp.fail_times):
+            raise RuntimeError("transient fake-app failure")
+    done = host.array("fake.done", inp.n_tasks * 8)
+
+    def task(ctx, i):
+        ctx.compute(inp.work_cycles)
+        done.set(ctx, i * 8, 1)
+
+    for i in range(inp.n_tasks):
+        host.enqueue_root(task, i, label="fake")
+    return {"done": done, "input": inp}
+
+
+def root_ordering(variant: str) -> Ordering:
+    return Ordering.UNORDERED
+
+
+def check(handles: Dict, inp: FakeInput) -> int:
+    done = handles["done"]
+    for i in range(inp.n_tasks):
+        if done.peek(i * 8) != 1:
+            raise AssertionError(f"task {i} never ran")
+    return inp.n_tasks

@@ -1,0 +1,94 @@
+"""ResultCache tests: round trips, fingerprints, invalidation."""
+
+import json
+
+from repro.core.stats import CycleBreakdown, RunStats
+from repro.farm import CACHE_SCHEMA, JobSpec, ResultCache, code_fingerprint
+
+
+def make_spec(n_cores=4):
+    return JobSpec(app="repro.apps.zoomtree", variant="fractal",
+                   n_cores=n_cores,
+                   input_kwargs={"fanout": 2, "depth": 3})
+
+
+def make_stats(makespan=1234):
+    return RunStats(name="t", n_cores=4, makespan=makespan,
+                    breakdown=CycleBreakdown(committed=1000, empty=200),
+                    tasks_committed=7, cache={"hits": 3, "misses": 1})
+
+
+class TestResultCache:
+    def test_put_get_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec, stats = make_spec(), make_stats()
+        assert cache.get(spec.digest()) is None
+        cache.put(spec, stats, wall_s=0.5)
+        got = cache.get(spec.digest())
+        assert got == stats
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+        assert cache.stats()["puts"] == 1
+
+    def test_entry_document(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="deadbeef")
+        spec = make_spec()
+        cache.put(spec, make_stats())
+        entry = cache.get_entry(spec.digest())
+        assert entry["schema"] == CACHE_SCHEMA
+        assert entry["digest"] == spec.digest()
+        assert entry["fingerprint"] == "deadbeef"
+        assert entry["spec"]["app"] == "repro.apps.zoomtree"
+        # on-disk layout: two-char fan-out dirs, valid JSON
+        path = next(tmp_path.glob("*/*.json"))
+        assert path.parent.name == spec.digest()[:2]
+        json.loads(path.read_text())
+
+    def test_fingerprint_staleness(self, tmp_path):
+        old = ResultCache(tmp_path, fingerprint="v1")
+        spec = make_spec()
+        old.put(spec, make_stats())
+        new = ResultCache(tmp_path, fingerprint="v2")
+        assert new.get(spec.digest()) is None
+        assert new.stats()["stale"] == 1
+        # same fingerprint still hits
+        same = ResultCache(tmp_path, fingerprint="v1")
+        assert same.get(spec.digest()) == make_stats()
+
+    def test_contains_entries_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = [make_spec(n) for n in (1, 2, 4)]
+        for s in specs:
+            cache.put(s, make_stats())
+        assert all(cache.contains(s.digest()) for s in specs)
+        assert cache.entries() == 3
+        assert cache.clear() == 3
+        assert cache.entries() == 0
+        assert not cache.contains(specs[0].digest())
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        cache.put(spec, make_stats())
+        path = next(tmp_path.glob("*/*.json"))
+        path.write_text("{not json")
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(spec.digest()) is None
+
+    def test_put_is_atomic_no_temp_left(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(make_spec(), make_stats())
+        leftovers = [p for p in tmp_path.rglob("*") if p.is_file()
+                     and not p.name.endswith(".json")]
+        assert leftovers == []
+
+
+class TestCodeFingerprint:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FARM_FINGERPRINT", "pinned")
+        assert code_fingerprint() == "pinned"
+
+    def test_stable_within_process(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FARM_FINGERPRINT", raising=False)
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 64
