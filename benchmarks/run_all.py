@@ -200,8 +200,17 @@ def main(argv=None):
     args = _parse_args(argv)
     benches = resolve_selection(args.only, args.skip)
     if args.shard:
+        from repro.errors import ConfigError
         from repro.farm import parse_shard, select_shard
-        k, n = parse_shard(args.shard)
+        try:
+            k, n = parse_shard(args.shard)
+        except ConfigError as exc:
+            # a malformed K/N is a usage error, not a crash: exit the way
+            # argparse does instead of spraying a traceback over CI logs
+            raise SystemExit(f"run_all.py: error: --shard: {exc}")
+        # shard the *filtered* list: --only/--skip applied above. Hash
+        # sharding is stable under subsetting, so a bench keeps its shard
+        # whether or not the others are selected.
         benches = select_shard(benches, k, n)
     if args.list:
         for name in benches:

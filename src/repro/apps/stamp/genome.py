@@ -17,6 +17,7 @@ buckets (Fig. 17, +Hints helps genome).
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List
 
@@ -93,7 +94,10 @@ def build(host, inp: GenomeInput, variant: str = "fractal") -> Dict:
             host.enqueue_root(worker, 1, ts=1, label="worker")
     else:
         for i in range(n_occ):
-            hint = splitmix(hash(inp.segments[i])) & 0xFFFF
+            # crc32, not hash(): str hashing is salted per process
+            # (PYTHONHASHSEED), which would re-randomize the hint-to-tile
+            # mapping — and with it makespans — on every run
+            hint = splitmix(zlib.crc32(inp.segments[i].encode())) & 0xFFFF
             host.enqueue_root(dedup, i, ts=0, hint=hint, label="dedup")
             host.enqueue_root(link, i, ts=1, hint=hint, label="link")
     return {"uniq": uniq, "next": nxt, "input": inp}

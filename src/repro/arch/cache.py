@@ -31,6 +31,16 @@ class CacheModel:
         self.noc = noc
         self.lat = latency
         self._rng = random.Random(seed ^ 0xCAC4E)
+        # per-access constants, resolved once (this is the hottest call in
+        # the access path; chasing latency-model attributes per call costs
+        # more than the arithmetic)
+        self._line_words = space.line_words
+        self._n_tiles = space.n_tiles
+        self._l1_hit = latency.l1_hit
+        self._l2_hit = latency.l2_hit
+        self._l3_hit = latency.l3_hit
+        self._mem_latency = latency.mem_latency
+        self._mem_miss_rate = latency.mem_miss_rate
         # counters for stats
         self.l1_hits = 0
         self.l2_hits = 0
@@ -43,19 +53,19 @@ class CacheModel:
         ``owner`` carries its touched-line footprint (``read_lines`` /
         ``write_lines``), which stands in for its L1 residency.
         """
-        line = self.space.line_of(addr)
+        line = addr // self._line_words
         if line in owner.read_lines or line in owner.write_lines:
             self.l1_hits += 1
-            return self.lat.l1_hit
-        if self.lat.mem_miss_rate > 0 and self._rng.random() < self.lat.mem_miss_rate:
+            return self._l1_hit
+        if self._mem_miss_rate > 0 and self._rng.random() < self._mem_miss_rate:
             self.mem_misses += 1
-            return self.lat.mem_latency
-        home = self.space.home_tile(addr)
+            return self._mem_latency
+        home = line % self._n_tiles
         if home == tile:
             self.l2_hits += 1
-            return self.lat.l2_hit
+            return self._l2_hit
         self.l3_hits += 1
-        return self.lat.l3_hit + self.noc.round_trip(tile, home)
+        return self._l3_hit + self.noc.round_trip(tile, home)
 
     def snapshot(self) -> dict:
         """Hit/miss counters for run statistics."""

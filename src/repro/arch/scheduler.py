@@ -39,6 +39,19 @@ class HintScheduler:
         self.bus = None
         self.clock = None
 
+    @staticmethod
+    def _least_loaded(units: Sequence) -> tuple:
+        """``(tile, load)`` of the least-loaded tile, one pass, first
+        minimal index on ties — same answer ``min(range, key=...)`` gave,
+        without a lambda call and a re-read per tile."""
+        best_tile = 0
+        best_len = units[0].pending_count
+        for t in range(1, len(units)):
+            n = units[t].pending_count
+            if n < best_len:
+                best_tile, best_len = t, n
+        return best_tile, best_len
+
     def tile_for(self, hint: Optional[int], units: Sequence,
                  hard_cap: bool = False) -> int:
         """Destination tile for a task with this hint.
@@ -55,8 +68,7 @@ class HintScheduler:
             tile = self._rr
             self._rr = (self._rr + 1) % self.n_tiles
             if hard_cap and units[tile].pending_count >= units[tile].task_queue_cap:
-                tile = min(range(self.n_tiles),
-                           key=lambda t: units[t].pending_count)
+                tile, _ = self._least_loaded(units)
             return tile
         home = _mix(hint ^ self._seed) % self.n_tiles
         home_len = units[home].pending_count
@@ -64,9 +76,7 @@ class HintScheduler:
         if home_len < self.threshold and not (
                 hard_cap and home_len >= units[home].task_queue_cap):
             return home
-        min_tile = min(range(self.n_tiles),
-                       key=lambda t: units[t].pending_count)
-        min_len = units[min_tile].pending_count
+        min_tile, min_len = self._least_loaded(units)
         if home_len > min_len + self.threshold or (
                 hard_cap and home_len >= units[home].task_queue_cap
                 and min_len < home_len):

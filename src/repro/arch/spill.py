@@ -17,6 +17,7 @@ from typing import Callable, List, Optional
 
 from ..core.task import TaskState
 from ..telemetry.events import SpillEvent
+from .frontier import StrippedIndex
 
 
 def select_spill_victims(pending: List, stripped_key: Callable,
@@ -40,28 +41,53 @@ def select_spill_victims(pending: List, stripped_key: Callable,
 
 
 class SpillBuffer:
-    """An in-memory buffer of spilled pending tasks (one per splitter)."""
+    """An in-memory buffer of spilled pending tasks (one per splitter).
 
-    __slots__ = ("tasks", "is_zoom")
+    Buffered tasks are indexed by stripped VT prefix so the scheduler's
+    splitter-priority check is O(depths) instead of O(buffer). The index
+    piggybacks on ``queue_token``: tasks enter a buffer only after leaving
+    their task queue (which bumped the token), so bumping again here never
+    invalidates a live queue entry, and every exit path — :meth:`remove`,
+    re-enqueue on restore — bumps it once more.
+    """
+
+    __slots__ = ("tasks", "is_zoom", "_index")
 
     def __init__(self, tasks: List):
         self.tasks = list(tasks)
         #: True for buffers holding a zoomed-out base domain
         self.is_zoom = False
+        self._index = StrippedIndex("queue_token")
+        for t in self.tasks:
+            t.queue_token += 1
+            self._index.push(t)
 
     def remove(self, task) -> bool:
         """Squash support: drop a spilled task; True when it was here."""
         try:
             self.tasks.remove(task)
-            return True
         except ValueError:
             return False
+        task.queue_token += 1  # invalidates the index entry
+        return True
 
     def min_key(self) -> Optional[tuple]:
         """Lowest VT key inside (spilled tasks still bound the GVT)."""
         if not self.tasks:
             return None
         return min(t.order_key() for t in self.tasks)
+
+    def min_stripped(self, now_lb_raw: int) -> Optional[tuple]:
+        """Lowest stripped key inside, with ``now_lb_raw`` spliced in —
+        equals ``min(stripped(t.order_key()) for t in tasks)``."""
+        return self._index.min_candidate(now_lb_raw)
+
+    def reindex(self) -> None:
+        """Re-key every entry after a global VT rewrite (compaction)."""
+        self._index.clear()
+        for t in self.tasks:
+            t.queue_token += 1
+            self._index.push(t)
 
     def __len__(self) -> int:
         return len(self.tasks)

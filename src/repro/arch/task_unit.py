@@ -16,6 +16,7 @@ import heapq
 from typing import List, Optional, Tuple
 
 from ..errors import SimulationError
+from .frontier import StrippedIndex
 
 
 class TaskUnit:
@@ -26,6 +27,11 @@ class TaskUnit:
         self.task_queue_cap = task_queue_cap
         self.commit_queue_cap = commit_queue_cap
         self._heap: List[Tuple[tuple, int, int, object]] = []  # (key, seq, token, task)
+        # Mirror of the live entries keyed on stripped VT prefixes, so the
+        # scheduler's "earliest pending under the stripped transform" query
+        # stops scanning the whole queue. Shares the queue_token discipline:
+        # every enqueue/remove/pop bump invalidates both structures at once.
+        self._stripped_idx = StrippedIndex("queue_token")
         self._seq = 0
         #: exact number of live pending tasks in this queue
         self.pending_count = 0
@@ -47,6 +53,7 @@ class TaskUnit:
         self._seq += 1
         heapq.heappush(self._heap,
                        (task.order_key(), self._seq, task.queue_token, task))
+        self._stripped_idx.push(task)
         self.pending_count += 1
         if self.pending_count > self.peak_pending:
             self.peak_pending = self.pending_count
@@ -83,6 +90,12 @@ class TaskUnit:
             return key
         return None
 
+    def peek_min_stripped(self, now_lb_raw: int) -> Optional[tuple]:
+        """Lowest live pending key under the stripped transform with
+        ``now_lb_raw`` as the dynamic final tiebreaker, or None when empty.
+        Equals ``min(stripped(t.order_key()) for t in live_pending())``."""
+        return self._stripped_idx.min_candidate(now_lb_raw)
+
     def live_pending(self) -> List[object]:
         """All live pending tasks (O(queue); used by spills and rebuilds)."""
         seen = set()
@@ -97,6 +110,7 @@ class TaskUnit:
         """Re-key every live entry after a global VT rewrite."""
         tasks = self.live_pending()
         self._heap.clear()
+        self._stripped_idx.clear()
         self.pending_count = 0
         for task in tasks:
             self.enqueue(task)

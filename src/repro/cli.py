@@ -10,6 +10,10 @@ Commands:
   (see :mod:`repro.faults`): ``--faults`` loads a fault-injection plan,
   ``--max-attempts`` bounds exception retries, ``--crash-dump-dir``
   writes a crash bundle on failure.
+- ``profile <app>`` — run one application and report hot-path profile
+  counters (GVT frontier scan lengths, queue-index scans, conflict-probe
+  counts; see :mod:`repro.telemetry.profiling`). ``--json`` exports the
+  profile document for CI's perf-smoke ceilings.
 - ``apps`` — list available applications and their variants.
 - ``config`` — print the paper's Table 2 system configuration.
 - ``sweep <app>`` — scaling sweep over core counts with a speedup table
@@ -151,6 +155,21 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="write the farm summary (jobs, cache "
                               "hits/misses, wall time) as JSON")
 
+    p_prof = sub.add_parser(
+        "profile", help="run one application and report hot-path counters")
+    p_prof.add_argument("app", help="application name (see `apps`)")
+    p_prof.add_argument("--variant", default=None,
+                        help="execution-model variant (default: best)")
+    p_prof.add_argument("--cores", type=int, default=16)
+    p_prof.add_argument("--conflicts", choices=("bloom", "precise"),
+                        default="bloom")
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the profile document as JSON")
+    p_prof.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write metrics (incl. profile_* counters) "
+                             "+ stats JSON to PATH")
+
     sub.add_parser("apps", help="list applications")
     sub.add_parser("config", help="print the Table 2 configuration")
     return parser
@@ -263,6 +282,54 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    import json as _json
+    import time as _time
+
+    from .telemetry import (collect_profile, fold_into_registry,
+                            format_profile)
+
+    app, variants = _load(args.app)
+    variant = args.variant or variants[-1]
+    if variant not in variants:
+        raise SystemExit(f"{args.app} supports variants {variants}")
+    inp = app.make_input()
+    cfg = SystemConfig.with_cores(args.cores, conflict_mode=args.conflicts,
+                                  seed=args.seed)
+    t0 = _time.perf_counter()
+    try:
+        run = run_app(app, inp, variant=variant, n_cores=args.cores,
+                      config=cfg)
+    except QueueError as exc:
+        print(f"queue exhaustion: {exc}", file=sys.stderr)
+        return 3
+    except SimulationError as exc:
+        print(f"simulation error: {exc}", file=sys.stderr)
+        return 2
+    except AppError as exc:
+        print(f"result check: FAILED — {exc}", file=sys.stderr)
+        return 1
+    wall_s = _time.perf_counter() - t0
+
+    profile = collect_profile(run.sim, wall_s=wall_s)
+    fold_into_registry(run.metrics, profile)
+    print(format_profile(profile))
+    try:
+        if args.json:
+            with open(args.json, "w") as f:
+                _json.dump(profile, f, indent=2, sort_keys=True)
+                f.write("\n")
+            print(f"profile json: {args.json}")
+        if args.metrics_out:
+            write_metrics_json(run.metrics, args.metrics_out,
+                               stats=run.stats)
+            print(f"metrics: {args.metrics_out}")
+    except OSError as exc:
+        print(f"cannot write export: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_sweep(args) -> int:
     app, all_variants = _load(args.app)
     variants = (args.variants.split(",") if args.variants
@@ -318,6 +385,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "apps":
         return _cmd_apps()
     if args.command == "config":

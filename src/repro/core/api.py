@@ -49,7 +49,8 @@ class NeedZoomOut(FractalError):
 class TaskContext:
     """Execution context of one task attempt on the speculative simulator."""
 
-    __slots__ = ("sim", "task", "tile_id", "core_id", "cycles", "_children")
+    __slots__ = ("sim", "task", "tile_id", "core_id", "cycles", "_children",
+                 "_cache", "_memory", "_l1_hit", "_check_cost")
 
     def __init__(self, sim, task: TaskDesc, tile_id: int, core_id: int):
         self.sim = sim
@@ -58,6 +59,12 @@ class TaskContext:
         self.core_id = core_id
         self.cycles = 0
         self._children = 0
+        # load/store run once per memory access: resolve the simulator's
+        # fixed collaborators and latency constants up front
+        self._cache = sim.cache
+        self._memory = sim.memory
+        self._l1_hit = sim.config.latency.l1_hit
+        self._check_cost = sim.config.conflict_check_cost
 
     # ------------------------------------------------------------------
     # program-visible state
@@ -80,13 +87,13 @@ class TaskContext:
         task = self.task
         if task.aborted:
             raise TaskAborted(repr(task))
-        lat = self.sim.cache.access_latency(task, self.tile_id, addr)
-        if lat > self.sim.config.latency.l1_hit:
+        lat = self._cache.access_latency(task, self.tile_id, addr)
+        if lat > self._l1_hit:
             # first touch of a line: the coherence request triggers a
             # distributed conflict check (Table 2: 5 cycles per tile check)
-            lat += self.sim.config.conflict_check_cost
+            lat += self._check_cost
         self.cycles += lat
-        value = self.sim.memory.load(task, addr)
+        value = self._memory.load(task, addr)
         if task.aborted:
             raise TaskAborted(repr(task))
         return value
@@ -96,11 +103,11 @@ class TaskContext:
         task = self.task
         if task.aborted:
             raise TaskAborted(repr(task))
-        lat = self.sim.cache.access_latency(task, self.tile_id, addr)
-        if lat > self.sim.config.latency.l1_hit:
-            lat += self.sim.config.conflict_check_cost
+        lat = self._cache.access_latency(task, self.tile_id, addr)
+        if lat > self._l1_hit:
+            lat += self._check_cost
         self.cycles += lat
-        self.sim.memory.store(task, addr, value)
+        self._memory.store(task, addr, value)
         if task.aborted:
             raise TaskAborted(repr(task))
 

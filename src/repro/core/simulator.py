@@ -27,11 +27,12 @@ queue dynamics and ordering exactly, and timing to first order.
 from __future__ import annotations
 
 import heapq
+import os
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..arch.cache import CacheModel
-from ..arch.gvt import GvtArbiter
+from ..arch.gvt import GvtArbiter, GvtFrontier
 from ..arch.noc import MeshNoC
 from ..arch.scheduler import HintScheduler
 from ..arch.spill import (CoalescerJob, SpillBuffer, SplitterJob,
@@ -182,6 +183,11 @@ class Simulator(AllocAPI):
         self._live: Dict[TaskDesc, None] = {}
         # aborted tasks waiting out the rollback latency before re-queueing
         self._limbo: Dict[TaskDesc, None] = {}
+        # incrementally-maintained GVT bound over the live set; with
+        # REPRO_GVT_AUDIT=1 every query is cross-checked against the
+        # reference linear scan (_compute_gvt_linear)
+        self._frontier = GvtFrontier()
+        self._gvt_audit = os.environ.get("REPRO_GVT_AUDIT", "") == "1"
         self._finished: List[TaskDesc] = []
         self._executing: Optional[TaskDesc] = None
         self._executing_ctx: Optional[TaskContext] = None
@@ -375,6 +381,7 @@ class Simulator(AllocAPI):
         tile_id = self.scheduler.tile_for(task.hint, units,
                                           hard_cap=self._resil is not None)
         self._live[task] = None
+        self._frontier.add_dyn(task)
         self.tiles[tile_id].unit.enqueue(task)
         self._m_enqueues[tile_id].value += 1
         task.domain.tasks_created += 1
@@ -485,23 +492,23 @@ class Simulator(AllocAPI):
                 return specials.pop(i)
         best_i = None
         best_key = None
+        now_lb = None
         for i, job in enumerate(specials):
             if job.kind == "splitter":
                 if not job.buffer.tasks:
                     return specials.pop(i)  # empty: retire it for free
                 # min over *stripped* keys — frozen-key minima mix depths
                 # incomparably (same pitfall as the GVT computation)
-                key = min(self._stripped(t.order_key())
-                          for t in job.buffer.tasks)
+                if now_lb is None:
+                    now_lb = self.alloc.lower_bound(self.now).raw
+                key = job.buffer.min_stripped(now_lb)
                 if best_key is None or key < best_key:
                     best_i, best_key = i, key
         if best_i is not None:
             if not allow_tasks:
                 # cores gated off tasks may still drain spilled work
                 return specials.pop(best_i)
-            pending = tile.unit.live_pending()
-            pending_key = (min(self._stripped(t.order_key())
-                               for t in pending) if pending else None)
+            pending_key = tile.unit.peek_min_stripped(now_lb)
             if pending_key is None or best_key < pending_key:
                 return specials.pop(best_i)
         if not allow_tasks:
@@ -518,6 +525,7 @@ class Simulator(AllocAPI):
             tb = self.alloc.alloc(self.now, core.cid)
         task.vt = task.vt.finalized(tb)
         task.state = TaskState.RUNNING
+        self._frontier.add_run(task)
         task.core = core
         task.dispatch_time = self.now
         core.job = task
@@ -634,6 +642,7 @@ class Simulator(AllocAPI):
             return  # stale: the attempt was aborted while "running"
         unit = self.tiles[core.tile_id].unit
         task.finish_time = self.now
+        self._frontier.discard(task)  # finished work no longer bounds GVT
         if self._ebus is not None:
             self._ebus.emit(tev.FinishEvent(self.now, task.tid, core.cid,
                                           task.duration))
@@ -703,7 +712,24 @@ class Simulator(AllocAPI):
         self._ensure_tick()
 
     def _compute_gvt(self) -> Optional[tuple]:
-        """Earliest-unfinished VT bound (the GVT).
+        """Earliest-unfinished VT bound (the GVT), from the incremental
+        frontier index (see :class:`~repro.arch.gvt.GvtFrontier`).
+
+        With ``REPRO_GVT_AUDIT=1`` every query is cross-checked against
+        the reference linear scan and any divergence raises.
+        """
+        now_lb = self.alloc.lower_bound(self.now).raw
+        best = self._frontier.min_key(now_lb)
+        if self._gvt_audit:
+            ref = self._compute_gvt_linear(now_lb)
+            if ref != best:
+                raise SimulationError(
+                    f"GVT frontier divergence at cycle {self.now}: "
+                    f"indexed={best!r} linear={ref!r}")
+        return best
+
+    def _compute_gvt_linear(self, now_lb: int) -> Optional[tuple]:
+        """Reference GVT: linear scan over the live set (audit mode only).
 
         The dynamic bound must be applied *per task*: tasks at different
         nesting depths splice the fresh tiebreaker at different key
@@ -712,7 +738,6 @@ class Simulator(AllocAPI):
         than every dynamically-bounded shallow task. Computing the min any
         other way commits tasks out of VT order.
         """
-        now_lb = self.alloc.lower_bound(self.now).raw
         best: Optional[tuple] = None
         for task in self._live:
             state = task.state
@@ -801,29 +826,19 @@ class Simulator(AllocAPI):
         """
         self._cascade_seq += 1
         cascade_id = self._cascade_seq
-        # Each victim's hop distance from the seed set feeds the
-        # abort-chain-depth telemetry (how far one conflict propagated).
-        # Hops only surface in events, so the disabled path skips the
-        # (task, hop) pair bookkeeping entirely.
+        # One pass over the child/dependent adjacency. Each victim's hop
+        # distance from the seed set feeds the abort-chain-depth telemetry
+        # (how far one conflict propagated); with events disabled the hops
+        # are simply never read, so a single traversal serves both modes.
         cascade: Dict[TaskDesc, int] = {}
-        if self._ebus is not None:
-            stack = [(v, 0) for v in victims]
-            while stack:
-                t, hop = stack.pop()
-                if t in cascade or not t.is_live:
-                    continue
-                cascade[t] = hop
-                stack.extend((c, hop + 1) for c in t.children)
-                stack.extend((d, hop + 1) for d in t.dependents)
-        else:
-            plain = list(victims)
-            while plain:
-                t = plain.pop()
-                if t in cascade or not t.is_live:
-                    continue
-                cascade[t] = 0
-                plain.extend(t.children)
-                plain.extend(t.dependents)
+        stack = [(v, 0) for v in victims]
+        while stack:
+            t, hop = stack.pop()
+            if t in cascade or not t.is_live:
+                continue
+            cascade[t] = hop
+            stack.extend((c, hop + 1) for c in t.children)
+            stack.extend((d, hop + 1) for d in t.dependents)
         for t in sorted(cascade, key=TaskDesc.order_key, reverse=True):
             squash = (t.parent is not None and t.parent in cascade) or (
                 squash_extra is not None and t in squash_extra)
@@ -896,6 +911,7 @@ class Simulator(AllocAPI):
         task.aborted = True
         if squash:
             task.state = TaskState.SQUASHED
+            self._frontier.discard(task)
             self._live.pop(task, None)
             self._limbo.pop(task, None)
             key = ("squashed", task.domain.depth)
@@ -912,6 +928,10 @@ class Simulator(AllocAPI):
             # re-dispatch (and re-conflict) within the same cycle.
             task.n_aborts += 1
             task.state = TaskState.PENDING
+            # Limbo tasks still bound the GVT through their stripped key
+            # (the final real tiebreaker of the aborted attempt is dropped;
+            # the later _requeue keeps the same prefix).
+            self._frontier.add_dyn(task)
             self._limbo[task] = None
             when = max(self.now + self.config.abort_penalty, task.retry_after)
             if self._resil is not None:
@@ -946,6 +966,7 @@ class Simulator(AllocAPI):
                 task.dispatch_time, ctx.cycles, f"zoom-{direction} park",
                 True, -1, 0))
         task.state = TaskState.WAIT_ZOOM
+        self._frontier.add_dyn(task)
         self.zoom.park(task, direction, needed_bits)
         self._ensure_tick()
 
@@ -989,6 +1010,9 @@ class Simulator(AllocAPI):
         self._commit_epoch += 1
         for tile in self.tiles:
             tile.unit.rebuild()
+        for buf in self._spill_buffers:
+            buf.reindex()
+        self._frontier.rebuild(self._live)
 
     # ==================================================================
     # spills
@@ -1010,10 +1034,13 @@ class Simulator(AllocAPI):
 
     def _spill_out(self, tile_id: int, unit, victims: List[TaskDesc]) -> None:
         """Move ``victims`` from the task queue into a splitter buffer."""
+        # Remove from the queue *before* building the buffer: SpillBuffer
+        # indexes its tasks against queue_token, and unit.remove bumps it.
+        for t in victims:
+            unit.remove(t)
         buf = SpillBuffer(victims)
         buf.is_zoom = False
         for t in victims:
-            unit.remove(t)
             t.state = TaskState.SPILLED
             t.spill_buffer = buf
         self._spill_buffers.append(buf)

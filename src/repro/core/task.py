@@ -62,6 +62,8 @@ class TaskDesc:
         "children", "subdomain",
         # placement
         "queue_tile", "queue_token", "core", "spill_buffer",
+        # GVT frontier entry version (see arch.gvt.GvtFrontier)
+        "_gvt_token",
         # timing (current attempt)
         "enqueue_time", "dispatch_time", "duration", "finish_time",
         "retry_after",
@@ -102,6 +104,7 @@ class TaskDesc:
 
         self.queue_tile = -1
         self.queue_token = 0
+        self._gvt_token = 0
         self.core = None
         self.spill_buffer = None
 

@@ -87,7 +87,11 @@ class ResultCache:
             return None
         if (doc.get("schema") != CACHE_SCHEMA
                 or doc.get("fingerprint") != self.fingerprint):
+            # A stale entry is also a miss: the caller must execute the
+            # job. Keeping the invariant hits + misses == lookups means
+            # hit-rate assertions (CI) cannot be skewed by code drift.
             self.stale += 1
+            self.misses += 1
             return None
         self.hits += 1
         return doc

@@ -48,14 +48,22 @@ class H3HashFamily:
             [rng.getrandbits(32) & self._bank_mask for _ in range(_KEY_BITS)]
             for _ in range(k)
         ]
+        # The hash of a key is a pure function of the (fixed) matrices, and
+        # workloads probe the same cache lines millions of times; memoizing
+        # per key turns the per-bit XOR walk into one dict lookup. The cache
+        # is bounded by the number of distinct lines the run touches.
+        self._index_cache: dict = {}
 
     def indices(self, key: int) -> List[int]:
         """Global bit indices (one per bank) for ``key``."""
-        key &= (1 << _KEY_BITS) - 1
+        out = self._index_cache.get(key)
+        if out is not None:
+            return out
+        masked = key & ((1 << _KEY_BITS) - 1)
         out = []
         for fn, matrix in enumerate(self._matrices):
             h = 0
-            bits = key
+            bits = masked
             i = 0
             while bits:
                 if bits & 1:
@@ -63,28 +71,33 @@ class H3HashFamily:
                 bits >>= 1
                 i += 1
             out.append(fn * self.bank_bits + h)
+        self._index_cache[key] = out
         return out
 
 
 class BloomSignature:
     """A bit-accurate, banked Bloom signature over cache-line addresses."""
 
-    __slots__ = ("family", "_bits", "_inserted", "_popcount")
+    __slots__ = ("family", "_bits", "_inserted", "_popcount", "_rate_cache")
 
     def __init__(self, family: H3HashFamily):
         self.family = family
         self._bits = 0
         self._inserted = 0
         self._popcount = 0
+        self._rate_cache = (0, 0.0)
 
-    def insert(self, key: int) -> None:
-        """Set this key's bit in every bank."""
+    def insert(self, key: int) -> bool:
+        """Set this key's bit in every bank; True when any bit was new."""
+        changed = False
         for idx in self.family.indices(key):
             mask = 1 << idx
             if not self._bits & mask:
                 self._bits |= mask
                 self._popcount += 1
+                changed = True
         self._inserted += 1
+        return changed
 
     def maybe_contains(self, key: int) -> bool:
         """True when all banks hit. Never a false negative."""
@@ -101,6 +114,7 @@ class BloomSignature:
         self._bits = 0
         self._inserted = 0
         self._popcount = 0
+        self._rate_cache = (0, 0.0)
 
     @property
     def inserted(self) -> int:
@@ -125,7 +139,10 @@ class BloomSignature:
         the mean fill as ``p_i / b`` for every bank, which is exact in
         expectation and accurate for H3's near-uniform spreading.
         """
-        fill = self.fill
-        if fill <= 0.0:
-            return 0.0
-        return fill ** self.family.k
+        pc = self._popcount
+        cached_pc, cached_rate = self._rate_cache
+        if pc == cached_pc:
+            return cached_rate
+        rate = (pc / self.family.m_bits) ** self.family.k
+        self._rate_cache = (pc, rate)
+        return rate

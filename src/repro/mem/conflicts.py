@@ -25,7 +25,7 @@ the simulator).
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Set
+from typing import Dict, List, Optional
 
 from .bloom import BloomSignature, H3HashFamily
 
@@ -70,10 +70,12 @@ class PreciseConflictModel(ConflictPolicy):
     name = "precise"
 
     def __init__(self):
-        self._live: Set = set()
+        # insertion-ordered on purpose (like the simulator's _live): any
+        # iteration over live tasks must not depend on object addresses
+        self._live: Dict = {}
 
     def register(self, owner) -> None:
-        self._live.add(owner)
+        self._live[owner] = None
         g = self._live_gauge
         if g is not None and len(self._live) > g.value:
             g.value = len(self._live)
@@ -81,7 +83,7 @@ class PreciseConflictModel(ConflictPolicy):
         owner.sig_write = None
 
     def unregister(self, owner) -> None:
-        self._live.discard(owner)
+        self._live.pop(owner, None)
 
     def note_access(self, owner, line: int, is_write: bool) -> None:
         pass
@@ -104,15 +106,21 @@ class BloomConflictModel(ConflictPolicy):
         self.family = H3HashFamily(k=ways, m_bits=bits, seed=seed)
         self._rng = random.Random(seed ^ 0xB100F)
         self.exact = exact
-        self._live: Set = set()
+        # registration-ordered: the sampled victim walk and the exact
+        # pairwise probe iterate this — set iteration would make the
+        # chosen victim depend on object addresses and differ run to run
+        self._live: Dict = {}
         #: running sum of per-live-task false-positive rates (read+write sigs)
         self._fp_sum = 0.0
         #: spurious conflicts generated, for stats
         self.false_positives = 0
+        #: live tasks examined by victim sampling / exact probing
+        #: (profiling; folded into metrics only under `repro profile`)
+        self.probe_steps = 0
 
     # ------------------------------------------------------------------
     def register(self, owner) -> None:
-        self._live.add(owner)
+        self._live[owner] = None
         g = self._live_gauge
         if g is not None and len(self._live) > g.value:
             g.value = len(self._live)
@@ -122,14 +130,18 @@ class BloomConflictModel(ConflictPolicy):
 
     def unregister(self, owner) -> None:
         if owner in self._live:
-            self._live.discard(owner)
+            del self._live[owner]
             self._fp_sum -= owner._fp_cached
             if self._fp_sum < 0:
                 self._fp_sum = 0.0
 
     def note_access(self, owner, line: int, is_write: bool) -> None:
         sig = owner.sig_write if is_write else owner.sig_read
-        sig.insert(line)
+        if not sig.insert(line):
+            # no new bits set: both fills — and therefore the pair rate —
+            # are exactly what the last access computed, so the running
+            # sum is already correct (the delta would be a literal +0.0)
+            return
         new_fp = self._pair_rate(owner)
         self._fp_sum += new_fp - owner._fp_cached
         owner._fp_cached = new_fp
@@ -159,7 +171,12 @@ class BloomConflictModel(ConflictPolicy):
         acc = 0.0
         chosen = None
         for other in self._live:
-            if other is owner:
+            self.probe_steps += 1
+            # A task with an empty (zero-rate) signature cannot falsely
+            # match anything; skipping it keeps float drift in the running
+            # sums (and a pick of exactly 0.0) from electing an impossible
+            # victim at the boundaries of the weighted walk.
+            if other is owner or other._fp_cached <= 0.0:
                 continue
             acc += other._fp_cached
             chosen = other
@@ -179,6 +196,7 @@ class BloomConflictModel(ConflictPolicy):
         signature hit and let the caller dedupe against true conflicts.
         """
         for other in self._live:
+            self.probe_steps += 1
             if other is owner:
                 continue
             if other.sig_write.maybe_contains(line) or (

@@ -100,6 +100,9 @@ class SpecMemory:
         self.n_stores = 0
         self.n_true_conflicts = 0
         self.n_injected_conflicts = 0
+        #: candidate owners examined by per-line conflict checks (profiling;
+        #: stays out of the metrics registry unless `repro profile` asks)
+        self.probe_steps = 0
 
     # ------------------------------------------------------------------
     # owner lifecycle
@@ -158,6 +161,7 @@ class SpecMemory:
 
         chain = self._line_writers.get(line)
         if chain:
+            self.probe_steps += len(chain)
             victims = [w for w in chain
                        if w is not owner and w.order_key() > key]
             if victims:
@@ -165,7 +169,7 @@ class SpecMemory:
                 if self.bus:
                     self._emit_conflict("read-write", owner, victims, line)
                 self._abort(victims, "read-write conflict")
-            self._abort_if_earlier_writer_running(owner, line, key)
+            self._abort_if_earlier_writer_running(owner, line, key, chain)
             if owner.aborted:
                 return self.default
 
@@ -206,10 +210,12 @@ class SpecMemory:
         victims = []
         readers = self._line_readers.get(line)
         if readers:
+            self.probe_steps += len(readers)
             victims.extend(r for r in readers
                            if r is not owner and r.order_key() > key)
         chain = self._line_writers.get(line)
         if chain:
+            self.probe_steps += len(chain)
             victims.extend(w for w in chain
                            if w is not owner and w.order_key() > key
                            and w not in victims)
@@ -219,7 +225,7 @@ class SpecMemory:
                 self._emit_conflict("write", owner, victims, line)
             self._abort(victims, "write conflict")
         if chain:
-            self._abort_if_earlier_writer_running(owner, line, key)
+            self._abort_if_earlier_writer_running(owner, line, key, chain)
             if owner.aborted:
                 return
 
@@ -255,7 +261,7 @@ class SpecMemory:
 
     # ------------------------------------------------------------------
     def _abort_if_earlier_writer_running(self, owner, line: int,
-                                         key) -> None:
+                                         key, chain) -> None:
         """Kill the accessor when an earlier-VT task that wrote this line
         is still mid-execution.
 
@@ -267,8 +273,12 @@ class SpecMemory:
         contention behaviour: later tasks retry until the earlier writer
         finishes, after which ordinary speculative forwarding applies
         (Swarm forwards data of *finished*, still-uncommitted tasks).
+
+        ``chain`` is the line's writer chain the caller already fetched;
+        aborts of later writers mutate it in place, so it is still the
+        live list (re-fetching could only swap a drained chain for None,
+        which iterates the same: not at all).
         """
-        chain = self._line_writers.get(line)
         if not chain:
             return
         for w in chain:

@@ -55,6 +55,8 @@ from .export import (
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .perfetto import to_perfetto, write_perfetto
+from .profiling import (PROFILE_SCHEMA, collect_profile, fold_into_registry,
+                        format_profile)
 
 _VALIDATE_NAMES = ("ValidationError", "validate_event_dict",
                    "validate_jsonl")
@@ -71,6 +73,7 @@ def __getattr__(name):
 __all__ = [
     "EVENT_SCHEMA",
     "EVENT_TYPES",
+    "PROFILE_SCHEMA",
     "AbortEvent",
     "CacheHitEvent",
     "CommitEvent",
@@ -104,7 +107,10 @@ __all__ = [
     "WorkerCrashEvent",
     "WraparoundEvent",
     "ZoomEvent",
+    "collect_profile",
     "event_from_dict",
+    "fold_into_registry",
+    "format_profile",
     "metrics_snapshot",
     "read_events_jsonl",
     "to_perfetto",

@@ -16,6 +16,12 @@ from ..errors import VTError
 from .ordering import Ordering
 from .tiebreaker import Tiebreaker
 
+# Per-member constants, precomputed once: DomainVT construction sits on
+# the simulator's task-creation path, and enum property chains cost more
+# than the validation they feed.
+_MAX_TIMESTAMP = {o: o.max_timestamp for o in Ordering}
+_VT_BITS = {o: o.timestamp_bits + 32 for o in Ordering}
+
 
 @dataclass(frozen=True)
 class DomainVT:
@@ -31,7 +37,7 @@ class DomainVT:
     def __post_init__(self):
         if self.ordering is Ordering.UNORDERED and self.timestamp:
             raise VTError("unordered domain VT cannot carry a timestamp")
-        if self.timestamp < 0 or self.timestamp > self.ordering.max_timestamp:
+        if self.timestamp < 0 or self.timestamp > _MAX_TIMESTAMP[self.ordering]:
             if self.ordering.is_ordered:
                 raise VTError(
                     f"timestamp {self.timestamp} out of range for "
@@ -41,7 +47,7 @@ class DomainVT:
     @property
     def bits(self) -> int:
         """Bits this domain VT occupies in the hardware format (Fig. 10)."""
-        return self.ordering.timestamp_bits + 32
+        return _VT_BITS[self.ordering]
 
     def key(self) -> Tuple[int, int]:
         """Sort key: (timestamp, tiebreaker-raw). Unordered domains use a

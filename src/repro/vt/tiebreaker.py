@@ -13,6 +13,7 @@ half-range point.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..errors import VTError
 
@@ -68,6 +69,11 @@ class TiebreakerAllocator:
         self._epoch_base = 0
         #: number of compaction walks performed (exposed for stats/tests)
         self.wraparounds = 0
+        # lower_bound is pure per (epoch base, cycle) and the simulator
+        # asks for the *current* cycle's bound millions of times per run;
+        # one cached entry covers almost all of them. compact() clears it.
+        self._lb_cycle = -1
+        self._lb_cached: Optional[Tiebreaker] = None
 
     # ------------------------------------------------------------------
     def rel_cycle(self, cycle: int) -> int:
@@ -100,8 +106,13 @@ class TiebreakerAllocator:
         """Conservative tiebreaker lower bound for a not-yet-dispatched task
         enqueued at ``cycle``. Sorts before any tiebreaker allocated at or
         after ``cycle`` and after any allocated strictly before it."""
+        if cycle == self._lb_cycle:
+            return self._lb_cached
         rel = min(self.rel_cycle(cycle), self.max_rel_cycle)
-        return Tiebreaker(raw=rel << self.tile_bits, cycle=cycle, tile=0)
+        tb = Tiebreaker(raw=rel << self.tile_bits, cycle=cycle, tile=0)
+        self._lb_cycle = cycle
+        self._lb_cached = tb
+        return tb
 
     # ------------------------------------------------------------------
     def compacted(self, tb: Tiebreaker) -> Tiebreaker:
@@ -123,6 +134,8 @@ class TiebreakerAllocator:
         """
         half_cycles = self.half_raw >> self.tile_bits
         self._epoch_base += half_cycles
+        self._lb_cycle = -1  # epoch moved: cached bound is no longer valid
+        self._lb_cached = None
         self.wraparounds += 1
         if self.would_wrap(now_cycle):
             # One walk did not create room: the run outlived 1.5x the cycle

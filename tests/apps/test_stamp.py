@@ -74,6 +74,41 @@ class TestAppSpecifics:
         inp = genome.make_input(genome_len=100, segment_len=10)
         run_checked(genome, inp, "fractal")
 
+    def test_genome_hints_stable_across_hash_seeds(self):
+        # Regression: the spatial hints used hash() on segment strings,
+        # which is salted per process (PYTHONHASHSEED) — the hint-to-tile
+        # mapping, and with it abort counts and makespans, differed on
+        # every run of the same seed.
+        import os
+        import subprocess
+        import sys
+
+        snippet = (
+            "from repro.apps import genome\n"
+            "class _Cell:\n"
+            "    def __getattr__(self, name):\n"
+            "        return lambda *a, **k: None\n"
+            "class _Host:\n"
+            "    def __init__(self):\n"
+            "        self.hints = []\n"
+            "    def dict(self, name, capacity):\n"
+            "        return _Cell()\n"
+            "    def array(self, name, size):\n"
+            "        return _Cell()\n"
+            "    def enqueue_root(self, fn, *a, ts=None, hint=None, label=None):\n"
+            "        self.hints.append(hint)\n"
+            "host = _Host()\n"
+            "genome.build(host, genome.make_input(), variant='fractal')\n"
+            "print(host.hints)\n"
+        )
+        outs = []
+        for hash_seed in ("1", "2"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            proc = subprocess.run([sys.executable, "-c", snippet], env=env,
+                                  capture_output=True, text=True, check=True)
+            outs.append(proc.stdout)
+        assert outs[0] == outs[1]
+
     def test_intruder_finds_all_attacks(self, run_checked):
         inp = intruder.make_input(n_flows=12, attack_fraction=0.5)
         run = run_checked(intruder, inp, "hwq")

@@ -8,8 +8,11 @@ from repro.vt import Ordering
 
 
 class _Task:
-    def __init__(self, key):
-        self._key = key
+    """Minimal SpillBuffer occupant: a VT-shaped key + queue token."""
+
+    def __init__(self, ts, tb=0):
+        self._key = ((ts, tb),)
+        self.queue_token = 0
 
     def order_key(self):
         return self._key
@@ -43,14 +46,14 @@ class TestGvtArbiter:
 
 class TestSpillBuffer:
     def test_min_key(self):
-        buf = SpillBuffer([_Task((5,)), _Task((2,)), _Task((9,))])
-        assert buf.min_key() == (2,)
+        buf = SpillBuffer([_Task(5), _Task(2), _Task(9)])
+        assert buf.min_key() == ((2, 0),)
 
     def test_empty_min_is_none(self):
         assert SpillBuffer([]).min_key() is None
 
     def test_remove(self):
-        a, b = _Task((1,)), _Task((2,))
+        a, b = _Task(1), _Task(2)
         buf = SpillBuffer([a, b])
         assert buf.remove(a)
         assert not buf.remove(a)
@@ -66,5 +69,5 @@ class TestJobs:
         assert SplitterJob(0, SpillBuffer([]), 10).kind == "splitter"
 
     def test_repr_mentions_contents(self):
-        buf = SpillBuffer([_Task((1,))])
+        buf = SpillBuffer([_Task(1)])
         assert "1 tasks" in repr(SplitterJob(2, buf, 10))

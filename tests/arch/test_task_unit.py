@@ -7,8 +7,10 @@ from repro.arch.task_unit import TaskUnit
 
 
 class _Task:
-    def __init__(self, key):
-        self._key = key
+    def __init__(self, ts, tb=0):
+        # keys are VT-shaped — ((ts, tb), ...) — as the queue's stripped
+        # index (arch/frontier.py) requires
+        self._key = ((ts, tb),)
         self.queue_tile = -1
         self.queue_token = 0
 
@@ -19,7 +21,7 @@ class _Task:
 class TestTaskQueue:
     def test_pop_lowest_key(self):
         unit = TaskUnit(0, 16, 4)
-        tasks = [_Task((k,)) for k in (5, 1, 3)]
+        tasks = [_Task(k) for k in (5, 1, 3)]
         for t in tasks:
             unit.enqueue(t)
         assert unit.pop_best() is tasks[1]
@@ -29,14 +31,14 @@ class TestTaskQueue:
 
     def test_fifo_among_equal_keys(self):
         unit = TaskUnit(0, 16, 4)
-        a, b = _Task((1,)), _Task((1,))
+        a, b = _Task(1), _Task(1)
         unit.enqueue(a)
         unit.enqueue(b)
         assert unit.pop_best() is a
 
     def test_lazy_remove(self):
         unit = TaskUnit(0, 16, 4)
-        a, b = _Task((1,)), _Task((2,))
+        a, b = _Task(1), _Task(2)
         unit.enqueue(a)
         unit.enqueue(b)
         unit.remove(a)
@@ -45,24 +47,24 @@ class TestTaskQueue:
 
     def test_peek_min_skips_stale(self):
         unit = TaskUnit(0, 16, 4)
-        a, b = _Task((1,)), _Task((2,))
+        a, b = _Task(1), _Task(2)
         unit.enqueue(a)
         unit.enqueue(b)
         unit.remove(a)
-        assert unit.peek_min_key() == (2,)
+        assert unit.peek_min_key() == ((2, 0),)
 
     def test_rebuild_rekeys(self):
         unit = TaskUnit(0, 16, 4)
-        a, b = _Task((1,)), _Task((2,))
+        a, b = _Task(1), _Task(2)
         unit.enqueue(a)
         unit.enqueue(b)
-        a._key, b._key = (9,), (0,)
+        a._key, b._key = ((9, 0),), ((0, 0),)
         unit.rebuild()
         assert unit.pop_best() is b
 
     def test_live_pending_excludes_removed(self):
         unit = TaskUnit(0, 16, 4)
-        tasks = [_Task((k,)) for k in range(4)]
+        tasks = [_Task(k) for k in range(4)]
         for t in tasks:
             unit.enqueue(t)
         unit.remove(tasks[2])
@@ -71,7 +73,7 @@ class TestTaskQueue:
     def test_fill_fraction(self):
         unit = TaskUnit(0, 10, 4)
         for k in range(5):
-            unit.enqueue(_Task((k,)))
+            unit.enqueue(_Task(k))
         assert unit.fill_fraction == 0.5
 
 
@@ -117,7 +119,7 @@ class TestHintScheduler:
         sched = HintScheduler(4, use_hints=True, load_balance_threshold=4)
         home = sched.hint_home(99)
         for k in range(20):
-            units[home].enqueue(_Task((k,)))
+            units[home].enqueue(_Task(k))
         assert sched.tile_for(99, units) != home
 
     def test_hints_spread_over_tiles(self):

@@ -68,6 +68,33 @@ class TestSelection:
             names.update(capsys.readouterr().out.split())
         assert names == {"bench_alpha", "bench_beta", "bench_broken"}
 
+    def test_shard_assignment_pinned(self, fake_benches, capsys):
+        # Pin the hash-based assignment: any change to the shard function
+        # silently reshuffles CI matrix slices, so lock it down.
+        fake_benches.main(["--list", "--shard", "1/2"])
+        assert capsys.readouterr().out.split() == ["bench_beta",
+                                                   "bench_broken"]
+        fake_benches.main(["--list", "--shard", "2/2"])
+        assert capsys.readouterr().out.split() == ["bench_alpha"]
+
+    def test_shard_of_filtered_list_is_stable(self, fake_benches, capsys):
+        # --shard composes with --only/--skip by sharding the *filtered*
+        # list, and hash assignment is stable under subsetting: dropping
+        # bench_beta must not move the survivors between shards.
+        fake_benches.main(["--list", "--skip", "beta", "--shard", "1/2"])
+        assert capsys.readouterr().out.split() == ["bench_broken"]
+        fake_benches.main(["--list", "--only", "alpha,broken",
+                           "--shard", "2/2"])
+        assert capsys.readouterr().out.split() == ["bench_alpha"]
+
+    @pytest.mark.parametrize("bad", ["three", "0/2", "3/2", "1/0", "a/b"])
+    def test_malformed_shard_exits_cleanly(self, fake_benches, bad):
+        # Regression: a bad K/N used to escape as a raw ConfigError
+        # traceback instead of a usage-style exit.
+        with pytest.raises(SystemExit) as exc:
+            fake_benches.main(["--list", "--shard", bad])
+        assert "--shard" in str(exc.value)
+
 
 class TestExecution:
     def test_success_run_and_summary(self, fake_benches, tmp_path, capsys):

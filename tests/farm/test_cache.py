@@ -83,6 +83,64 @@ class TestResultCache:
         assert leftovers == []
 
 
+class TestCacheAccounting:
+    """Regression tests: stale entries are misses; volatile fields never
+    reach digests or comparisons; concurrent stale rewrites stay sane."""
+
+    def test_stale_is_also_a_miss(self, tmp_path):
+        # hits + misses must equal lookups even across code drift —
+        # pre-fix, a stale lookup bumped only `stale` and a CI hit-rate
+        # assertion over hits/(hits+misses) silently ignored it.
+        old = ResultCache(tmp_path, fingerprint="v1")
+        spec = make_spec()
+        old.put(spec, make_stats())
+        new = ResultCache(tmp_path, fingerprint="v2")
+        assert new.get(spec.digest()) is None
+        s = new.stats()
+        assert s["stale"] == 1
+        assert s["misses"] == 1
+        assert s["hits"] == 0
+
+    def test_volatile_fields_not_in_digest_or_stats(self, tmp_path):
+        # The content digest comes from the spec alone; `created` and
+        # `wall_s` are bookkeeping on the entry document and must never
+        # leak into the digest or the cached RunStats payload that
+        # cold/warm comparisons diff.
+        spec = make_spec()
+        assert spec.digest() == make_spec().digest()
+        cache = ResultCache(tmp_path, fingerprint="v1")
+        p1 = cache.put(spec, make_stats(), wall_s=0.25)
+        doc1 = json.loads(p1.read_text())
+        p2 = cache.put(spec, make_stats(), wall_s=99.0)
+        doc2 = json.loads(p2.read_text())
+        assert p1 == p2  # same digest -> same path, regardless of timing
+        assert "created" not in doc1["stats"]
+        assert "wall_s" not in doc1["stats"]
+        assert doc1["stats"] == doc2["stats"]
+        assert cache.get(spec.digest()) == make_stats()
+
+    def test_concurrent_stale_rewrite_same_digest(self, tmp_path):
+        # Two jobs race to refresh the same stale digest (atomic-write
+        # race): both count it stale+miss once, both puts land on the
+        # same path (last writer wins whole-file), and a later lookup
+        # hits exactly once with a fully-formed document.
+        spec = make_spec()
+        ResultCache(tmp_path, fingerprint="v1").put(spec, make_stats())
+        a = ResultCache(tmp_path, fingerprint="v2")
+        b = ResultCache(tmp_path, fingerprint="v2")
+        assert a.get(spec.digest()) is None
+        assert b.get(spec.digest()) is None  # raced before a's rewrite
+        a.put(spec, make_stats(makespan=111))
+        b.put(spec, make_stats(makespan=222))
+        for c in (a, b):
+            s = c.stats()
+            assert s["stale"] == 1 and s["misses"] == 1 and s["puts"] == 1
+            assert s["entries"] == 1  # one file, no tmp leftovers
+        got = a.get(spec.digest())
+        assert got == make_stats(makespan=222)
+        assert a.stats()["hits"] == 1
+
+
 class TestCodeFingerprint:
     def test_env_override(self, monkeypatch):
         monkeypatch.setenv("REPRO_FARM_FINGERPRINT", "pinned")

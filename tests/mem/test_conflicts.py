@@ -94,6 +94,88 @@ class TestBloomExact:
         assert model.false_conflict(b, 7, True) is None
 
 
+class ForcedRandom:
+    """Deterministic rng stub: returns queued draws, then raises."""
+
+    def __init__(self, draws):
+        self._draws = list(draws)
+
+    def random(self):
+        return self._draws.pop(0)
+
+
+class TestGaugeParity:
+    def test_register_unregister_parity(self):
+        # Both models must drive the peak-live gauge identically for the
+        # same register/unregister sequence (including double-unregister,
+        # which must not underflow the peak).
+        traces = []
+        for model in (PreciseConflictModel(), BloomConflictModel(seed=1)):
+            gauge = type("G", (), {"value": 0})()
+            model._live_gauge = gauge
+            trace = []
+            a, b, c = (attach(model, k) for k in (1, 2, 3))
+            trace.append(gauge.value)
+            model.unregister(b)
+            model.unregister(b)  # idempotent
+            trace.append((gauge.value, model.live_count))
+            d = attach(model, 4)
+            trace.append((gauge.value, model.live_count))
+            for o in (a, c, d):
+                model.unregister(o)
+            trace.append((gauge.value, model.live_count))
+            traces.append(trace)
+        assert traces[0] == traces[1]
+        assert traces[0][-1] == (3, 0)  # peak sticks, live drains
+
+
+class TestBloomVictimSelection:
+    def test_zero_rate_task_never_elected_victim(self):
+        # Regression: the weighted victim walk used to assign `chosen`
+        # before checking the candidate's rate, so float drift in the
+        # running fp sum (or a pick of exactly 0.0) could elect a task
+        # with *empty* signatures — one that cannot alias anything.
+        model = BloomConflictModel(bits=2048, ways=8, seed=1)
+        owner = attach(model, 1)
+        attach(model, 2)  # never accesses anything: zero-rate signatures
+        model.note_access(owner, 5, is_write=True)
+        # Simulate running-sum drift: _fp_sum a hair above owner's own
+        # cached rate even though every other live task is empty.
+        model._fp_sum = owner._fp_cached + 1e-9
+        model._rng = ForcedRandom([0.0, 0.0])  # pass Bernoulli; pick = 0.0
+        assert model.false_conflict(owner, 999, True) is None
+        assert model.false_positives == 0
+
+    def test_victim_walk_follows_registration_order(self):
+        # Regression: _live used to be a set, so the weighted walk (and
+        # the exact probe) iterated live tasks in object-address order —
+        # the elected victim differed from run to run of the same seed
+        # (the 256b column of bench_ablation_conflict was observably
+        # nondeterministic). With registration-ordered iteration and a
+        # pick of 0.0, the victim must be the first-registered candidate.
+        model = BloomConflictModel(bits=2048, ways=8, seed=1)
+        owner = attach(model, 0)
+        others = [attach(model, k) for k in range(1, 41)]
+        for i, o in enumerate(others):
+            model.note_access(o, 1000 + i, is_write=True)
+        model._rng = ForcedRandom([0.0, 0.0])  # pass Bernoulli; pick = 0.0
+        assert model.false_conflict(owner, 999, True) is others[0]
+
+    def test_exact_and_sampled_agree_on_who_must_die(self):
+        # With one saturated task and one empty task live, both probing
+        # modes must only ever elect the saturated one: an empty signature
+        # cannot falsely match, so "who must die" never names it.
+        for exact in (False, True):
+            model = BloomConflictModel(bits=128, ways=2, seed=3, exact=exact)
+            sat, empty, prober = (attach(model, k) for k in (1, 2, 3))
+            for line in range(2000):
+                model.note_access(sat, line, is_write=True)
+            victims = {model.false_conflict(prober, 10**6 + i, True)
+                       for i in range(300)}
+            victims.discard(None)
+            assert victims == {sat}, f"exact={exact}"
+
+
 class TestFactory:
     def test_factory_modes(self):
         assert isinstance(make_conflict_model("precise"), PreciseConflictModel)
