@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""Serve-layer benchmark: submission latency, throughput, warm-hit ratio.
+
+Starts an in-process ``repro.serve`` server (thread + real worker
+processes) on a fresh result cache and drives it through three phases:
+
+1. **cold** — a small matrix of quick jobs, every one a genuine
+   simulation (cache is empty); per-job submit->result wall time.
+2. **warm** — the same matrix resubmitted; every submission must be
+   answered O(1) from the in-memory job table / result cache. The
+   warm-hit ratio here is the headline number (target >= 0.9).
+3. **load** — a burst of mixed requests (warm submissions + status +
+   metrics reads) measuring request latency p50/p99 and requests/s.
+
+Results land in ``benchmarks/results/serve_load.json`` and are merged
+into ``BENCH_summary.json`` under the ``"serve"`` key (run_all.py folds
+the same file in when it regenerates the summary).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--load-requests N]
+"""
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+import tempfile
+import time
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO_ROOT = HERE.parent
+RESULTS_DIR = HERE / "results"
+SUMMARY = REPO_ROOT / "BENCH_summary.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve import ServeConfig, start_in_thread          # noqa: E402
+from repro.serve.client import ServeClient                    # noqa: E402
+
+#: the quick-job matrix: real apps, small inputs (seconds, not minutes)
+MATRIX = [
+    {"app": "mis", "variant": "fractal", "n_cores": n,
+     "input": {"scale": 6, "edge_factor": 4, "seed": 1}}
+    for n in (2, 4)
+] + [
+    {"app": "zoomtree", "variant": "fractal", "n_cores": n,
+     "input": {"fanout": 2, "depth": 3}}
+    for n in (2, 4)
+] + [
+    {"app": "maxflow", "variant": "fractal", "n_cores": 2,
+     "input": {"b": 4, "layers": 4, "seed": 4}},
+    {"app": "mis", "variant": "flat", "n_cores": 2,
+     "input": {"scale": 6, "edge_factor": 4, "seed": 1}},
+]
+
+
+def pctl(values, q):
+    if not values:
+        return 0.0
+    return statistics.quantiles(values, n=100)[q - 1] if len(values) > 1 \
+        else values[0]
+
+
+def phase_cold(client):
+    latencies = []
+    for spec in MATRIX:
+        t0 = time.perf_counter()
+        doc = client.submit(spec)
+        client.result(doc["id"], timeout=600)
+        latencies.append((time.perf_counter() - t0) * 1000)
+    return latencies
+
+
+def phase_warm(client, repeats):
+    latencies, warm = [], 0
+    total = 0
+    for _ in range(repeats):
+        for spec in MATRIX:
+            t0 = time.perf_counter()
+            doc = client.submit(spec)
+            latencies.append((time.perf_counter() - t0) * 1000)
+            total += 1
+            if doc["outcome"] in ("warm", "coalesced"):
+                warm += 1
+    return latencies, warm / total if total else 0.0
+
+
+def phase_load(client, n_requests, job_id):
+    """Mixed read/submit burst against already-warm state."""
+    latencies = []
+    t_start = time.perf_counter()
+    for i in range(n_requests):
+        t0 = time.perf_counter()
+        kind = i % 4
+        if kind == 0:
+            client.submit(MATRIX[i % len(MATRIX)])
+        elif kind == 1:
+            client.status(job_id)
+        elif kind == 2:
+            client.healthz()
+        else:
+            client.result(job_id, wait=False)
+        latencies.append((time.perf_counter() - t0) * 1000)
+    wall = time.perf_counter() - t_start
+    return latencies, n_requests / wall if wall else 0.0
+
+
+def merge_into_summary(block, path=SUMMARY):
+    """Attach the serve block to BENCH_summary.json (create if absent)."""
+    doc = {"schema": "repro.bench-summary/1"}
+    if path.exists():
+        try:
+            doc = json.loads(path.read_text())
+        except ValueError:
+            pass
+    doc["serve"] = block
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--warm-repeats", type=int, default=5)
+    parser.add_argument("--load-requests", type=int, default=200)
+    parser.add_argument("--out", default=str(RESULTS_DIR / "serve_load.json"))
+    args = parser.parse_args(argv)
+
+    cache_dir = tempfile.mkdtemp(prefix="serve-bench-cache-")
+    cfg = ServeConfig(host="127.0.0.1", port=0, workers=args.workers,
+                      cache_dir=cache_dir)
+    handle = start_in_thread(cfg)
+    print(f"server up at {handle.url} ({args.workers} workers, "
+          f"fresh cache)", flush=True)
+    try:
+        with ServeClient(handle.url, timeout=600.0) as client:
+            client.wait_ready()
+            t0 = time.perf_counter()
+            cold = phase_cold(client)
+            print(f"cold:  {len(cold)} jobs, "
+                  f"mean {statistics.mean(cold):.0f} ms "
+                  f"(simulations executed)", flush=True)
+            warm, warm_ratio = phase_warm(client, args.warm_repeats)
+            print(f"warm:  {len(warm)} submissions, "
+                  f"p50 {pctl(warm, 50):.2f} ms, "
+                  f"hit ratio {warm_ratio:.1%}", flush=True)
+            job_id = client.submit(MATRIX[0])["id"]
+            load, rps = phase_load(client, args.load_requests, job_id)
+            print(f"load:  {len(load)} requests, {rps:.0f} req/s, "
+                  f"p50 {pctl(load, 50):.2f} ms, "
+                  f"p99 {pctl(load, 99):.2f} ms", flush=True)
+            metrics = client.metrics()
+            total_wall = time.perf_counter() - t0
+    finally:
+        clean = handle.stop(drain=True, timeout=120)
+
+    block = {
+        "schema": "repro.serve-load/1",
+        "workers": args.workers,
+        "matrix_size": len(MATRIX),
+        "total_wall_s": round(total_wall, 3),
+        "clean_drain": clean,
+        "cold": {"n": len(cold),
+                 "mean_ms": round(statistics.mean(cold), 3),
+                 "p50_ms": round(pctl(cold, 50), 3)},
+        "warm": {"n": len(warm),
+                 "hit_ratio": round(warm_ratio, 4),
+                 "p50_ms": round(pctl(warm, 50), 3),
+                 "p99_ms": round(pctl(warm, 99), 3)},
+        "load": {"n": len(load),
+                 "requests_per_s": round(rps, 1),
+                 "p50_ms": round(pctl(load, 50), 3),
+                 "p99_ms": round(pctl(load, 99), 3)},
+        "cache": metrics["serve"]["cache"],
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    pathlib.Path(args.out).write_text(json.dumps(block, indent=2) + "\n")
+    merge_into_summary(block)
+    print(f"results: {args.out} (+ BENCH_summary.json 'serve' block)",
+          flush=True)
+
+    if warm_ratio < 0.9:
+        print(f"FAIL: warm-hit ratio {warm_ratio:.1%} < 90%",
+              file=sys.stderr)
+        return 1
+    if not clean:
+        print("FAIL: drain did not complete cleanly", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""CI smoke test for ``repro serve`` as a real OS process.
+
+Covers the service's whole observable lifecycle:
+
+1. start ``python -m repro serve --port 0`` as a subprocess and parse
+   the bound port from its stderr banner;
+2. submit a quick job matrix through :class:`repro.serve.client` and
+   wait for every result;
+3. resubmit the matrix and assert every answer is a warm cache /
+   coalesce hit (no second execution);
+4. stream at least one SSE event from a job's event feed;
+5. send SIGTERM and assert the server drains and exits with code 0.
+
+Exit code 0 if every step holds, 1 otherwise. Stdlib + repro only.
+"""
+
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve.client import ServeClient                    # noqa: E402
+
+MATRIX = [
+    {"app": "zoomtree", "variant": "fractal", "n_cores": n,
+     "input": {"fanout": 2, "depth": 3}}
+    for n in (2, 4)
+] + [
+    {"app": "mis", "variant": "fractal", "n_cores": 2,
+     "input": {"scale": 6, "edge_factor": 4, "seed": 1}},
+]
+
+BANNER = re.compile(r"listening on http://([\d.]+):(\d+)")
+
+
+def fail(msg):
+    print(f"serve-smoke: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def wait_for_banner(proc, timeout=30.0):
+    """Read the server's stderr until the listening banner appears."""
+    deadline = time.monotonic() + timeout
+    lines = []
+    while time.monotonic() < deadline:
+        line = proc.stderr.readline()
+        if not line:
+            if proc.poll() is not None:
+                break
+            continue
+        lines.append(line)
+        m = BANNER.search(line)
+        if m:
+            return f"http://{m.group(1)}:{m.group(2)}", lines
+    raise RuntimeError(f"no listening banner; stderr so far: {lines!r}")
+
+
+def main():
+    cache_dir = tempfile.mkdtemp(prefix="serve-smoke-cache-")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", "2", "--cache-dir", cache_dir,
+         "--drain-timeout", "120"],
+        cwd=REPO_ROOT, stderr=subprocess.PIPE, text=True,
+        env={**__import__("os").environ,
+             "PYTHONPATH": str(REPO_ROOT / "src")})
+    try:
+        url, _ = wait_for_banner(proc)
+        print(f"server up at {url}", flush=True)
+        with ServeClient(url, timeout=300.0) as client:
+            client.wait_ready(timeout=30)
+
+            ids = []
+            for spec in MATRIX:
+                doc = client.submit(spec)
+                ids.append(doc["id"])
+            for job_id in ids:
+                res = client.result(job_id, timeout=300)
+                if res["state"] != "done":
+                    return fail(f"job {job_id[:12]} state {res['state']}")
+            print(f"cold pass: {len(ids)} jobs done", flush=True)
+
+            warm = 0
+            for spec in MATRIX:
+                doc = client.submit(spec)
+                if doc["outcome"] not in ("warm", "coalesced"):
+                    return fail(f"resubmission was {doc['outcome']!r}, "
+                                f"expected warm/coalesced")
+                warm += 1
+            print(f"warm pass: {warm}/{len(MATRIX)} warm hits", flush=True)
+
+            events = list(client.events(ids[0], timeout=60))
+            if not events:
+                return fail("SSE stream yielded no events")
+            if not events[-1][1].get("final"):
+                return fail("SSE stream did not terminate on a final event")
+            print(f"sse pass: {len(events)} events "
+                  f"({', '.join(k for k, _ in events[:4])}, ...)",
+                  flush=True)
+
+        proc.send_signal(signal.SIGTERM)
+        rc = proc.wait(timeout=180)
+        if rc != 0:
+            return fail(f"server exited {rc} after SIGTERM, expected 0")
+        print("drain pass: clean exit 0", flush=True)
+        print("serve-smoke: OK", flush=True)
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Registry of runnable applications.
+
+One place maps the short app names users type (CLI, JobSpec JSON, the
+serve API) to ``repro.apps`` module paths and their supported variants.
+Dotted module paths are also accepted everywhere a registry name is, so
+out-of-tree app modules (e.g. the farm test fixtures) stay runnable; for
+those the variant set is unknown and not checked.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+#: app name -> (module path, variants)
+APPS = {
+    "mis": ("repro.apps.mis", ("flat", "swarm", "fractal")),
+    "color": ("repro.apps.color", ("flat", "swarm", "fractal")),
+    "msf": ("repro.apps.msf", ("flat", "swarm", "fractal")),
+    "maxflow": ("repro.apps.maxflow", ("flat", "fractal")),
+    "silo": ("repro.apps.silo", ("flat", "swarm", "fractal")),
+    "zoomtree": ("repro.apps.zoomtree", ("fractal",)),
+    "ssca2": ("repro.apps.stamp.ssca2", ("tm", "hwq", "fractal")),
+    "vacation": ("repro.apps.stamp.vacation", ("tm", "hwq", "fractal")),
+    "kmeans": ("repro.apps.stamp.kmeans", ("tm", "hwq", "fractal")),
+    "genome": ("repro.apps.stamp.genome", ("tm", "hwq", "fractal")),
+    "intruder": ("repro.apps.stamp.intruder", ("tm", "hwq", "fractal")),
+    "labyrinth": ("repro.apps.stamp.labyrinth", ("tm", "hwq", "fractal")),
+    "bayes": ("repro.apps.stamp.bayes", ("tm", "hwq", "fractal")),
+    "yada": ("repro.apps.stamp.yada", ("tm", "hwq", "fractal")),
+    "bfs": ("repro.apps.swarm.bfs", ("swarm",)),
+    "sssp": ("repro.apps.swarm.sssp", ("swarm",)),
+    "astar": ("repro.apps.swarm.astar", ("swarm",)),
+    "des": ("repro.apps.swarm.des", ("swarm",)),
+    "nocsim": ("repro.apps.swarm.nocsim", ("swarm",)),
+}
+
+#: module path -> short registry name (for display)
+MODULE_TO_NAME = {module: name for name, (module, _) in APPS.items()}
+
+
+def resolve_app(name: str) -> Tuple[str, Optional[Tuple[str, ...]]]:
+    """Resolve ``name`` to ``(module_path, variants-or-None)``.
+
+    ``name`` is either a registry key (``"mis"``) or a dotted module path
+    (``"repro.apps.mis"``, ``"tests.farm._fakeapp"``). Unknown plain names
+    raise ``KeyError`` listing the registry.
+    """
+    entry = APPS.get(name)
+    if entry is not None:
+        return entry
+    if "." in name:
+        variants = None
+        known = APPS.get(MODULE_TO_NAME.get(name, ""))
+        if known is not None:
+            variants = known[1]
+        return name, variants
+    raise KeyError(
+        f"unknown app {name!r}; choose one of {sorted(APPS)} "
+        f"or give a dotted module path")

@@ -22,6 +22,11 @@ Commands:
   the content-addressed result cache so repeated sweeps only execute
   jobs whose digest is missing or stale (``--cache-dir`` relocates it,
   ``--summary-out`` dumps the farm summary JSON).
+- ``serve`` — run the always-on simulation service (:mod:`repro.serve`):
+  HTTP/JSON job submission with content-addressed coalescing, per-tenant
+  admission control, SSE progress streaming, and graceful drain on
+  SIGTERM. ``profile --serve URL`` reports a live instance's queue
+  depths, admission rejects and cache hit rates.
 
 Exit codes (``run``): 0 success; 1 application failure (result check or
 :class:`repro.errors.AppError`, incl. a task exhausting its retries);
@@ -39,6 +44,7 @@ import importlib
 import sys
 from typing import List, Optional
 
+from .apps.registry import APPS
 from .bench.harness import run_app, run_serial, sweep_cores
 from .bench.plots import speedup_chart
 from .bench.report import format_table, speedup_table
@@ -58,28 +64,12 @@ exit codes:
   4  partial run: the resilience watchdog stopped the simulation
 """
 
-#: app name -> (module path, variants)
-APPS = {
-    "mis": ("repro.apps.mis", ("flat", "swarm", "fractal")),
-    "color": ("repro.apps.color", ("flat", "swarm", "fractal")),
-    "msf": ("repro.apps.msf", ("flat", "swarm", "fractal")),
-    "maxflow": ("repro.apps.maxflow", ("flat", "fractal")),
-    "silo": ("repro.apps.silo", ("flat", "swarm", "fractal")),
-    "zoomtree": ("repro.apps.zoomtree", ("fractal",)),
-    "ssca2": ("repro.apps.stamp.ssca2", ("tm", "hwq", "fractal")),
-    "vacation": ("repro.apps.stamp.vacation", ("tm", "hwq", "fractal")),
-    "kmeans": ("repro.apps.stamp.kmeans", ("tm", "hwq", "fractal")),
-    "genome": ("repro.apps.stamp.genome", ("tm", "hwq", "fractal")),
-    "intruder": ("repro.apps.stamp.intruder", ("tm", "hwq", "fractal")),
-    "labyrinth": ("repro.apps.stamp.labyrinth", ("tm", "hwq", "fractal")),
-    "bayes": ("repro.apps.stamp.bayes", ("tm", "hwq", "fractal")),
-    "yada": ("repro.apps.stamp.yada", ("tm", "hwq", "fractal")),
-    "bfs": ("repro.apps.swarm.bfs", ("swarm",)),
-    "sssp": ("repro.apps.swarm.sssp", ("swarm",)),
-    "astar": ("repro.apps.swarm.astar", ("swarm",)),
-    "des": ("repro.apps.swarm.des", ("swarm",)),
-    "nocsim": ("repro.apps.swarm.nocsim", ("swarm",)),
-}
+_SERVE_EXIT_CODES = """\
+exit codes:
+  0  clean shutdown (SIGTERM/SIGINT drained all queued and running jobs)
+  2  invalid configuration (tenants file, bind address)
+  3  drain timed out: --drain-timeout expired with jobs still pending
+"""
 
 
 def _load(name: str):
@@ -155,9 +145,44 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="write the farm summary (jobs, cache "
                               "hits/misses, wall time) as JSON")
 
+    p_serve = sub.add_parser(
+        "serve", help="run the always-on simulation service (repro.serve)",
+        epilog=_SERVE_EXIT_CODES,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8177,
+                         help="listen port (0 picks a free one)")
+    p_serve.add_argument("--workers", type=int, default=2, metavar="N",
+                         help="persistent farm worker slots (default 2)")
+    p_serve.add_argument("--cache-dir", metavar="DIR",
+                         default="benchmarks/results/.cache",
+                         help="content-addressed result cache (default: "
+                              "benchmarks/results/.cache)")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="disable the result cache (every submission "
+                              "executes)")
+    p_serve.add_argument("--timeout", type=float, default=0.0, metavar="SEC",
+                         help="graceful per-job wall-clock watchdog "
+                              "(changes the content address)")
+    p_serve.add_argument("--max-attempts", type=int, default=2, metavar="N",
+                         help="per-job attempt budget (default 2)")
+    p_serve.add_argument("--drain-timeout", type=float, default=60.0,
+                         metavar="SEC",
+                         help="how long SIGTERM waits for pending jobs "
+                              "(default 60)")
+    p_serve.add_argument("--tenants", metavar="FILE", default=None,
+                         help="tenants JSON file (API keys -> quotas; see "
+                              "README 'Serving')")
+    p_serve.add_argument("--require-key", action="store_true",
+                         help="reject submissions without an X-API-Key")
+    p_serve.add_argument("--no-warmup", action="store_true",
+                         help="skip pre-importing the simulator in workers")
+
     p_prof = sub.add_parser(
         "profile", help="run one application and report hot-path counters")
-    p_prof.add_argument("app", help="application name (see `apps`)")
+    p_prof.add_argument("app", nargs="?", default=None,
+                        help="application name (see `apps`); omit with "
+                             "--serve")
     p_prof.add_argument("--variant", default=None,
                         help="execution-model variant (default: best)")
     p_prof.add_argument("--cores", type=int, default=16)
@@ -169,6 +194,13 @@ def _build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--metrics-out", metavar="PATH", default=None,
                         help="write metrics (incl. profile_* counters) "
                              "+ stats JSON to PATH")
+    p_prof.add_argument("--serve", metavar="URL", default=None,
+                        help="profile a running serve instance instead: "
+                             "fetch URL/metrics and report queue depths, "
+                             "admission rejects, coalescing and cache "
+                             "hit rates")
+    p_prof.add_argument("--api-key", default="",
+                        help="X-API-Key for --serve")
 
     sub.add_parser("apps", help="list applications")
     sub.add_parser("config", help="print the Table 2 configuration")
@@ -282,6 +314,47 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .serve import ServeConfig, serve_forever
+    try:
+        config = ServeConfig(
+            host=args.host, port=args.port, workers=args.workers,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            timeout_s=args.timeout, max_attempts=args.max_attempts,
+            drain_timeout_s=args.drain_timeout,
+            require_key=args.require_key, warmup=not args.no_warmup)
+        if args.tenants:
+            config.load_tenants(args.tenants)
+        return serve_forever(config)
+    except ConfigError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"serve: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+
+
+def _cmd_profile_serve(args) -> int:
+    from .serve.client import ServeAPIError, ServeClient
+    from .telemetry.profiling import format_serve_profile
+    try:
+        with ServeClient(args.serve, api_key=args.api_key,
+                         timeout=10.0) as client:
+            doc = client.metrics()
+    except (OSError, ValueError, ServeAPIError) as exc:
+        print(f"cannot fetch {args.serve}/metrics: {exc}", file=sys.stderr)
+        return 2
+    print(format_serve_profile(doc))
+    if args.json:
+        import json as _json
+        with open(args.json, "w") as f:
+            _json.dump(doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"serve metrics json: {args.json}")
+    return 0
+
+
 def _cmd_profile(args) -> int:
     import json as _json
     import time as _time
@@ -289,6 +362,10 @@ def _cmd_profile(args) -> int:
     from .telemetry import (collect_profile, fold_into_registry,
                             format_profile)
 
+    if args.serve:
+        return _cmd_profile_serve(args)
+    if not args.app:
+        raise SystemExit("profile: an app name (or --serve URL) is required")
     app, variants = _load(args.app)
     variant = args.variant or variants[-1]
     if variant not in variants:
@@ -387,6 +464,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "apps":
         return _cmd_apps()
     if args.command == "config":

@@ -20,11 +20,13 @@ result cache"):
 """
 
 from .cache import CACHE_SCHEMA, ResultCache, code_fingerprint
-from .farm import Farm
+from .farm import Farm, apply_timeout
 from .job import (JOB_SCHEMA, JobResult, JobSpec, canonical, canonical_json,
                   execute_job, stable_digest)
 from .shard import (deterministic_shards, parse_shard, select_shard,
                     shard_index)
+from .validate import (SpecValidationError, validate_fault_sections,
+                       validate_jobspec)
 
 __all__ = [
     "CACHE_SCHEMA",
@@ -33,6 +35,8 @@ __all__ = [
     "JobResult",
     "JobSpec",
     "ResultCache",
+    "SpecValidationError",
+    "apply_timeout",
     "canonical",
     "canonical_json",
     "code_fingerprint",
@@ -42,4 +46,6 @@ __all__ = [
     "select_shard",
     "shard_index",
     "stable_digest",
+    "validate_fault_sections",
+    "validate_jobspec",
 ]

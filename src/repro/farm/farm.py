@@ -52,12 +52,40 @@ def _warmup_worker() -> None:
     import repro.apps  # noqa: F401
 
 
+def apply_timeout(spec: JobSpec, timeout_s: float) -> JobSpec:
+    """Attach the graceful wall-clock watchdog for ``timeout_s``.
+
+    Must be applied *before* digests are computed: a timed job is a
+    different content address than an untimed one, because the watchdog
+    can change its result (partial stats). ``timeout_s <= 0`` returns the
+    spec unchanged. Shared by :class:`Farm` and the serve admission path
+    so both sides agree on the content address of a timed job.
+    """
+    if timeout_s <= 0:
+        return spec
+    base = spec.resilience
+    if base is None:
+        # watchdog only — every other resilience mechanism stays off
+        # so stats match a policy-free run that doesn't hit the limit
+        base = ResiliencePolicy(max_attempts=0, backoff_base=0,
+                                livelock_window=0)
+    if base.max_wall_seconds and base.max_wall_seconds <= timeout_s:
+        policy = base
+    else:
+        policy = dataclasses.replace(base, max_wall_seconds=timeout_s)
+    return dataclasses.replace(spec, resilience=policy)
+
+
 class Farm:
     """Parallel executor for :class:`JobSpec` lists (see module docs).
 
     ``jobs <= 1`` executes inline in the parent process (identical code
     path minus the pool), which is both the determinism baseline and the
-    debuggable mode. ``registry``/``bus`` default to fresh private
+    debuggable mode; ``use_pool=True`` forces worker processes even at
+    ``jobs=1`` (the serve worker slots do this so simulations never run
+    on a server thread). ``persistent=True`` keeps the process pool alive
+    across ``run()`` calls — pair it with :meth:`close` (or use the farm
+    as a context manager). ``registry``/``bus`` default to fresh private
     instances; pass shared ones to aggregate across farms.
     """
 
@@ -72,12 +100,17 @@ class Farm:
                  trace_dir: Optional[str] = None,
                  collect_metrics: bool = True,
                  retry_policy: Optional[ResiliencePolicy] = None,
-                 warmup: bool = True):
+                 warmup: bool = True,
+                 use_pool: Optional[bool] = None,
+                 persistent: bool = False):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         self.jobs = jobs
+        self.use_pool = jobs > 1 if use_pool is None else bool(use_pool)
+        self.persistent = persistent
+        self._executor: Optional[ProcessPoolExecutor] = None
         self.cache = cache
         self.bus = bus if bus is not None else EventBus()
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -98,6 +131,11 @@ class Farm:
         self.n_worker_crashes = 0
         self.wall_s = 0.0
         self._t0 = time.monotonic()
+        self._progress_tty = hasattr(sys.stderr, "isatty") \
+            and sys.stderr.isatty()
+        #: seconds between plain-text progress lines on non-TTY stderr
+        self.progress_interval_s = 5.0
+        self._progress_last = 0.0
 
     # ------------------------------------------------------------------
     def _now_ms(self) -> int:
@@ -108,26 +146,8 @@ class Farm:
             self.bus.emit(event)
 
     def _with_timeout(self, spec: JobSpec) -> JobSpec:
-        """Attach the graceful wall-clock watchdog for ``timeout_s``.
-
-        Applied *before* digests are computed: a timed job is a different
-        content address than an untimed one, because the watchdog can
-        change its result (partial stats).
-        """
-        if self.timeout_s <= 0:
-            return spec
-        base = spec.resilience
-        if base is None:
-            # watchdog only — every other resilience mechanism stays off
-            # so stats match a policy-free run that doesn't hit the limit
-            base = ResiliencePolicy(max_attempts=0, backoff_base=0,
-                                    livelock_window=0)
-        if base.max_wall_seconds and base.max_wall_seconds <= self.timeout_s:
-            policy = base
-        else:
-            policy = dataclasses.replace(base,
-                                         max_wall_seconds=self.timeout_s)
-        return dataclasses.replace(spec, resilience=policy)
+        """See :func:`apply_timeout` (kept as a method for callers/tests)."""
+        return apply_timeout(spec, self.timeout_s)
 
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[JobSpec],
@@ -169,10 +189,10 @@ class Farm:
 
         self._progress(len(specs), running=0)
         if pending:
-            if self.jobs <= 1:
-                self._run_inline(specs, pending, results)
-            else:
+            if self.use_pool:
                 self._run_pool(specs, pending, results)
+            else:
+                self._run_inline(specs, pending, results)
         self.wall_s += time.monotonic() - t_run
         self._progress(len(specs), running=0, final=True)
         return [r for r in results if r is not None]  # all are set
@@ -226,7 +246,7 @@ class Farm:
         max_inflight = self.jobs * self.backlog_factor
         queue = deque((idx, 1, 0.0) for idx in pending)
         inflight = {}
-        executor = self._make_executor()
+        executor = self._ensure_executor()
         try:
             while queue or inflight:
                 now = time.monotonic()
@@ -299,10 +319,14 @@ class Farm:
                                                   queue, results)
                     inflight.clear()
                     executor.shutdown(wait=False, cancel_futures=True)
-                    executor = self._make_executor()
+                    executor = self._executor = self._make_executor()
                 self._progress(len(specs), running=len(inflight))
         finally:
-            executor.shutdown(wait=False, cancel_futures=True)
+            if self.persistent:
+                self._executor = executor
+            else:
+                executor.shutdown(wait=False, cancel_futures=True)
+                self._executor = None
 
     def _requeue_or_fail(self, specs, idx, attempt, detail, queue,
                          results) -> None:
@@ -325,15 +349,45 @@ class Farm:
             max_workers=self.jobs,
             initializer=_warmup_worker if self.warmup else None)
 
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        """The live process pool, creating (or re-creating) it on demand."""
+        if self._executor is None:
+            self._executor = self._make_executor()
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the persistent process pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "Farm":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     # ------------------------------------------------------------------
     def _progress(self, total: int, *, running: int,
                   final: bool = False) -> None:
         if not self.progress:
             return
-        line = (f"\r[farm] {self.n_done}/{total} jobs  "
+        line = (f"[farm] {self.n_done}/{total} jobs  "
                 f"({self.n_cache_hits} cached, {running} running, "
                 f"{self.n_failed} failed)")
-        print(line, end="\n" if final else "", file=sys.stderr, flush=True)
+        if self._progress_tty:
+            # interactive: one carriage-return-updated status line
+            print(f"\r{line}", end="\n" if final else "", file=sys.stderr,
+                  flush=True)
+            return
+        # non-TTY (CI logs, server stderr): periodic plain lines instead
+        # of carriage-return spam — at most one per progress_interval_s,
+        # plus the final summary line
+        now = time.monotonic()
+        if not final and now - self._progress_last < self.progress_interval_s:
+            return
+        self._progress_last = now
+        print(line, file=sys.stderr, flush=True)
 
     def summary(self) -> dict:
         """Lifetime totals (JSON-safe), for BENCH summaries and logs."""

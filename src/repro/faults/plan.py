@@ -136,21 +136,15 @@ def load_fault_file(path) -> Tuple[FaultPlan, Optional["ResiliencePolicy"]]:
 
     The file holds ``{"seed": ..., "faults": {...}, "resilience": {...}}``;
     ``seed`` may also live inside ``faults``, and both sections are
-    optional (an empty file is a no-op plan).
+    optional (an empty file is a no-op plan). Malformed documents raise
+    the shared validator's field-level
+    :class:`~repro.farm.validate.SpecValidationError` (a
+    :class:`~repro.errors.ConfigError`), never a raw traceback.
     """
-    from .resilience import ResiliencePolicy
+    from ..farm.validate import validate_fault_sections
     with open(path) as fh:
-        doc = json.load(fh)
-    if not isinstance(doc, dict):
-        raise ConfigError(f"fault file {path} must hold a JSON object")
-    unknown = set(doc) - {"seed", "faults", "resilience"}
-    if unknown:
-        raise ConfigError(f"unknown fault-file sections: {sorted(unknown)}")
-    faults = dict(doc.get("faults") or {})
-    if "seed" in doc:
-        faults.setdefault("seed", doc["seed"])
-    plan = FaultPlan.from_dict(faults)
-    resilience = None
-    if doc.get("resilience") is not None:
-        resilience = ResiliencePolicy.from_dict(doc["resilience"])
-    return plan, resilience
+        try:
+            doc = json.load(fh)
+        except ValueError as exc:
+            raise ConfigError(f"fault file {path}: invalid JSON: {exc}")
+    return validate_fault_sections(doc, source=str(path))

@@ -1,0 +1,48 @@
+"""repro.serve — always-on simulation-as-a-service on top of repro.farm.
+
+``repro serve`` turns the experiment farm into a long-lived multi-tenant
+service (see README "Serving"):
+
+- **content-addressed jobs** — ``POST /v1/jobs`` canonicalizes the
+  JobSpec and uses its sha256 digest as the job id, so identical
+  submissions from any tenant *coalesce* onto one running job and
+  completed ones are answered O(1) from the
+  :class:`~repro.farm.cache.ResultCache`;
+- **admission control** — per-tenant bounded FIFO queues and token-bucket
+  rate limits (API-key tenants), rejecting with 429 + Retry-After;
+- **persistent workers** — a pool of single-worker
+  :class:`~repro.farm.farm.Farm` slots that keep their simulation
+  processes warm across jobs and reuse the farm's timeout / retry /
+  crash-rebuild machinery;
+- **streaming** — ``GET /v1/jobs/{id}/events`` is a Server-Sent-Events
+  feed of the job's telemetry (queued, running, farm events, final
+  state), with replay of the buffered history on connect;
+- **graceful drain** — SIGTERM stops admission, finishes queued and
+  running jobs, then exits 0 (3 if the drain times out).
+
+Everything is stdlib-only: asyncio for the HTTP layer,
+``http.client`` in :mod:`repro.serve.client`.
+"""
+
+from .config import SERVE_SCHEMA, ServeConfig, TenantQuota
+from .http import ServeServer, ServerHandle, serve_forever, start_in_thread
+from .manager import (AdmissionError, AuthError, DrainingError, Job,
+                      JobManager, ServeError, TokenBucket, UnknownJobError)
+
+__all__ = [
+    "SERVE_SCHEMA",
+    "AdmissionError",
+    "AuthError",
+    "DrainingError",
+    "Job",
+    "JobManager",
+    "ServeConfig",
+    "ServeError",
+    "ServeServer",
+    "ServerHandle",
+    "TenantQuota",
+    "TokenBucket",
+    "UnknownJobError",
+    "serve_forever",
+    "start_in_thread",
+]

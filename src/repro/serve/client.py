@@ -1,0 +1,230 @@
+"""A small blocking client for the serve API (stdlib ``http.client``).
+
+Typical use::
+
+    from repro.serve.client import ServeClient
+
+    c = ServeClient("http://127.0.0.1:8177", api_key="key-alice")
+    doc = c.submit({"app": "mis", "n_cores": 4,
+                    "input": {"scale": 7, "seed": 1}})
+    stats = c.result(doc["id"])["stats"]
+
+    for kind, event in c.events(doc["id"]):
+        print(kind, event)
+
+Raises :class:`ServeAPIError` on any non-2xx response;
+:class:`RateLimited` (a subclass) carries ``retry_after`` for 429s.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+
+class ServeAPIError(Exception):
+    """A non-2xx response from the server."""
+
+    def __init__(self, status: int, doc: dict) -> None:
+        detail = doc.get("error") or f"HTTP {status}"
+        super().__init__(f"{detail} (HTTP {status})")
+        self.status = status
+        self.doc = doc
+        #: field-level validation errors (400 responses), if any
+        self.errors: List[dict] = doc.get("errors") or []
+
+
+class RateLimited(ServeAPIError):
+    """429: over the tenant's rate or queue quota."""
+
+    def __init__(self, status: int, doc: dict,
+                 retry_after: float) -> None:
+        super().__init__(status, doc)
+        self.retry_after = retry_after
+        self.reason = doc.get("reason", "rate")
+
+
+class JobFailed(ServeAPIError):
+    """The job finished with an error (result endpoint, HTTP 500)."""
+
+
+class ServeClient:
+    """Blocking client for one serve endpoint. Not thread-safe — use one
+    client per thread (they are cheap)."""
+
+    def __init__(self, base_url: str, *, api_key: str = "",
+                 timeout: float = 60.0) -> None:
+        parts = urlsplit(base_url)
+        if parts.scheme != "http":
+            raise ValueError(f"only http:// endpoints supported: {base_url}")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 80
+        self.api_key = api_key
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing ------------------------------------------------------
+    def _headers(self) -> Dict[str, str]:
+        h = {"Content-Type": "application/json",
+             "Accept": "application/json"}
+        if self.api_key:
+            h["X-API-Key"] = self.api_key
+        return h
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None
+                 ) -> Tuple[int, Dict[str, str], dict]:
+        payload = json.dumps(body).encode() if body is not None else None
+        for attempt in (1, 2):
+            conn = self._connect()
+            try:
+                conn.request(method, path, body=payload,
+                             headers=self._headers())
+                resp = conn.getresponse()
+                raw = resp.read()
+                break
+            except (ConnectionError, http.client.HTTPException, OSError):
+                # stale keep-alive connection: reconnect once
+                self.close()
+                if attempt == 2:
+                    raise
+        try:
+            doc = json.loads(raw.decode("utf-8")) if raw else {}
+        except ValueError:
+            doc = {"error": raw.decode("utf-8", "replace")[:200]}
+        headers = {k.lower(): v for k, v in resp.getheaders()}
+        return resp.status, headers, doc
+
+    def _checked(self, method: str, path: str,
+                 body: Optional[dict] = None) -> dict:
+        status, headers, doc = self._request(method, path, body)
+        if status == 429:
+            retry_after = float(doc.get("retry_after")
+                                or headers.get("retry-after") or 1.0)
+            raise RateLimited(status, doc, retry_after)
+        if status >= 400:
+            raise ServeAPIError(status, doc)
+        return doc
+
+    # -- API -----------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._checked("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._checked("GET", "/metrics")
+
+    def jobs(self) -> List[dict]:
+        return self._checked("GET", "/v1/jobs")["jobs"]
+
+    def submit(self, spec: dict) -> dict:
+        """POST a JobSpec document; returns the job document (its ``id``
+        is the content address, ``outcome`` is queued/coalesced/warm)."""
+        return self._checked("POST", "/v1/jobs", spec)
+
+    def status(self, job_id: str) -> dict:
+        return self._checked("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str, *, wait: bool = True,
+               timeout: float = 300.0, poll_s: float = 0.1) -> dict:
+        """The job's result document (``stats`` is RunStats JSON).
+
+        With ``wait`` (default) polls until the job leaves the queue;
+        raises :class:`JobFailed` if it failed, ``TimeoutError`` if it
+        does not finish in ``timeout`` seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status, _headers, doc = self._request(
+                "GET", f"/v1/jobs/{job_id}/result")
+            if status == 200:
+                return doc
+            if status == 500:
+                raise JobFailed(status, doc)
+            if status == 409 and wait:
+                if time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"job {job_id} not finished after {timeout}s")
+                time.sleep(poll_s)
+                continue
+            raise ServeAPIError(status, doc)
+
+    def run(self, spec: dict, *, timeout: float = 300.0,
+            poll_s: float = 0.1) -> dict:
+        """Submit and wait: returns the result document."""
+        doc = self.submit(spec)
+        return self.result(doc["id"], timeout=timeout, poll_s=poll_s)
+
+    def events(self, job_id: str,
+               timeout: float = 300.0) -> Iterator[Tuple[str, dict]]:
+        """Stream the job's SSE feed as ``(kind, event_dict)`` pairs.
+
+        Replays the buffered history first, then live events; returns
+        when the job's final event arrives or the server closes the
+        stream. Uses a dedicated connection (SSE holds it open).
+        """
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=timeout)
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events",
+                         headers={**self._headers(),
+                                  "Accept": "text/event-stream"})
+            resp = conn.getresponse()
+            if resp.status != 200:
+                raw = resp.read()
+                try:
+                    doc = json.loads(raw.decode("utf-8"))
+                except ValueError:
+                    doc = {"error": raw.decode("utf-8", "replace")[:200]}
+                raise ServeAPIError(resp.status, doc)
+            kind, data = "event", []
+            while True:
+                line = resp.fp.readline()
+                if not line:
+                    return
+                line = line.decode("utf-8").rstrip("\n").rstrip("\r")
+                if not line:                 # frame boundary
+                    if data:
+                        event = json.loads("\n".join(data))
+                        yield kind, event
+                        if event.get("final"):
+                            return
+                    kind, data = "event", []
+                elif line.startswith(":"):
+                    continue                 # keepalive comment
+                elif line.startswith("event:"):
+                    kind = line[len("event:"):].strip()
+                elif line.startswith("data:"):
+                    data.append(line[len("data:"):].strip())
+        finally:
+            conn.close()
+
+    def wait_ready(self, timeout: float = 10.0) -> dict:
+        """Poll ``/healthz`` until the server answers (startup helper)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except (ConnectionError, ServeAPIError, OSError):
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.05)

@@ -1,0 +1,133 @@
+"""Service configuration: listener, worker pool, tenants and quotas.
+
+A :class:`ServeConfig` describes one ``repro serve`` instance. Tenants
+are identified by API key (the ``X-API-Key`` request header); each key
+maps to a :class:`TenantQuota` bounding its queue depth and submission
+rate. Requests without a key run as the ``anonymous`` tenant under
+``default_quota`` unless ``require_key`` is set.
+
+The on-disk form (``repro serve --tenants tenants.json``)::
+
+    {
+      "require_key": false,
+      "default": {"queue_limit": 64, "rate": 50, "burst": 100},
+      "tenants": {
+        "key-alice": {"name": "alice", "queue_limit": 16, "rate": 5}
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import ConfigError
+
+#: serve API wire-format tag (response bodies carry it)
+SERVE_SCHEMA = "repro.serve/1"
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission limits for one tenant.
+
+    ``queue_limit`` bounds queued-plus-running jobs; the token bucket
+    (``rate`` refills/second up to ``burst``) bounds the submission rate.
+    Both rejections come back as 429 with a Retry-After hint.
+    """
+
+    name: str
+    queue_limit: int = 64
+    rate: float = 50.0
+    burst: int = 100
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("tenant name must be non-empty")
+        if self.queue_limit < 1:
+            raise ConfigError(
+                f"queue_limit must be >= 1, got {self.queue_limit}")
+        if self.rate <= 0:
+            raise ConfigError(f"rate must be > 0, got {self.rate}")
+        if self.burst < 1:
+            raise ConfigError(f"burst must be >= 1, got {self.burst}")
+
+    @classmethod
+    def from_dict(cls, name: str, d: dict) -> "TenantQuota":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown tenant-quota keys for {name!r}: {sorted(unknown)}")
+        return cls(**{"name": name, **d})
+
+
+@dataclass
+class ServeConfig:
+    """Everything one server instance needs (see module docs)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8177
+    #: persistent farm worker slots (one simulation process each)
+    workers: int = 2
+    #: content-addressed result cache location; None disables the cache
+    cache_dir: Optional[str] = "benchmarks/results/.cache"
+    #: graceful per-job wall-clock watchdog (0 = none); part of the digest
+    timeout_s: float = 0.0
+    #: per-job attempt budget (farm retry machinery)
+    max_attempts: int = 2
+    #: how long SIGTERM waits for queued+running jobs before giving up
+    drain_timeout_s: float = 60.0
+    #: reject keyless requests instead of running them as ``anonymous``
+    require_key: bool = False
+    default_quota: TenantQuota = field(
+        default_factory=lambda: TenantQuota("anonymous"))
+    #: api key -> quota
+    tenants: Dict[str, TenantQuota] = field(default_factory=dict)
+    #: per-job event ring size (SSE replay window)
+    events_buffer: int = 256
+    #: completed-job records kept in memory before eviction (the result
+    #: cache still answers evicted digests)
+    max_jobs: int = 4096
+    #: pre-import the simulator in farm workers
+    warmup: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.events_buffer < 8:
+            raise ConfigError("events_buffer must be >= 8")
+        if self.max_jobs < self.workers:
+            raise ConfigError("max_jobs must be >= workers")
+
+    def load_tenants(self, path: str) -> None:
+        """Merge a tenants JSON file (see module docs) into this config."""
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except OSError as exc:
+            raise ConfigError(f"cannot read tenants file {path}: {exc}")
+        except ValueError as exc:
+            raise ConfigError(f"tenants file {path}: invalid JSON: {exc}")
+        if not isinstance(doc, dict):
+            raise ConfigError(f"tenants file {path} must hold a JSON object")
+        unknown = set(doc) - {"require_key", "default", "tenants"}
+        if unknown:
+            raise ConfigError(
+                f"unknown tenants-file sections: {sorted(unknown)}")
+        if "require_key" in doc:
+            self.require_key = bool(doc["require_key"])
+        if doc.get("default") is not None:
+            self.default_quota = TenantQuota.from_dict(
+                "anonymous", doc["default"])
+        for key, quota in (doc.get("tenants") or {}).items():
+            if not isinstance(quota, dict):
+                raise ConfigError(
+                    f"tenants file {path}: entry {key!r} must be an object")
+            quota = dict(quota)
+            quota.setdefault("name", key)
+            name = quota.pop("name")
+            self.tenants[key] = TenantQuota.from_dict(name, quota)

@@ -1,0 +1,389 @@
+"""The serve HTTP layer: a small asyncio HTTP/1.1 server (stdlib only).
+
+Routes (all JSON unless noted)::
+
+    POST /v1/jobs           submit a JobSpec; 202 queued / 200 warm or
+                            coalesced / 400 field errors / 429 quota
+    GET  /v1/jobs           list known jobs
+    GET  /v1/jobs/{id}      job state document
+    GET  /v1/jobs/{id}/result   RunStats JSON (409 while pending,
+                                500 + error when failed)
+    GET  /v1/jobs/{id}/events   Server-Sent Events progress stream
+    GET  /healthz           liveness + drain state
+    GET  /metrics           serve/farm/sim metrics snapshot + summary
+
+The server is deliberately HTTP/1.1-minimal: no TLS, no chunked request
+bodies, JSON in / JSON out, SSE for streaming. It exists so the farm can
+be driven by many tenants without importing repro — everything deeper
+lives in :class:`~repro.serve.manager.JobManager`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import signal
+import sys
+import threading
+import time
+from typing import Optional, Tuple
+from urllib.parse import urlsplit
+
+from ..errors import ConfigError
+from ..farm import SpecValidationError
+from .config import SERVE_SCHEMA, ServeConfig
+from .manager import DONE, FAILED, JobManager, ServeError
+
+#: largest accepted request body (a JobSpec is tiny; this is generous)
+MAX_BODY = 8 * 1024 * 1024
+
+#: seconds between SSE keepalive comments on an idle stream
+SSE_KEEPALIVE_S = 15.0
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+            401: "Unauthorized", 404: "Not Found",
+            405: "Method Not Allowed", 409: "Conflict",
+            413: "Payload Too Large", 429: "Too Many Requests",
+            500: "Internal Server Error", 503: "Service Unavailable"}
+
+
+class _Request:
+    __slots__ = ("method", "path", "query", "headers", "body")
+
+    def __init__(self, method: str, path: str, query: str, headers: dict,
+                 body: bytes) -> None:
+        self.method = method
+        self.path = path
+        self.query = query
+        self.headers = headers
+        self.body = body
+
+    @property
+    def api_key(self) -> str:
+        return self.headers.get("x-api-key", "")
+
+    def json(self) -> dict:
+        if not self.body:
+            raise ValueError("empty request body")
+        doc = json.loads(self.body.decode("utf-8"))
+        if not isinstance(doc, dict):
+            raise ValueError("request body must be a JSON object")
+        return doc
+
+
+class ServeServer:
+    """One listening server bound to a :class:`JobManager`."""
+
+    def __init__(self, manager: JobManager, config: ServeConfig) -> None:
+        self.manager = manager
+        self.config = config
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._client, self.config.host, self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.manager.start()
+
+    async def close(self) -> None:
+        """Stop accepting new connections (drain happens in the manager)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling -------------------------------------------
+    async def _client(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                req = await self._read_request(reader, writer)
+                if req is None:
+                    break
+                keep = await self._route(req, writer)
+                if not keep:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionError,
+                asyncio.TimeoutError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader, writer) -> Optional[_Request]:
+        line = await reader.readline()
+        if not line or line in (b"\r\n", b"\n"):
+            return None
+        try:
+            method, target, _version = line.decode("latin-1").split()
+        except ValueError:
+            self._send(writer, 400, {"error": "malformed request line"})
+            return None
+        headers = {}
+        while True:
+            h = await reader.readline()
+            if h in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = h.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length") or 0)
+        if length > MAX_BODY:
+            self._send(writer, 413, {"error": "request body too large"})
+            return None
+        body = await reader.readexactly(length) if length else b""
+        parts = urlsplit(target)
+        return _Request(method.upper(), parts.path, parts.query, headers,
+                        body)
+
+    # -- responses -----------------------------------------------------
+    def _send(self, writer, status: int, doc: dict, *,
+              headers: Optional[dict] = None, keep_alive: bool = True) -> None:
+        doc = {"schema": SERVE_SCHEMA, **doc}
+        body = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+        head = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+                "Content-Type: application/json",
+                f"Content-Length: {len(body)}",
+                f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+        for k, v in (headers or {}).items():
+            head.append(f"{k}: {v}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+                     + body)
+
+    # -- routing -------------------------------------------------------
+    async def _route(self, req: _Request, writer) -> bool:
+        try:
+            return await self._dispatch(req, writer)
+        except SpecValidationError as exc:
+            self._send(writer, 400, {"error": str(exc.what),
+                                     "source": "spec",
+                                     "errors": exc.errors})
+        except ServeError as exc:
+            doc = {"error": str(exc)}
+            headers = {}
+            if getattr(exc, "retry_after", None) is not None:
+                headers["Retry-After"] = str(
+                    max(1, math.ceil(exc.retry_after)))
+                doc["retry_after"] = round(exc.retry_after, 3)
+                doc["reason"] = exc.reason
+            self._send(writer, exc.status, doc, headers=headers)
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send(writer, 400, {"error": f"bad request: {exc}"})
+        except (ConnectionError, asyncio.IncompleteReadError):
+            raise
+        except Exception as exc:                     # pragma: no cover
+            self._send(writer, 500,
+                       {"error": f"{type(exc).__name__}: {exc}"})
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):
+            return False
+        return True
+
+    async def _dispatch(self, req: _Request, writer) -> bool:
+        m, path = req.method, req.path.rstrip("/") or "/"
+        if path == "/healthz" and m == "GET":
+            self._send(writer, 200, self.manager.healthy())
+        elif path == "/metrics" and m == "GET":
+            self._send(writer, 200, {
+                "schema": "repro.serve-metrics/1",
+                "serve": self.manager.summary(),
+                "metrics": self.manager.metrics_snapshot()})
+        elif path == "/v1/jobs" and m == "POST":
+            doc = req.json()
+            loop = asyncio.get_running_loop()
+            job, outcome = await loop.run_in_executor(
+                None, self.manager.submit, doc, req.api_key)
+            status = 202 if outcome == "queued" else 200
+            self._send(writer, status,
+                       {**job.to_doc(), "outcome": outcome})
+        elif path == "/v1/jobs" and m == "GET":
+            self._send(writer, 200, {"jobs": self.manager.jobs()})
+        elif path.startswith("/v1/jobs/"):
+            return await self._job_route(req, writer, path)
+        else:
+            self._send(writer, 404, {"error": f"no route {m} {req.path}"},
+                       keep_alive=False)
+            await writer.drain()
+            return False
+        await writer.drain()
+        return True
+
+    async def _job_route(self, req: _Request, writer, path: str) -> bool:
+        rest = path[len("/v1/jobs/"):]
+        job_id, _, sub = rest.partition("/")
+        if req.method != "GET" or sub not in ("", "result", "events"):
+            self._send(writer, 405, {"error": "method not allowed"})
+            return True
+        job = self.manager.job(job_id)     # raises UnknownJobError -> 404
+        if sub == "":
+            self._send(writer, 200, job.to_doc())
+        elif sub == "result":
+            if job.state == DONE:
+                self._send(writer, 200,
+                           {"id": job.digest, "state": job.state,
+                            "cached": job.cached, "wall_s": job.wall_s,
+                            "stats": job.stats.to_dict()})
+            elif job.state == FAILED:
+                self._send(writer, 500,
+                           {"id": job.digest, "state": job.state,
+                            "error": job.error})
+            else:
+                self._send(writer, 409,
+                           {"id": job.digest, "state": job.state,
+                            "error": "job not finished"})
+        else:
+            await self._sse(req, writer, job_id)
+            return False
+        await writer.drain()
+        return True
+
+    # -- SSE -----------------------------------------------------------
+    async def _sse(self, req: _Request, writer, job_id: str) -> None:
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue()
+
+        def push(event: dict) -> None:
+            loop.call_soon_threadsafe(queue.put_nowait, event)
+
+        replay = self.manager.subscribe(job_id, push)
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: text/event-stream\r\n"
+                     b"Cache-Control: no-cache\r\n"
+                     b"Connection: close\r\n\r\n")
+        try:
+            final = False
+            for event in replay:
+                writer.write(_sse_frame(event))
+                final = final or bool(event.get("final"))
+            await writer.drain()
+            while not final:
+                try:
+                    event = await asyncio.wait_for(queue.get(),
+                                                   timeout=SSE_KEEPALIVE_S)
+                except asyncio.TimeoutError:
+                    writer.write(b": keepalive\n\n")
+                    await writer.drain()
+                    continue
+                writer.write(_sse_frame(event))
+                await writer.drain()
+                final = bool(event.get("final"))
+        finally:
+            self.manager.unsubscribe(job_id, push)
+
+
+def _sse_frame(event: dict) -> bytes:
+    kind = event.get("kind", "event")
+    data = json.dumps(event, sort_keys=True)
+    return (f"event: {kind}\nid: {event.get('seq', 0)}\n"
+            f"data: {data}\n\n").encode("utf-8")
+
+
+# -- entry points ------------------------------------------------------
+async def _amain(config: ServeConfig,
+                 manager: Optional[JobManager] = None) -> int:
+    manager = manager or JobManager(config)
+    server = ServeServer(manager, config)
+    await server.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except NotImplementedError:      # pragma: no cover (non-unix)
+            pass
+    print(f"[serve] listening on http://{config.host}:{server.port} "
+          f"({config.workers} workers, cache="
+          f"{config.cache_dir or 'off'})", file=sys.stderr, flush=True)
+    await stop.wait()
+    print("[serve] signal received; draining", file=sys.stderr, flush=True)
+    await server.close()
+    clean = await loop.run_in_executor(None, manager.drain,
+                                       config.drain_timeout_s)
+    print(f"[serve] drain {'complete' if clean else 'TIMED OUT'}",
+          file=sys.stderr, flush=True)
+    return 0 if clean else 3
+
+
+def serve_forever(config: ServeConfig) -> int:
+    """Run until SIGTERM/SIGINT; returns the process exit code
+    (0 clean drain, 3 drain timeout)."""
+    try:
+        return asyncio.run(_amain(config))
+    except KeyboardInterrupt:            # pragma: no cover
+        return 0
+
+
+class ServerHandle:
+    """A server running on a background thread (tests and benchmarks)."""
+
+    def __init__(self, manager: JobManager, server: ServeServer,
+                 loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread) -> None:
+        self.manager = manager
+        self.server = server
+        self.loop = loop
+        self.thread = thread
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.server.config.host}:{self.server.port}"
+
+    def stop(self, drain: bool = True,
+             timeout: Optional[float] = None) -> bool:
+        """Close the listener, drain the manager, stop the loop."""
+        fut = asyncio.run_coroutine_threadsafe(self.server.close(),
+                                               self.loop)
+        fut.result(timeout=10)
+        clean = self.manager.drain(
+            timeout if timeout is not None
+            else (self.manager.config.drain_timeout_s if drain else 0.0))
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10)
+        return clean
+
+
+def start_in_thread(config: ServeConfig, *,
+                    manager: Optional[JobManager] = None) -> ServerHandle:
+    """Start a server on a daemon thread; returns once it is listening.
+
+    ``config.port`` may be 0 to pick a free port (see ``handle.url``).
+    """
+    mgr = manager or JobManager(config)
+    holder: dict = {}
+    started = threading.Event()
+
+    def run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        server = ServeServer(mgr, config)
+        try:
+            loop.run_until_complete(server.start())
+        except OSError as exc:
+            holder["error"] = ConfigError(
+                f"cannot bind {config.host}:{config.port}: {exc}")
+            started.set()
+            loop.close()
+            return
+        holder["server"] = server
+        holder["loop"] = loop
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            for task in asyncio.all_tasks(loop):
+                task.cancel()
+            loop.run_until_complete(asyncio.sleep(0))
+            loop.close()
+
+    thread = threading.Thread(target=run, name="serve-http", daemon=True)
+    thread.start()
+    if not started.wait(timeout=10):
+        raise ConfigError("server failed to start within 10s")
+    if "error" in holder:
+        raise holder["error"]
+    return ServerHandle(mgr, holder["server"], holder["loop"], thread)

@@ -1,0 +1,602 @@
+"""The serve job manager: admission, coalescing, worker slots, drain.
+
+:class:`JobManager` is the transport-independent heart of ``repro
+serve``. The HTTP layer (:mod:`repro.serve.http`) translates requests
+into calls on it; tests drive it directly.
+
+Lifecycle of a submission (all under one lock, so the admission decision
+is atomic):
+
+1. **auth** — the API key selects a :class:`TenantState` (401 on unknown
+   keys, or on missing keys when ``require_key`` is set);
+2. **rate** — the tenant's token bucket must yield a token (else 429
+   with a Retry-After hint);
+3. **validate** — the JSON body becomes a canonical
+   :class:`~repro.farm.job.JobSpec` via the shared validator (400 with
+   field-level errors), the configured watchdog timeout is attached with
+   :func:`~repro.farm.farm.apply_timeout`, and the sha256 content
+   address is computed — the job id;
+4. **coalesce** — an in-flight job with the same digest absorbs the
+   submission (no second execution, shared result and event stream);
+5. **warm** — a completed in-memory job, or a
+   :class:`~repro.farm.cache.ResultCache` entry, answers O(1) without
+   executing;
+6. **quota** — the tenant's queue must have room (else 429);
+7. **enqueue** — the job joins the tenant FIFO and worker slots pick it
+   up round-robin across tenants (one slow tenant cannot starve the
+   rest).
+
+Each worker slot owns a persistent single-worker
+:class:`~repro.farm.farm.Farm` (``use_pool=True``), so simulations run
+in real worker processes with the farm's timeout / retry /
+crash-rebuild machinery, while the slot thread stays cheap. Slots run
+``cache=None``; the manager is the only cache reader/writer, which
+keeps hit/miss accounting exact under concurrency.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..farm import Farm, JobSpec, ResultCache, apply_timeout
+from ..telemetry import (AdmissionRejectEvent, EventBus, JobCoalescedEvent,
+                         JobQueuedEvent, MetricsRegistry, ServeDrainEvent)
+from .config import ServeConfig, TenantQuota
+
+# job states (wire values)
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+class ServeError(Exception):
+    """Base for manager-level request failures (maps to an HTTP status)."""
+
+    status = 500
+
+
+class AuthError(ServeError):
+    status = 401
+
+
+class DrainingError(ServeError):
+    status = 503
+
+    def __init__(self) -> None:
+        super().__init__("server is draining; not accepting submissions")
+
+
+class UnknownJobError(ServeError):
+    status = 404
+
+    def __init__(self, job_id: str) -> None:
+        super().__init__(f"unknown job id {job_id!r}")
+
+
+class AdmissionError(ServeError):
+    """429: the tenant is over its rate or queue quota."""
+
+    status = 429
+
+    def __init__(self, tenant: str, reason: str, retry_after: float) -> None:
+        super().__init__(
+            f"tenant {tenant!r} rejected at admission ({reason}); "
+            f"retry after {retry_after:.2f}s")
+        self.tenant = tenant
+        self.reason = reason           # "rate" | "queue"
+        self.retry_after = retry_after
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s, capacity ``burst``.
+
+    ``try_take`` returns 0.0 on success or the seconds until a token
+    will be available (the Retry-After hint). ``clock`` is injectable so
+    tests don't sleep.
+    """
+
+    def __init__(self, rate: float, burst: int,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = clock()
+
+    def try_take(self) -> float:
+        now = self._clock()
+        self._tokens = min(self.burst,
+                           self._tokens + (now - self._last) * self.rate)
+        self._last = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
+
+class Job:
+    """One content-addressed job record (in-memory, digest-keyed).
+
+    All mutation happens under the manager lock. ``events`` is a bounded
+    ring used for SSE replay; ``subscribers`` are callbacks fed every
+    new event (the HTTP layer bridges them onto asyncio queues).
+    """
+
+    def __init__(self, digest: str, spec: JobSpec, tenant: str,
+                 events_buffer: int) -> None:
+        self.digest = digest
+        self.spec = spec
+        self.tenant = tenant
+        self.state = QUEUED
+        self.created = time.time()
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        self.attempts = 0
+        self.wall_s = 0.0
+        self.error: Optional[str] = None
+        self.stats = None              # RunStats when DONE
+        #: answered straight from the ResultCache (never executed here)
+        self.cached = False
+        self.n_submitted = 1
+        self.events: Deque[dict] = deque(maxlen=events_buffer)
+        self._seq = 0
+        self.subscribers: List[Callable[[dict], None]] = []
+        self.done_evt = threading.Event()
+
+    def to_doc(self) -> dict:
+        return {
+            "id": self.digest,
+            "state": self.state,
+            "tenant": self.tenant,
+            "label": self.spec.display,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "attempts": self.attempts,
+            "wall_s": round(self.wall_s, 4),
+            "error": self.error,
+            "cached": self.cached,
+            "n_submitted": self.n_submitted,
+            "has_result": self.stats is not None,
+        }
+
+
+class TenantState:
+    """Per-tenant runtime state: FIFO queue, bucket, counters."""
+
+    def __init__(self, quota: TenantQuota,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.quota = quota
+        self.bucket = TokenBucket(quota.rate, quota.burst, clock)
+        self.queue: Deque[str] = deque()   # digests awaiting a slot
+        self.n_running = 0
+        self.counters = {"submitted": 0, "coalesced": 0, "warm_hits": 0,
+                         "rejected_rate": 0, "rejected_queue": 0,
+                         "done": 0, "failed": 0}
+
+    @property
+    def depth(self) -> int:
+        """Queued + running jobs — what the queue quota bounds."""
+        return len(self.queue) + self.n_running
+
+    def to_doc(self) -> dict:
+        return {"queue_limit": self.quota.queue_limit,
+                "rate": self.quota.rate, "burst": self.quota.burst,
+                "depth": self.depth, "queued": len(self.queue),
+                "running": self.n_running, **self.counters}
+
+
+class _WorkerSlot:
+    def __init__(self, slot_id: int, farm: Farm) -> None:
+        self.id = slot_id
+        self.farm = farm
+        self.thread: Optional[threading.Thread] = None
+        self.current: Optional[str] = None   # digest being executed
+
+
+class JobManager:
+    """See module docs. Thread-safe; one instance per server."""
+
+    def __init__(self, config: ServeConfig, *,
+                 cache: Optional[ResultCache] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.config = config
+        self._clock = clock
+        if cache is not None:
+            self.cache: Optional[ResultCache] = cache
+        elif config.cache_dir:
+            self.cache = ResultCache(config.cache_dir)
+        else:
+            self.cache = None
+        self.registry = MetricsRegistry()
+        self.bus = EventBus()
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._jobs: Dict[str, Job] = {}
+        self._finished_order: Deque[str] = deque()
+        self._tenants: Dict[str, TenantState] = {}
+        self._keys: Dict[str, str] = {}      # api key -> tenant name
+        self._rr: Deque[str] = deque()       # round-robin tenant order
+        self._draining = False
+        self._stopped = False
+        self._started = False
+        self.t0 = time.monotonic()
+        self._get_tenant(config.default_quota)
+        for key, quota in config.tenants.items():
+            self._keys[key] = quota.name
+            self._get_tenant(quota)
+        self._slots = [
+            _WorkerSlot(i, Farm(jobs=1, use_pool=True, persistent=True,
+                                cache=None, max_attempts=config.max_attempts,
+                                warmup=config.warmup, collect_metrics=True))
+            for i in range(config.workers)
+        ]
+        for slot in self._slots:
+            slot.farm.bus.subscribe(
+                lambda ev, s=slot: self._on_farm_event(s, ev))
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        with self._lock:
+            if self._started:
+                return
+            self._started = True
+        for slot in self._slots:
+            t = threading.Thread(target=self._slot_loop, args=(slot,),
+                                 name=f"serve-slot-{slot.id}", daemon=True)
+            slot.thread = t
+            t.start()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admitting, wait for queued+running jobs, stop slots.
+
+        Returns True if everything finished inside ``timeout``. On
+        timeout the remaining jobs are marked failed (the caller is
+        exiting; their processes are torn down with the farms).
+        """
+        if timeout is None:
+            timeout = self.config.drain_timeout_s
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            if not self._draining:
+                self._draining = True
+                self._emit(ServeDrainEvent(t=self._now_ms(), phase="begin",
+                                           n_pending=self._n_pending()))
+            while self._n_pending() > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(min(0.2, remaining))
+            clean = self._n_pending() == 0
+            if not clean:
+                # hard-stop: fail whatever is left so waiters unblock
+                for ts in self._tenants.values():
+                    while ts.queue:
+                        job = self._jobs[ts.queue.popleft()]
+                        self._fail_abandoned(job, "server drain timed out")
+                for slot in self._slots:
+                    if slot.current and slot.current in self._jobs:
+                        job = self._jobs[slot.current]
+                        if job.state == RUNNING:
+                            ts = self._tenants[job.tenant]
+                            ts.n_running -= 1
+                            self._fail_abandoned(
+                                job, "server drain timed out mid-run")
+            self._stopped = True
+            self._emit(ServeDrainEvent(t=self._now_ms(), phase="done",
+                                       n_pending=0 if clean
+                                       else self._n_pending()))
+            self._cond.notify_all()
+        for slot in self._slots:
+            if slot.thread is not None:
+                slot.thread.join(timeout=5.0)
+            slot.farm.close()
+        return clean
+
+    def stop(self) -> None:
+        """Immediate shutdown (tests); jobs still queued are failed."""
+        self.drain(timeout=0.0)
+
+    # -- submission ----------------------------------------------------
+    def submit(self, doc: dict, api_key: str = "") -> Tuple[Job, str]:
+        """Admit one submission; returns ``(job, outcome)``.
+
+        ``outcome`` is ``"queued"`` (new job admitted), ``"coalesced"``
+        (absorbed by an in-flight job) or ``"warm"`` (answered from a
+        completed job or the result cache). Raises ``AuthError``,
+        ``DrainingError``, ``AdmissionError`` or
+        :class:`~repro.farm.validate.SpecValidationError`.
+        """
+        from ..farm import validate_jobspec
+        with self._cond:
+            if self._draining:
+                raise DrainingError()
+            ts = self._tenant_for(api_key)
+            wait = ts.bucket.try_take()
+            if wait > 0:
+                ts.counters["rejected_rate"] += 1
+                self.registry.inc("serve.admission_reject",
+                                  tenant=ts.quota.name, reason="rate")
+                self._emit(AdmissionRejectEvent(
+                    t=self._now_ms(), tenant=ts.quota.name, reason="rate",
+                    retry_after=wait))
+                raise AdmissionError(ts.quota.name, "rate", wait)
+            spec = validate_jobspec(doc)       # 400 on bad fields
+            spec = apply_timeout(spec, self.config.timeout_s)
+            digest = spec.digest()
+            ts.counters["submitted"] += 1
+            self.registry.inc("serve.submissions", tenant=ts.quota.name)
+            job = self._jobs.get(digest)
+            if job is not None and job.state in (QUEUED, RUNNING):
+                job.n_submitted += 1
+                ts.counters["coalesced"] += 1
+                self.registry.inc("serve.coalesced_submissions",
+                                  tenant=ts.quota.name)
+                self._emit(JobCoalescedEvent(
+                    t=self._now_ms(), digest=digest, tenant=ts.quota.name,
+                    n_submitted=job.n_submitted))
+                self._job_event(job, {"kind": "job_coalesced",
+                                      "tenant": ts.quota.name,
+                                      "n_submitted": job.n_submitted})
+                return job, "coalesced"
+            if job is not None and job.state == DONE:
+                job.n_submitted += 1
+                ts.counters["warm_hits"] += 1
+                self.registry.inc("serve.warm_hits", tenant=ts.quota.name,
+                                  source="table")
+                return job, "warm"
+            # FAILED jobs fall through: a resubmission retries them.
+            stats = self.cache.get(digest) if self.cache else None
+            if stats is not None:
+                job = Job(digest, spec, ts.quota.name,
+                          self.config.events_buffer)
+                job.state = DONE
+                job.stats = stats
+                job.cached = True
+                job.finished = time.time()
+                self._jobs[digest] = job
+                self._record_finished(digest)
+                ts.counters["warm_hits"] += 1
+                self.registry.inc("serve.warm_hits", tenant=ts.quota.name,
+                                  source="cache")
+                self._job_event(job, {"kind": "job_state", "state": DONE,
+                                      "cached": True, "final": True})
+                job.done_evt.set()
+                return job, "warm"
+            if ts.depth >= ts.quota.queue_limit:
+                ts.counters["rejected_queue"] += 1
+                self.registry.inc("serve.admission_reject",
+                                  tenant=ts.quota.name, reason="queue")
+                self._emit(AdmissionRejectEvent(
+                    t=self._now_ms(), tenant=ts.quota.name, reason="queue",
+                    retry_after=1.0))
+                raise AdmissionError(ts.quota.name, "queue", 1.0)
+            job = Job(digest, spec, ts.quota.name, self.config.events_buffer)
+            self._jobs[digest] = job
+            ts.queue.append(digest)
+            self._update_depth(ts)
+            self._emit(JobQueuedEvent(t=self._now_ms(), digest=digest,
+                                      tenant=ts.quota.name,
+                                      queue_depth=ts.depth))
+            self._job_event(job, {"kind": "job_queued",
+                                  "tenant": ts.quota.name,
+                                  "queue_depth": ts.depth})
+            self._cond.notify_all()
+            return job, "queued"
+
+    # -- queries -------------------------------------------------------
+    def job(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise UnknownJobError(job_id)
+            return job
+
+    def jobs(self) -> List[dict]:
+        with self._lock:
+            return [j.to_doc() for j in self._jobs.values()]
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> Job:
+        job = self.job(job_id)
+        job.done_evt.wait(timeout)
+        return job
+
+    def subscribe(self, job_id: str,
+                  fn: Callable[[dict], None]) -> List[dict]:
+        """Register ``fn`` for the job's future events; returns the ring
+        snapshot for replay. Atomic, so no event is missed or doubled."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise UnknownJobError(job_id)
+            replay = list(job.events)
+            job.subscribers.append(fn)
+            return replay
+
+    def unsubscribe(self, job_id: str, fn: Callable[[dict], None]) -> None:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is not None and fn in job.subscribers:
+                job.subscribers.remove(fn)
+
+    def summary(self) -> dict:
+        with self._lock:
+            states = {QUEUED: 0, RUNNING: 0, DONE: 0, FAILED: 0}
+            for j in self._jobs.values():
+                states[j.state] = states.get(j.state, 0) + 1
+            return {
+                "uptime_s": round(time.monotonic() - self.t0, 3),
+                "draining": self._draining,
+                "workers": len(self._slots),
+                "jobs": {"total": len(self._jobs), **states},
+                "tenants": {name: ts.to_doc()
+                            for name, ts in sorted(self._tenants.items())},
+                "cache": self.cache.stats() if self.cache else None,
+            }
+
+    def metrics_snapshot(self) -> dict:
+        """The manager registry (serve.* counters + merged farm/sim
+        metrics from every finished job)."""
+        with self._lock:
+            return self.registry.snapshot()
+
+    def healthy(self) -> dict:
+        with self._lock:
+            return {"ok": True,
+                    "state": "draining" if self._draining else "serving",
+                    "uptime_s": round(time.monotonic() - self.t0, 3),
+                    "pending": self._n_pending()}
+
+    # -- internals -----------------------------------------------------
+    def _now_ms(self) -> int:
+        return int((time.monotonic() - self.t0) * 1000)
+
+    def _emit(self, event) -> None:
+        if self.bus:
+            self.bus.emit(event)
+
+    def _n_pending(self) -> int:
+        return sum(ts.depth for ts in self._tenants.values())
+
+    def _get_tenant(self, quota: TenantQuota) -> TenantState:
+        ts = self._tenants.get(quota.name)
+        if ts is None:
+            ts = TenantState(quota, self._clock)
+            self._tenants[quota.name] = ts
+            self._rr.append(quota.name)
+        return ts
+
+    def _tenant_for(self, api_key: str) -> TenantState:
+        if api_key:
+            name = self._keys.get(api_key)
+            if name is None:
+                raise AuthError("unknown API key")
+            return self._tenants[name]
+        if self.config.require_key:
+            raise AuthError("an API key is required (X-API-Key header)")
+        return self._tenants[self.config.default_quota.name]
+
+    def _update_depth(self, ts: TenantState) -> None:
+        self.registry.gauge("serve.queue_depth",
+                            tenant=ts.quota.name).set(ts.depth)
+
+    def _job_event(self, job: Job, payload: dict) -> None:
+        # caller holds the lock
+        job._seq += 1
+        event = {"seq": job._seq, "t": self._now_ms(),
+                 "digest": job.digest, **payload}
+        job.events.append(event)
+        for fn in list(job.subscribers):
+            try:
+                fn(event)
+            except Exception:
+                pass  # a dead subscriber must not break the job
+
+    def _record_finished(self, digest: str) -> None:
+        # caller holds the lock; bound the in-memory job table
+        self._finished_order.append(digest)
+        while len(self._jobs) > self.config.max_jobs and self._finished_order:
+            victim = self._finished_order.popleft()
+            job = self._jobs.get(victim)
+            if job is not None and job.state in (DONE, FAILED) \
+                    and not job.subscribers:
+                del self._jobs[victim]
+
+    def _fail_abandoned(self, job: Job, why: str) -> None:
+        # caller holds the lock
+        job.state = FAILED
+        job.error = why
+        job.finished = time.time()
+        self._tenants[job.tenant].counters["failed"] += 1
+        self.registry.inc("serve.jobs", status="abandoned")
+        self._record_finished(job.digest)
+        self._job_event(job, {"kind": "job_state", "state": FAILED,
+                              "error": why, "final": True})
+        job.done_evt.set()
+
+    def _on_farm_event(self, slot: _WorkerSlot, event) -> None:
+        # slot-thread context: route the farm event into the job's ring
+        d = event.to_dict()
+        digest = d.get("digest") or slot.current
+        if not digest:
+            return
+        with self._lock:
+            job = self._jobs.get(digest)
+            if job is not None:
+                self._job_event(job, d)
+
+    # -- execution -----------------------------------------------------
+    def _slot_loop(self, slot: _WorkerSlot) -> None:
+        while True:
+            job = self._next_job(slot)
+            if job is None:
+                return
+            try:
+                self._execute(slot, job)
+            finally:
+                slot.current = None
+
+    def _next_job(self, slot: _WorkerSlot) -> Optional[Job]:
+        with self._cond:
+            while True:
+                if self._stopped:
+                    return None
+                for _ in range(len(self._rr)):
+                    name = self._rr[0]
+                    self._rr.rotate(-1)
+                    ts = self._tenants[name]
+                    if ts.queue:
+                        digest = ts.queue.popleft()
+                        ts.n_running += 1
+                        self._update_depth(ts)
+                        job = self._jobs[digest]
+                        job.state = RUNNING
+                        job.started = time.time()
+                        slot.current = digest
+                        self._job_event(job, {"kind": "job_state",
+                                              "state": RUNNING,
+                                              "slot": slot.id})
+                        return job
+                self._cond.wait(0.5)
+
+    def _execute(self, slot: _WorkerSlot, job: Job) -> None:
+        # fresh registry per job so the merge below never races a snapshot
+        run_reg = slot.farm.registry = MetricsRegistry()
+        try:
+            res = slot.farm.run([job.spec])[0]
+        except Exception as exc:   # farm.run should not raise; belt+braces
+            res = None
+            error = f"{type(exc).__name__}: {exc}"
+        else:
+            error = res.error
+        with self._cond:
+            ts = self._tenants[job.tenant]
+            ts.n_running -= 1
+            self._update_depth(ts)
+            if res is not None:
+                job.attempts = res.attempts
+                job.wall_s = res.wall_s
+            job.finished = time.time()
+            if error is None and res is not None:
+                job.state = DONE
+                job.stats = res.stats
+                ts.counters["done"] += 1
+                self.registry.inc("serve.jobs", status="done")
+                if (self.cache is not None and res.stats is not None
+                        and res.stats.completed):
+                    self.cache.put(job.spec, res.stats, wall_s=res.wall_s)
+            else:
+                job.state = FAILED
+                job.error = error
+                ts.counters["failed"] += 1
+                self.registry.inc("serve.jobs", status="failed")
+            self.registry.merge_snapshot(run_reg.snapshot())
+            self._record_finished(job.digest)
+            self._job_event(job, {"kind": "job_state", "state": job.state,
+                                  "error": job.error, "final": True})
+            self._cond.notify_all()
+        job.done_evt.set()

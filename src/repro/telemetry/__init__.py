@@ -21,6 +21,7 @@ from .events import (
     EVENT_SCHEMA,
     EVENT_TYPES,
     AbortEvent,
+    AdmissionRejectEvent,
     CacheHitEvent,
     CommitEvent,
     ConflictEvent,
@@ -31,13 +32,16 @@ from .events import (
     FaultInjectedEvent,
     FinishEvent,
     GvtTickEvent,
+    JobCoalescedEvent,
     JobDoneEvent,
+    JobQueuedEvent,
     JobStartEvent,
     LivelockThrottleEvent,
     QueuePressureEvent,
     RetryBackoffEvent,
     SafeModeEnterEvent,
     SafeModeExitEvent,
+    ServeDrainEvent,
     SpillEvent,
     SquashEvent,
     WatchdogEvent,
@@ -56,7 +60,7 @@ from .export import (
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .perfetto import to_perfetto, write_perfetto
 from .profiling import (PROFILE_SCHEMA, collect_profile, fold_into_registry,
-                        format_profile)
+                        format_profile, format_serve_profile)
 
 _VALIDATE_NAMES = ("ValidationError", "validate_event_dict",
                    "validate_jsonl")
@@ -75,6 +79,7 @@ __all__ = [
     "EVENT_TYPES",
     "PROFILE_SCHEMA",
     "AbortEvent",
+    "AdmissionRejectEvent",
     "CacheHitEvent",
     "CommitEvent",
     "ConflictEvent",
@@ -91,7 +96,9 @@ __all__ = [
     "Gauge",
     "GvtTickEvent",
     "Histogram",
+    "JobCoalescedEvent",
     "JobDoneEvent",
+    "JobQueuedEvent",
     "JobStartEvent",
     "JsonlExporter",
     "LivelockThrottleEvent",
@@ -100,6 +107,7 @@ __all__ = [
     "RetryBackoffEvent",
     "SafeModeEnterEvent",
     "SafeModeExitEvent",
+    "ServeDrainEvent",
     "SpillEvent",
     "SquashEvent",
     "ValidationError",
@@ -111,6 +119,7 @@ __all__ = [
     "event_from_dict",
     "fold_into_registry",
     "format_profile",
+    "format_serve_profile",
     "metrics_snapshot",
     "read_events_jsonl",
     "to_perfetto",

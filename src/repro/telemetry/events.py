@@ -346,6 +346,64 @@ class WorkerCrashEvent(Event):
     detail: str
 
 
+# --- serve events (repro.serve) ---------------------------------------
+# ``t`` is milliseconds since the server started (wall clock), like the
+# farm events: these describe the service, not the simulated machine.
+
+
+@dataclass
+class JobQueuedEvent(Event):
+    """A submission was admitted into a tenant's queue."""
+
+    KIND: ClassVar[str] = "job_queued"
+
+    digest: str
+    tenant: str
+    queue_depth: int
+
+
+@dataclass
+class JobCoalescedEvent(Event):
+    """A submission matched an in-flight (or completed) job and was
+    answered by it instead of executing again."""
+
+    KIND: ClassVar[str] = "job_coalesced"
+
+    digest: str
+    tenant: str
+    n_submitted: int
+
+
+@dataclass
+class AdmissionRejectEvent(Event):
+    """A submission was rejected at admission (429).
+
+    ``reason`` is ``"rate"`` (token bucket empty) or ``"queue"`` (tenant
+    queue quota full); ``retry_after`` is the suggested backoff in
+    seconds (the Retry-After header value).
+    """
+
+    KIND: ClassVar[str] = "admission_reject"
+
+    tenant: str
+    reason: str
+    retry_after: float
+
+
+@dataclass
+class ServeDrainEvent(Event):
+    """The server started (or finished) its graceful drain.
+
+    ``phase`` is ``"begin"`` / ``"done"``; ``n_pending`` counts jobs
+    still queued or running at that moment.
+    """
+
+    KIND: ClassVar[str] = "serve_drain"
+
+    phase: str
+    n_pending: int
+
+
 #: every concrete event class, keyed by its wire ``kind``
 EVENT_TYPES: Dict[str, Type[Event]] = {
     cls.KIND: cls
@@ -356,7 +414,8 @@ EVENT_TYPES: Dict[str, Type[Event]] = {
                 LivelockThrottleEvent, SafeModeEnterEvent,
                 SafeModeExitEvent, QueuePressureEvent, WatchdogEvent,
                 JobStartEvent, JobDoneEvent, CacheHitEvent,
-                WorkerCrashEvent)
+                WorkerCrashEvent, JobQueuedEvent, JobCoalescedEvent,
+                AdmissionRejectEvent, ServeDrainEvent)
 }
 
 #: kind -> required field names (the JSONL schema)

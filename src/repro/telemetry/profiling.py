@@ -119,3 +119,74 @@ def format_profile(profile: Dict) -> str:
     if "wall_s" in profile:
         lines.append(f"  wall clock       {profile['wall_s']:>12.3f} s")
     return "\n".join(lines)
+
+
+def _metric_total(metrics: Dict, name: str, **labels) -> int:
+    """Sum a snapshot counter's rows, optionally filtered by labels."""
+    total = 0
+    for row in metrics.get("counters", ()):
+        if row.get("name") != name:
+            continue
+        r_labels = row.get("labels", {})
+        if all(r_labels.get(k) == v for k, v in labels.items()):
+            total += row.get("value", 0)
+    return total
+
+
+def format_serve_profile(doc: Dict) -> str:
+    """Render a serve ``/metrics`` document (``repro profile --serve``).
+
+    ``doc`` is the JSON body of ``GET /metrics``: a ``serve`` summary
+    (tenants, jobs, cache) plus the manager's metrics snapshot with the
+    ``serve.*`` counters.
+    """
+    serve = doc.get("serve", {})
+    metrics = doc.get("metrics", {})
+    jobs = serve.get("jobs", {})
+    lines = [
+        f"serve profile: up {serve.get('uptime_s', 0.0):,.1f}s, "
+        f"{serve.get('workers', '?')} workers"
+        + (", DRAINING" if serve.get("draining") else ""),
+        "",
+        f"  jobs             {jobs.get('total', 0):>8,} known   "
+        f"{jobs.get('queued', 0):>6,} queued  "
+        f"{jobs.get('running', 0):>6,} running  "
+        f"{jobs.get('done', 0):>6,} done  "
+        f"{jobs.get('failed', 0):>6,} failed",
+        f"  submissions      {_metric_total(metrics, 'serve.submissions'):>8,} "
+        f"accepted   "
+        f"{_metric_total(metrics, 'serve.coalesced_submissions'):>6,} "
+        f"coalesced  "
+        f"{_metric_total(metrics, 'serve.warm_hits'):>6,} warm hits",
+        f"  admission        "
+        f"{_metric_total(metrics, 'serve.admission_reject', reason='rate'):>8,} "
+        f"rate rejects   "
+        f"{_metric_total(metrics, 'serve.admission_reject', reason='queue'):>6,} "
+        f"queue rejects",
+    ]
+    cache = serve.get("cache")
+    if cache:
+        lookups = cache.get("hits", 0) + cache.get("misses", 0)
+        ratio = cache.get("hits", 0) / lookups if lookups else 0.0
+        lines.append(
+            f"  result cache     {cache.get('entries', 0):>8,} entries   "
+            f"{cache.get('hits', 0):>6,} hits  "
+            f"{cache.get('misses', 0):>6,} misses  "
+            f"{cache.get('stale', 0):>6,} stale  "
+            f"(hit ratio {ratio:.1%})")
+    tenants = serve.get("tenants", {})
+    if tenants:
+        lines.append("")
+        lines.append(f"  {'tenant':<14} {'depth':>5} {'limit':>5} "
+                     f"{'submitted':>9} {'coalesced':>9} {'warm':>6} "
+                     f"{'rejected':>8} {'done':>6} {'failed':>6}")
+        for name, ts in sorted(tenants.items()):
+            rejected = (ts.get("rejected_rate", 0)
+                        + ts.get("rejected_queue", 0))
+            lines.append(
+                f"  {name:<14} {ts.get('depth', 0):>5} "
+                f"{ts.get('queue_limit', 0):>5} "
+                f"{ts.get('submitted', 0):>9} {ts.get('coalesced', 0):>9} "
+                f"{ts.get('warm_hits', 0):>6} {rejected:>8} "
+                f"{ts.get('done', 0):>6} {ts.get('failed', 0):>6}")
+    return "\n".join(lines)

@@ -1,0 +1,181 @@
+"""ResultCache under concurrent access (the serve contention pattern).
+
+Two kinds of coverage:
+
+- raw cache: many threads racing get/put on the same content address —
+  exactly one logical compute, counters reconcile with lookups, and the
+  stored entry is intact (atomic write-then-rename);
+- through the serve manager: two submitters racing on one digest yield
+  one compute + one coalesce, and the cache's hit/miss/stale counters
+  reconcile with the number of lookups the manager performed.
+"""
+
+import json
+import threading
+
+from repro.core.stats import RunStats
+from repro.farm import Farm, JobSpec, ResultCache
+from repro.serve import JobManager, ServeConfig
+from repro.serve.manager import DONE
+
+FAKEAPP = "tests.farm._fakeapp"
+
+
+def fake_spec(n_tasks=4):
+    return JobSpec(app=FAKEAPP, variant="fractal", n_cores=2,
+                   input_kwargs={"n_tasks": n_tasks})
+
+
+def run_stats(spec):
+    return Farm(jobs=1).run([spec])[0].stats
+
+
+class TestRawCacheRaces:
+    def test_racing_get_put_one_compute_counters_reconcile(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="t1")
+        spec = fake_spec()
+        stats = run_stats(spec)
+        digest = spec.digest()
+        n_threads = 8
+        lookups = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(n_threads)
+
+        def worker():
+            barrier.wait()
+            hit = cache.get(digest)
+            with lock:
+                lookups.append(hit)
+            if hit is None:
+                # miss -> "compute" (already done above) and publish
+                cache.put(spec, stats, wall_s=0.1)
+
+        threads = [threading.Thread(target=worker)
+                   for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        s = cache.stats()
+        assert s["hits"] + s["misses"] == len(lookups) == n_threads
+        assert s["misses"] >= 1                # at least the first racer
+        assert s["stale"] == 0
+        assert s["entries"] == 1               # one digest, one entry
+        # the winning writer left an intact, readable entry
+        assert cache.get(digest).to_dict() == stats.to_dict()
+
+    def test_concurrent_distinct_digests_all_stored(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="t1")
+        specs = [fake_spec(n) for n in (4, 5, 6, 7)]
+        stats = {s.digest(): run_stats(s) for s in specs}
+
+        def worker(spec):
+            if cache.get(spec.digest()) is None:
+                cache.put(spec, stats[spec.digest()], wall_s=0.1)
+
+        threads = [threading.Thread(target=worker, args=(s,))
+                   for s in specs for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert cache.entries() == len(specs)
+        s = cache.stats()
+        assert s["hits"] + s["misses"] == len(threads)
+        for spec in specs:
+            assert (cache.get(spec.digest()).to_dict()
+                    == stats[spec.digest()].to_dict())
+
+
+class TestManagerCacheRace:
+    def make_manager(self, tmp_path):
+        return JobManager(ServeConfig(
+            workers=1, warmup=False, cache_dir=str(tmp_path / "cache")))
+
+    def fake_doc(self):
+        return {"app": FAKEAPP, "variant": "fractal", "n_cores": 2,
+                "input": {"n_tasks": 4}}
+
+    def test_two_racing_submitters_one_compute_one_coalesce(self, tmp_path):
+        m = self.make_manager(tmp_path)
+        outcomes = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(2)
+
+        def submitter():
+            barrier.wait()
+            job, outcome = m.submit(self.fake_doc())
+            with lock:
+                outcomes.append((job, outcome))
+
+        threads = [threading.Thread(target=submitter) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert sorted(o for _, o in outcomes) == ["coalesced", "queued"]
+        jobs = {job for job, _ in outcomes}
+        assert len(jobs) == 1                  # same record for both
+        m.start()
+        try:
+            (job,) = jobs
+            assert m.wait(job.digest, timeout=90).state == DONE
+            # one queued job -> exactly one cache lookup (a miss) and one
+            # store; the coalesced submission never touched the cache
+            s = m.cache.stats()
+            assert s == {"hits": 0, "misses": 1, "stale": 0, "puts": 1,
+                         "entries": 1}
+        finally:
+            m.drain(timeout=30)
+
+    def test_counters_reconcile_across_miss_run_hit(self, tmp_path):
+        m = self.make_manager(tmp_path)
+        m.start()
+        try:
+            job, outcome = m.submit(self.fake_doc())
+            assert outcome == "queued"         # lookup #1: miss
+            m.wait(job.digest, timeout=90)
+            _, outcome = m.submit(self.fake_doc())
+            assert outcome == "warm"           # job table, no cache lookup
+        finally:
+            m.drain(timeout=30)
+        m2 = self.make_manager(tmp_path)       # fresh table, same cache
+        _, outcome = m2.submit(self.fake_doc())
+        assert outcome == "warm"               # lookup #2: hit
+        s = m2.cache.stats()
+        # m2 performed exactly one lookup; hits + misses must equal it
+        assert s["hits"] + s["misses"] == 1
+        assert s["hits"] == 1
+        assert s["misses"] == 0 and s["stale"] == 0
+
+    def test_warm_entry_served_intact_under_parallel_readers(self, tmp_path):
+        m = self.make_manager(tmp_path)
+        m.start()
+        try:
+            job, _ = m.submit(self.fake_doc())
+            m.wait(job.digest, timeout=90)
+            want = json.dumps(job.stats.to_dict(), sort_keys=True)
+        finally:
+            m.drain(timeout=30)
+        readers = [JobManager(ServeConfig(
+            workers=1, warmup=False, cache_dir=str(tmp_path / "cache")))
+            for _ in range(4)]
+        got = []
+        lock = threading.Lock()
+
+        def reader(mgr):
+            j, outcome = mgr.submit(self.fake_doc())
+            with lock:
+                got.append((outcome,
+                            json.dumps(j.stats.to_dict(), sort_keys=True)))
+
+        threads = [threading.Thread(target=reader, args=(r,))
+                   for r in readers]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(o == "warm" for o, _ in got)
+        assert all(s == want for _, s in got)

@@ -1,0 +1,102 @@
+"""Persistent-pool farms and the non-TTY progress fallback."""
+
+import io
+import sys
+
+from repro.farm import Farm, JobSpec, apply_timeout
+from repro.faults import ResiliencePolicy
+
+FAKEAPP = "tests.farm._fakeapp"
+
+
+def spec(n_tasks=4):
+    return JobSpec(app=FAKEAPP, variant="fractal", n_cores=2,
+                   input_kwargs={"n_tasks": n_tasks})
+
+
+class TestPersistentPool:
+    def test_pool_survives_across_runs(self):
+        farm = Farm(jobs=1, use_pool=True, persistent=True, warmup=False)
+        try:
+            (r1,) = farm.run([spec(4)])
+            executor = farm._executor
+            assert executor is not None        # kept alive after run()
+            (r2,) = farm.run([spec(6)])
+            assert farm._executor is executor  # same pool, warm workers
+            assert r1.ok and r2.ok
+        finally:
+            farm.close()
+        assert farm._executor is None
+        farm.close()                            # idempotent
+
+    def test_context_manager_closes_pool(self):
+        with Farm(jobs=1, use_pool=True, persistent=True,
+                  warmup=False) as farm:
+            (res,) = farm.run([spec(4)])
+            assert res.ok
+            assert farm._executor is not None
+        assert farm._executor is None
+
+    def test_use_pool_false_stays_inline_even_with_many_jobs(self):
+        farm = Farm(jobs=4, use_pool=False)
+        results = farm.run([spec(4), spec(6)])
+        assert [r.stats.tasks_committed for r in results] == [4, 6]
+        assert farm._executor is None           # no pool was created
+
+    def test_non_persistent_pool_torn_down_after_run(self):
+        farm = Farm(jobs=2, warmup=False)
+        farm.run([spec(4)])
+        assert farm._executor is None
+
+    def test_apply_timeout_changes_digest_consistently(self):
+        s = spec()
+        timed = apply_timeout(s, 5.0)
+        assert timed.digest() != s.digest()
+        assert timed.resilience.max_wall_seconds == 5.0
+        # serve admission and Farm._with_timeout must agree on the address
+        farm = Farm(jobs=1, timeout_s=5.0)
+        assert farm._with_timeout(s).digest() == timed.digest()
+        # idempotent: re-applying the same budget keeps the digest
+        assert apply_timeout(timed, 5.0).digest() == timed.digest()
+
+    def test_apply_timeout_keeps_tighter_existing_budget(self):
+        s = JobSpec(app=FAKEAPP, variant="fractal", n_cores=2,
+                    input_kwargs={"n_tasks": 4},
+                    resilience=ResiliencePolicy(max_wall_seconds=1.0))
+        assert apply_timeout(s, 5.0).resilience.max_wall_seconds == 1.0
+
+
+class _FakeTty(io.StringIO):
+    def isatty(self):
+        return True
+
+
+class TestProgressStreams:
+    def run_with_stderr(self, monkeypatch, stream, **farm_kw):
+        monkeypatch.setattr(sys, "stderr", stream)
+        farm = Farm(jobs=1, progress=True, **farm_kw)
+        farm.run([spec(4)])
+        return stream.getvalue()
+
+    def test_tty_uses_carriage_return_line(self, monkeypatch):
+        out = self.run_with_stderr(monkeypatch, _FakeTty())
+        assert "\r" in out
+        assert "[farm] 1/1 jobs" in out
+
+    def test_non_tty_emits_plain_periodic_lines(self, monkeypatch):
+        out = self.run_with_stderr(monkeypatch, io.StringIO())
+        assert "\r" not in out                  # no carriage-return spam
+        assert "[farm] 1/1 jobs" in out         # final summary line
+        # every line is a complete plain-text record
+        for line in out.strip().splitlines():
+            assert line.startswith("[farm] ")
+
+    def test_non_tty_lines_are_rate_limited(self, monkeypatch):
+        stream = io.StringIO()
+        monkeypatch.setattr(sys, "stderr", stream)
+        farm = Farm(jobs=1, progress=True)
+        farm.progress_interval_s = 3600.0       # only the final line fits
+        farm.run([spec(4), spec(5), spec(6)])
+        lines = [ln for ln in stream.getvalue().splitlines() if ln]
+        assert 1 <= len(lines) <= 2             # first tick + final line
+        assert "[farm] 3/3 jobs" in lines[-1]

@@ -1,0 +1,270 @@
+"""JobManager unit tests: admission, coalescing, quotas, drain.
+
+Most admission tests run on an **unstarted** manager (no slot threads),
+so a submitted job deterministically stays queued — that makes the
+coalescing and quota paths exact, with no racing executor. Execution
+tests start the manager and run the fake app in a real worker process.
+"""
+
+import threading
+
+import pytest
+
+from repro.farm import Farm, JobSpec, ResultCache
+from repro.serve import (AdmissionError, AuthError, DrainingError,
+                         JobManager, ServeConfig, TenantQuota, TokenBucket,
+                         UnknownJobError)
+from repro.serve.manager import DONE, FAILED, QUEUED
+
+FAKEAPP = "tests.farm._fakeapp"
+
+
+def fake_doc(n_tasks=4, **extra):
+    return {"app": FAKEAPP, "variant": "fractal", "n_cores": 2,
+            "input": {"n_tasks": n_tasks, **extra}}
+
+
+def make_manager(tmp_path, *, cache=True, clock=None, **cfg_kw):
+    cfg_kw.setdefault("workers", 1)
+    cfg_kw.setdefault("warmup", False)
+    config = ServeConfig(
+        cache_dir=str(tmp_path / "cache") if cache else None, **cfg_kw)
+    kwargs = {"clock": clock} if clock else {}
+    return JobManager(config, **kwargs)
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+class TestTokenBucket:
+    def test_burst_then_reject_with_retry_after(self):
+        clk = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3, clock=clk)
+        assert [bucket.try_take() for _ in range(3)] == [0.0, 0.0, 0.0]
+        wait = bucket.try_take()
+        assert wait == pytest.approx(0.5)     # 1 token / 2 per second
+
+    def test_refills_at_rate(self):
+        clk = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=1, clock=clk)
+        assert bucket.try_take() == 0.0
+        assert bucket.try_take() > 0.0
+        clk.t += 0.1                           # exactly one token
+        assert bucket.try_take() == 0.0
+
+    def test_never_exceeds_burst(self):
+        clk = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2, clock=clk)
+        clk.t += 60.0
+        assert bucket.try_take() == 0.0
+        assert bucket.try_take() == 0.0
+        assert bucket.try_take() > 0.0
+
+
+class TestAdmission:
+    def test_submit_queues_and_is_content_addressed(self, tmp_path):
+        m = make_manager(tmp_path)
+        job, outcome = m.submit(fake_doc())
+        assert outcome == "queued"
+        assert job.state == QUEUED
+        from repro.farm import validate_jobspec
+        assert job.digest == validate_jobspec(fake_doc()).digest()
+
+    def test_identical_submissions_coalesce(self, tmp_path):
+        m = make_manager(tmp_path)
+        job1, _ = m.submit(fake_doc())
+        job2, outcome = m.submit(fake_doc())
+        assert outcome == "coalesced"
+        assert job2 is job1
+        assert job1.n_submitted == 2
+        snap = m.metrics_snapshot()
+        coalesced = [r for r in snap["counters"]
+                     if r["name"] == "serve.coalesced_submissions"]
+        assert coalesced and coalesced[0]["value"] == 1
+
+    def test_different_specs_do_not_coalesce(self, tmp_path):
+        m = make_manager(tmp_path)
+        job1, _ = m.submit(fake_doc(4))
+        job2, outcome = m.submit(fake_doc(6))
+        assert outcome == "queued"
+        assert job2 is not job1
+
+    def test_queue_quota_rejects_with_429(self, tmp_path):
+        m = make_manager(tmp_path,
+                         default_quota=TenantQuota("anonymous",
+                                                   queue_limit=2))
+        m.submit(fake_doc(4))
+        m.submit(fake_doc(5))
+        with pytest.raises(AdmissionError) as ei:
+            m.submit(fake_doc(6))
+        assert ei.value.reason == "queue"
+        assert ei.value.retry_after > 0
+        snap = m.metrics_snapshot()
+        rejects = [r for r in snap["counters"]
+                   if r["name"] == "serve.admission_reject"]
+        assert rejects[0]["labels"] == {"reason": "queue",
+                                        "tenant": "anonymous"}
+
+    def test_rate_limit_rejects_with_retry_after(self, tmp_path):
+        clk = FakeClock()
+        m = make_manager(tmp_path, clock=clk,
+                         default_quota=TenantQuota("anonymous", rate=1.0,
+                                                   burst=1))
+        m.submit(fake_doc())
+        with pytest.raises(AdmissionError) as ei:
+            m.submit(fake_doc())               # would coalesce, but rate
+        assert ei.value.reason == "rate"
+        assert ei.value.retry_after == pytest.approx(1.0)
+        clk.t += 1.0
+        _, outcome = m.submit(fake_doc())
+        assert outcome == "coalesced"
+
+    def test_queue_depth_gauge_tracks_tenant(self, tmp_path):
+        m = make_manager(tmp_path)
+        m.submit(fake_doc(4))
+        m.submit(fake_doc(5))
+        snap = m.metrics_snapshot()
+        depth = [r for r in snap["gauges"]
+                 if r["name"] == "serve.queue_depth"]
+        assert depth[0]["value"] == 2
+
+    def test_validation_error_propagates(self, tmp_path):
+        from repro.farm import SpecValidationError
+        m = make_manager(tmp_path)
+        with pytest.raises(SpecValidationError):
+            m.submit({"app": "nope"})
+
+    def test_unknown_job_id(self, tmp_path):
+        with pytest.raises(UnknownJobError):
+            make_manager(tmp_path).job("deadbeef")
+
+
+class TestTenants:
+    def quota_cfg(self, tmp_path, **kw):
+        return make_manager(
+            tmp_path,
+            tenants={"k-alice": TenantQuota("alice", queue_limit=1)}, **kw)
+
+    def test_api_key_selects_tenant(self, tmp_path):
+        m = self.quota_cfg(tmp_path)
+        job, _ = m.submit(fake_doc(), api_key="k-alice")
+        assert job.tenant == "alice"
+
+    def test_unknown_key_is_rejected(self, tmp_path):
+        with pytest.raises(AuthError):
+            self.quota_cfg(tmp_path).submit(fake_doc(), api_key="k-bob")
+
+    def test_require_key_rejects_anonymous(self, tmp_path):
+        m = self.quota_cfg(tmp_path, require_key=True)
+        with pytest.raises(AuthError):
+            m.submit(fake_doc())
+        m.submit(fake_doc(), api_key="k-alice")
+
+    def test_quotas_are_per_tenant(self, tmp_path):
+        m = self.quota_cfg(tmp_path)
+        m.submit(fake_doc(4), api_key="k-alice")
+        with pytest.raises(AdmissionError):    # alice's queue_limit=1
+            m.submit(fake_doc(5), api_key="k-alice")
+        _, outcome = m.submit(fake_doc(5))     # anonymous unaffected
+        assert outcome == "queued"
+
+
+class TestExecution:
+    def test_submit_execute_then_warm_hit(self, tmp_path):
+        m = make_manager(tmp_path)
+        m.start()
+        try:
+            job, _ = m.submit(fake_doc())
+            assert m.wait(job.digest, timeout=90).state == DONE
+            assert job.stats is not None
+            assert job.stats.tasks_committed == 4
+            _, outcome = m.submit(fake_doc())
+            assert outcome == "warm"
+            kinds = [e["kind"] for e in job.events]
+            assert kinds[0] == "job_queued"
+            assert "job_start" in kinds        # slot farm telemetry routed
+            assert job.events[-1]["final"] is True
+        finally:
+            assert m.drain(timeout=30) is True
+
+    def test_cache_answers_across_managers(self, tmp_path):
+        m1 = make_manager(tmp_path)
+        m1.start()
+        try:
+            job, _ = m1.submit(fake_doc())
+            m1.wait(job.digest, timeout=90)
+        finally:
+            m1.drain(timeout=30)
+        m2 = make_manager(tmp_path)            # same cache dir, fresh table
+        job2, outcome = m2.submit(fake_doc())
+        assert outcome == "warm"
+        assert job2.cached is True
+        assert job2.state == DONE
+        assert job2.stats.to_dict() == job.stats.to_dict()
+
+    def test_failed_job_reports_error_and_can_resubmit(self, tmp_path):
+        m = make_manager(tmp_path, max_attempts=1)
+        m.start()
+        try:
+            doc = fake_doc(fail_times=99, scratch=str(tmp_path / "s"))
+            job, _ = m.submit(doc)
+            assert m.wait(job.digest, timeout=90).state == FAILED
+            assert "transient fake-app failure" in job.error
+            job2, outcome = m.submit(doc)      # failed jobs retry
+            assert outcome == "queued"
+            assert job2 is not job
+            m.wait(job2.digest, timeout=90)
+        finally:
+            m.drain(timeout=30)
+
+
+class TestDrain:
+    def test_draining_rejects_submissions(self, tmp_path):
+        m = make_manager(tmp_path)
+        m.drain(timeout=0.0)
+        with pytest.raises(DrainingError):
+            m.submit(fake_doc())
+
+    def test_drain_timeout_fails_pending_jobs(self, tmp_path):
+        m = make_manager(tmp_path)             # never started: job stuck
+        job, _ = m.submit(fake_doc())
+        assert m.drain(timeout=0.05) is False
+        assert job.state == FAILED
+        assert "drain" in job.error
+        assert job.done_evt.is_set()
+
+    def test_clean_drain_finishes_running_jobs(self, tmp_path):
+        m = make_manager(tmp_path)
+        m.start()
+        job, _ = m.submit(fake_doc())
+        assert m.drain(timeout=90) is True
+        assert job.state == DONE
+
+
+class TestSubscribe:
+    def test_subscriber_sees_replay_plus_live(self, tmp_path):
+        m = make_manager(tmp_path)
+        job, _ = m.submit(fake_doc())
+        got, done = [], threading.Event()
+
+        def push(e):
+            got.append(e)
+            if e.get("final"):
+                done.set()
+
+        replay = m.subscribe(job.digest, push)
+        assert [e["kind"] for e in replay] == ["job_queued"]
+        m.start()
+        try:
+            assert done.wait(timeout=90)
+            seqs = [e["seq"] for e in replay + got]
+            assert seqs == sorted(seqs)        # no gap, no duplicate
+            assert len(seqs) == len(set(seqs))
+        finally:
+            m.unsubscribe(job.digest, push)
+            m.drain(timeout=30)

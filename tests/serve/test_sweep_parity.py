@@ -1,0 +1,71 @@
+"""Acceptance: a sweep through the service is byte-identical to `repro
+sweep` — same RunStats JSON and the same rendered speedup table."""
+
+import json
+
+import pytest
+
+from repro.apps import zoomtree
+from repro.bench.harness import AppRun, sweep_cores
+from repro.bench.report import speedup_table
+from repro.core.stats import RunStats
+from repro.farm import Farm
+from repro.serve import ServeConfig, start_in_thread
+from repro.serve.client import ServeClient
+
+CORES = (1, 2)
+VARIANTS = ("fractal",)
+
+
+def service_sweep(client):
+    """The same (variant, cores) grid submitted one job at a time."""
+    runs = []
+    for variant in VARIANTS:
+        for n in CORES:
+            doc = client.submit(
+                {"app": "zoomtree", "variant": variant, "n_cores": n,
+                 "input": {"fanout": 2, "depth": 3}})
+            res = client.result(doc["id"], timeout=120)
+            runs.append(AppRun(app="repro.apps.zoomtree", variant=variant,
+                               n_cores=n,
+                               stats=RunStats.from_dict(res["stats"]),
+                               handles={}, cached=True))
+    return runs
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    cfg = ServeConfig(host="127.0.0.1", port=0, workers=2, warmup=False,
+                      cache_dir=str(tmp_path_factory.mktemp("p") / "cache"))
+    handle = start_in_thread(cfg)
+    yield handle
+    handle.stop(drain=True, timeout=60)
+
+
+def test_service_sweep_byte_identical_to_cli_sweep(server):
+    inp = zoomtree.make_input(fanout=2, depth=3)
+    direct = sweep_cores(zoomtree, inp, VARIANTS, CORES, farm=Farm(jobs=1))
+    with ServeClient(server.url, timeout=60.0) as client:
+        served = service_sweep(client)
+
+    direct_json = [json.dumps(r.stats.to_dict(), sort_keys=True)
+                   for r in direct]
+    served_json = [json.dumps(r.stats.to_dict(), sort_keys=True)
+                   for r in served]
+    assert served_json == direct_json          # byte-identical stats
+
+    table_direct = speedup_table(direct, baseline_variant=VARIANTS[0],
+                                 baseline_cores=CORES[0])
+    table_served = speedup_table(served, baseline_variant=VARIANTS[0],
+                                 baseline_cores=CORES[0])
+    assert table_served == table_direct        # byte-identical table
+
+
+def test_repeat_service_sweep_is_all_warm(server):
+    with ServeClient(server.url, timeout=60.0) as client:
+        service_sweep(client)                  # may be warm already
+        before = client.metrics()["serve"]["tenants"]["anonymous"]
+        service_sweep(client)
+        after = client.metrics()["serve"]["tenants"]["anonymous"]
+    grid = len(VARIANTS) * len(CORES)
+    assert after["warm_hits"] - before["warm_hits"] == grid
