@@ -1,0 +1,206 @@
+#!/usr/bin/env python
+"""CI chaos smoke for the distributed farm (``repro.farm.dist``).
+
+Real OS processes, real faults, byte-level acceptance:
+
+1. start ``python -m repro coordinator --port 0`` and parse the bound
+   port from its stderr banner;
+2. start a *victim* ``repro agent`` whose transport chaos
+   (``REPRO_DIST_CHAOS``) drops every heartbeat and delays every
+   delivery past any lease TTL — then SIGKILL it mid-fragment, once
+   the coordinator has granted it a lease;
+3. drive ``repro sweep --dist`` as a subprocess while this happens and
+   start a healthy ``repro agent --exit-when-idle`` to pick up the
+   pieces;
+4. assert the sweep completes, the rendered table + chart bytes are
+   identical to a serial in-process run of the same specs, at least
+   one lease expired and its fragment was requeued, and the
+   exactly-once ledger shows every result recorded once with zero
+   mismatched (duplicate) writes;
+5. SIGTERM the coordinator and assert it drains and exits 0.
+
+Exit code 0 if every step holds, 1 otherwise. Stdlib + repro only.
+"""
+
+import json
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.harness import AppRun                        # noqa: E402
+from repro.bench.plots import speedup_chart                   # noqa: E402
+from repro.bench.report import speedup_table                  # noqa: E402
+from repro.farm import Farm, validate_jobspec                 # noqa: E402
+from repro.farm.dist import DistClient                        # noqa: E402
+from repro.faults.chaos import CHAOS_ENV, wait_until          # noqa: E402
+
+APP = "zoomtree"
+VARIANT = "fractal"
+CORES = (1, 2, 4)
+
+BANNER = re.compile(r"listening on http://([\d.]+):(\d+)")
+
+# The victim never manages a heartbeat (a partition, indistinguishable
+# from a SIGKILL to the coordinator) and can never deliver in time.
+VICTIM_CHAOS = {"partition": {"heartbeat": [1, 100000]},
+                "delay_ms": {"deliver": 120000}}
+
+
+def fail(msg):
+    print(f"dist-chaos-smoke: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def wait_for_banner(proc, timeout=30.0):
+    """Read the coordinator's stderr until the listening banner appears."""
+    deadline = time.monotonic() + timeout
+    lines = []
+    while time.monotonic() < deadline:
+        line = proc.stderr.readline()
+        if not line:
+            if proc.poll() is not None:
+                break
+            continue
+        lines.append(line)
+        m = BANNER.search(line)
+        if m:
+            return f"http://{m.group(1)}:{m.group(2)}", lines
+    raise RuntimeError(f"no listening banner; stderr so far: {lines!r}")
+
+
+def child_env(**extra):
+    return {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src"), **extra}
+
+
+def start_agent(url, name, **extra_env):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "agent", url, "--id", name,
+         "--max-fragments", "1", "--exit-when-idle"],
+        cwd=REPO_ROOT, stderr=subprocess.DEVNULL,
+        env=child_env(**extra_env))
+
+
+def counter(metrics_doc, name):
+    return sum(c["value"] for c in metrics_doc["metrics"]["counters"]
+               if c["name"] == name)
+
+
+def serial_rendering():
+    """The ground truth: the same grid run serially, rendered the same
+    way ``repro sweep --dist`` renders it."""
+    specs = [validate_jobspec({"app": APP, "variant": VARIANT,
+                               "n_cores": n, "input": {}})
+             for n in CORES]
+    runs = [AppRun(app=APP, variant=VARIANT, n_cores=r.n_cores,
+                   stats=r.stats, handles={}, cached=True)
+            for r in Farm(jobs=1).run(specs)]
+    table = speedup_table(runs, baseline_variant=VARIANT,
+                          baseline_cores=CORES[0])
+    chart = speedup_chart(runs, baseline_variant=VARIANT,
+                          baseline_cores=CORES[0])
+    return f"{table}\n\n{chart}\n"
+
+
+def main():
+    summary_path = pathlib.Path(tempfile.mkdtemp(
+        prefix="dist-chaos-")) / "summary.json"
+    coord = subprocess.Popen(
+        [sys.executable, "-m", "repro", "coordinator", "--port", "0",
+         "--lease-ttl", "2", "--heartbeat-interval", "0.5",
+         "--fragments", "2", "--no-cache"],
+        cwd=REPO_ROOT, stderr=subprocess.PIPE, text=True,
+        env=child_env())
+    victim = healthy = sweep = None
+    try:
+        url, _ = wait_for_banner(coord)
+        print(f"coordinator up at {url}", flush=True)
+
+        victim = start_agent(url, "victim",
+                             **{CHAOS_ENV: json.dumps(VICTIM_CHAOS)})
+        sweep = subprocess.Popen(
+            [sys.executable, "-m", "repro", "sweep", APP,
+             "--dist", url, "--variants", VARIANT,
+             "--cores", ",".join(str(n) for n in CORES),
+             "--dist-timeout", "240",
+             "--summary-out", str(summary_path)],
+            cwd=REPO_ROOT, stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL, text=True, env=child_env())
+
+        with DistClient(url, timeout=10.0) as client:
+            client.wait_ready(timeout=30)
+            # SIGKILL the victim mid-fragment: only once the coordinator
+            # has actually granted it a lease (it is the only agent, so
+            # any granted lease is its)
+            if not wait_until(
+                    lambda: counter(client.metrics(),
+                                    "dist.leases_granted") >= 1,
+                    timeout_s=60):
+                return fail("victim never acquired a lease")
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.wait(timeout=30)
+            if victim.returncode != -signal.SIGKILL:
+                return fail(f"victim exit {victim.returncode}, "
+                            f"expected -SIGKILL")
+            print("victim SIGKILLed mid-fragment", flush=True)
+
+            healthy = start_agent(url, "healthy")
+            out, _ = sweep.communicate(timeout=240)
+            if sweep.returncode != 0:
+                return fail(f"dist sweep exited {sweep.returncode}")
+            metrics = client.metrics()
+
+        expected = serial_rendering()
+        if out != expected:
+            return fail("dist table differs from serial run:\n"
+                        f"--- dist ---\n{out}--- serial ---\n{expected}")
+        print("table pass: dist rendering byte-identical to serial run",
+              flush=True)
+
+        requeued = counter(metrics, "dist.fragments_requeued")
+        expired = counter(metrics, "dist.leases_expired")
+        if requeued < 1 or expired < 1:
+            return fail(f"no recovery happened: requeued={requeued} "
+                        f"expired={expired}")
+        recorded = counter(metrics, "dist.results_recorded")
+        mismatched = counter(metrics, "dist.result_mismatch")
+        if recorded != len(CORES):
+            return fail(f"results recorded {recorded} != {len(CORES)}")
+        if mismatched != 0:
+            return fail(f"{mismatched} mismatched duplicate writes")
+        print(f"chaos pass: {expired} lease(s) expired, {requeued} "
+              f"fragment(s) requeued, {recorded} results recorded "
+              f"exactly once", flush=True)
+
+        summary = json.loads(summary_path.read_text())
+        if summary["requeues"] < 1:
+            return fail(f"sweep summary saw no requeues: {summary}")
+        if "healthy" not in summary["agents"]:
+            return fail(f"healthy agent recorded nothing: {summary}")
+
+        if healthy.wait(timeout=60) != 0:
+            return fail(f"healthy agent exit {healthy.returncode}")
+        coord.send_signal(signal.SIGTERM)
+        rc = coord.wait(timeout=60)
+        if rc != 0:
+            return fail(f"coordinator exit {rc}, expected clean drain")
+        print("drain pass: healthy agent idle-exited, coordinator "
+              "SIGTERM -> 0", flush=True)
+        print("dist-chaos-smoke: OK", flush=True)
+        return 0
+    finally:
+        for proc in (sweep, victim, healthy, coord):
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,12 @@ Commands:
   the content-addressed result cache so repeated sweeps only execute
   jobs whose digest is missing or stale (``--cache-dir`` relocates it,
   ``--summary-out`` dumps the farm summary JSON).
+- ``coordinator`` / ``agent`` — the distributed farm
+  (:mod:`repro.farm.dist`): a coordinator leasing digest-sharded sweep
+  fragments to worker agents under heartbeat TTLs, with exactly-once
+  result recording; ``sweep --dist URL`` drives a sweep through it and
+  renders the same table bytes as a local run. ``profile --dist URL``
+  reports leases, requeues and duplicate suppression.
 - ``serve`` — run the always-on simulation service (:mod:`repro.serve`):
   HTTP/JSON job submission with content-addressed coalescing, per-tenant
   admission control, SSE progress streaming, and graceful drain on
@@ -144,6 +150,63 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--summary-out", metavar="PATH", default=None,
                          help="write the farm summary (jobs, cache "
                               "hits/misses, wall time) as JSON")
+    p_sweep.add_argument("--dist", metavar="URL", default=None,
+                         help="run the sweep through a repro.farm.dist "
+                              "coordinator at URL instead of a local "
+                              "farm (`repro coordinator` + `repro "
+                              "agent`); the rendered table is "
+                              "byte-identical either way")
+    p_sweep.add_argument("--fragments", type=int, default=0, metavar="N",
+                         help="--dist: lease fragments to cut the sweep "
+                              "into (default: coordinator's setting)")
+    p_sweep.add_argument("--dist-timeout", type=float, default=600.0,
+                         metavar="SEC",
+                         help="--dist: overall sweep deadline "
+                              "(default 600)")
+
+    p_coord = sub.add_parser(
+        "coordinator",
+        help="run a distributed-farm coordinator (repro.farm.dist)")
+    p_coord.add_argument("--host", default="127.0.0.1")
+    p_coord.add_argument("--port", type=int, default=8178,
+                         help="listen port (0 picks a free one)")
+    p_coord.add_argument("--lease-ttl", type=float, default=6.0,
+                         metavar="SEC",
+                         help="un-renewed lease lifetime (default 6)")
+    p_coord.add_argument("--heartbeat-interval", type=float, default=1.5,
+                         metavar="SEC",
+                         help="agent heartbeat period (default 1.5; "
+                              "must be < --lease-ttl)")
+    p_coord.add_argument("--fragments", type=int, default=8, metavar="N",
+                         help="default fragments per sweep (default 8)")
+    p_coord.add_argument("--cache-dir", metavar="DIR",
+                         default="benchmarks/results/.cache",
+                         help="content-addressed result cache (default: "
+                              "benchmarks/results/.cache)")
+    p_coord.add_argument("--no-cache", action="store_true",
+                         help="disable the result cache")
+
+    p_agent = sub.add_parser(
+        "agent", help="run a distributed-farm worker agent")
+    p_agent.add_argument("coordinator", metavar="URL",
+                         help="coordinator base URL, e.g. "
+                              "http://127.0.0.1:8178")
+    p_agent.add_argument("--id", default="",
+                         help="agent name (default: assigned)")
+    p_agent.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="local farm worker processes (default 1)")
+    p_agent.add_argument("--max-fragments", type=int, default=1,
+                         metavar="N",
+                         help="leases to hold at once (default 1)")
+    p_agent.add_argument("--exit-when-idle", action="store_true",
+                         help="exit 0 once the coordinator has no "
+                              "pending work")
+    p_agent.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="local result cache (default: off; share "
+                              "the coordinator's dir on one machine)")
+    p_agent.add_argument("--crash-dump-dir", metavar="DIR", default=None,
+                         help="write repro.crash/1 bundles when farm "
+                              "worker processes die")
 
     p_serve = sub.add_parser(
         "serve", help="run the always-on simulation service (repro.serve)",
@@ -201,6 +264,10 @@ def _build_parser() -> argparse.ArgumentParser:
                              "hit rates")
     p_prof.add_argument("--api-key", default="",
                         help="X-API-Key for --serve")
+    p_prof.add_argument("--dist", metavar="URL", default=None,
+                        help="profile a running dist coordinator "
+                             "instead: leases, requeues, duplicate "
+                             "suppression, per-agent rows")
 
     sub.add_parser("apps", help="list applications")
     sub.add_parser("config", help="print the Table 2 configuration")
@@ -335,6 +402,64 @@ def _cmd_serve(args) -> int:
         return 2
 
 
+def _cmd_coordinator(args) -> int:
+    from .farm.dist import CoordinatorConfig, coordinator_forever
+    try:
+        config = CoordinatorConfig(
+            host=args.host, port=args.port,
+            lease_ttl_s=args.lease_ttl,
+            heartbeat_interval_s=args.heartbeat_interval,
+            fragments=args.fragments,
+            cache_dir=None if args.no_cache else args.cache_dir)
+        return coordinator_forever(config)
+    except ConfigError as exc:
+        print(f"coordinator: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"coordinator: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+
+
+def _cmd_agent(args) -> int:
+    from .farm.dist import AgentConfig, agent_forever
+    try:
+        config = AgentConfig(
+            coordinator_url=args.coordinator, agent_id=args.id,
+            jobs=args.jobs, max_fragments=args.max_fragments,
+            exit_when_idle=args.exit_when_idle,
+            cache_dir=args.cache_dir,
+            crash_dump_dir=args.crash_dump_dir)
+        return agent_forever(config)
+    except ConfigError as exc:
+        print(f"agent: {exc}", file=sys.stderr)
+        return 2
+    except (OSError, ConnectionError) as exc:
+        print(f"agent: cannot reach {args.coordinator}: {exc}",
+              file=sys.stderr)
+        return 2
+
+
+def _cmd_profile_dist(args) -> int:
+    from .farm.dist import DistClient
+    from .serve.client import ServeAPIError
+    from .telemetry.profiling import format_dist_profile
+    try:
+        with DistClient(args.dist, timeout=10.0) as client:
+            doc = client.metrics()
+    except (OSError, ValueError, ServeAPIError) as exc:
+        print(f"cannot fetch {args.dist}/metrics: {exc}", file=sys.stderr)
+        return 2
+    print(format_dist_profile(doc))
+    if args.json:
+        import json as _json
+        with open(args.json, "w") as f:
+            _json.dump(doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"dist metrics json: {args.json}")
+    return 0
+
+
 def _cmd_profile_serve(args) -> int:
     from .serve.client import ServeAPIError, ServeClient
     from .telemetry.profiling import format_serve_profile
@@ -364,8 +489,11 @@ def _cmd_profile(args) -> int:
 
     if args.serve:
         return _cmd_profile_serve(args)
+    if args.dist:
+        return _cmd_profile_dist(args)
     if not args.app:
-        raise SystemExit("profile: an app name (or --serve URL) is required")
+        raise SystemExit("profile: an app name (or --serve/--dist URL) "
+                         "is required")
     app, variants = _load(args.app)
     variant = args.variant or variants[-1]
     if variant not in variants:
@@ -407,11 +535,77 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_sweep_dist(args, variants, cores) -> int:
+    """`repro sweep --dist URL`: same grid, executed by a coordinator's
+    agents; same table bytes as the local path."""
+    import json as _json
+
+    from .bench.harness import AppRun
+    from .core.stats import RunStats
+    from .farm.dist import dist_sweep
+
+    jobs = [{"app": args.app, "variant": variant, "n_cores": n,
+             "input": {}}
+            for variant in variants for n in cores]
+    tty = sys.stderr.isatty()
+
+    def progress(done, total):
+        if tty:
+            print(f"\r[dist] {done}/{total} jobs", end="",
+                  file=sys.stderr, flush=True)
+
+    try:
+        doc = dist_sweep(args.dist, jobs, fragments=args.fragments,
+                         label=f"sweep:{args.app}",
+                         timeout_s=args.dist_timeout, progress=progress)
+    except TimeoutError as exc:
+        print(f"\ndist sweep: {exc}", file=sys.stderr)
+        return 2
+    except (OSError, ConnectionError) as exc:
+        print(f"dist sweep: cannot reach {args.dist}: {exc}",
+              file=sys.stderr)
+        return 2
+    finally:
+        if tty:
+            print(file=sys.stderr)
+    failures = [(r["label"], r["error"]) for r in doc["results"]
+                if r["error"] is not None]
+    if failures:
+        print(f"dist sweep: {len(failures)} of {doc['n_jobs']} jobs "
+              f"failed", file=sys.stderr)
+        for label, err in failures:
+            print(f"  {label}: {err}", file=sys.stderr)
+        return 2
+    runs = [AppRun(app=r["app"], variant=r["variant"],
+                   n_cores=r["n_cores"],
+                   stats=RunStats.from_dict(r["stats"]), handles={},
+                   cached=True)
+            for r in doc["results"]]
+    print(speedup_table(runs, baseline_variant=variants[0],
+                        baseline_cores=cores[0]))
+    print()
+    print(speedup_chart(runs, baseline_variant=variants[0],
+                        baseline_cores=cores[0]))
+    if args.summary_out:
+        with open(args.summary_out, "w") as f:
+            _json.dump({"schema": "repro.dist-sweep/1",
+                        "sweep": doc["id"], "n_jobs": doc["n_jobs"],
+                        "agents": sorted({r["agent"]
+                                          for r in doc["results"]}),
+                        "requeues": sum(r["epoch"]
+                                        for r in doc["results"]
+                                        if r["epoch"])}, f, indent=2)
+            f.write("\n")
+    return 0
+
+
 def _cmd_sweep(args) -> int:
     app, all_variants = _load(args.app)
     variants = (args.variants.split(",") if args.variants
                 else list(all_variants))
     cores = [int(c) for c in args.cores.split(",")]
+    if args.dist:
+        return _cmd_sweep_dist(args, variants, cores)
     inp = app.make_input()
 
     farm = None
@@ -466,6 +660,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_profile(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "coordinator":
+        return _cmd_coordinator(args)
+    if args.command == "agent":
+        return _cmd_agent(args)
     if args.command == "apps":
         return _cmd_apps()
     if args.command == "config":

@@ -16,11 +16,15 @@ result cache"):
   tables are byte-identical to serial runs), merged worker telemetry,
   farm-level events, and a live progress line;
 - :func:`deterministic_shards` / :func:`select_shard` — stable,
-  coordination-free partitioning of job sets across machines.
+  coordination-free partitioning of job sets across machines;
+- :mod:`repro.farm.dist` (imported explicitly) — the distributed farm:
+  a lease/heartbeat coordinator and worker agents that keep sweep
+  output byte-identical to a serial run through worker kills, dropped
+  heartbeats, and partitions.
 """
 
 from .cache import CACHE_SCHEMA, ResultCache, code_fingerprint
-from .farm import Farm, apply_timeout
+from .farm import Farm, apply_timeout, install_sigterm_drain
 from .job import (JOB_SCHEMA, JobResult, JobSpec, canonical, canonical_json,
                   execute_job, stable_digest)
 from .shard import (deterministic_shards, parse_shard, select_shard,
@@ -42,6 +46,7 @@ __all__ = [
     "code_fingerprint",
     "deterministic_shards",
     "execute_job",
+    "install_sigterm_drain",
     "parse_shard",
     "select_shard",
     "shard_index",

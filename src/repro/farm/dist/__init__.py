@@ -1,0 +1,49 @@
+"""repro.farm.dist — the distributed fault-tolerant farm.
+
+A coordinator/agent pair that stretches :class:`repro.farm.Farm`
+semantics across processes and machines without giving up its core
+guarantee — sweep output byte-identical to a serial run — even while
+agents are SIGKILL'd mid-fragment and heartbeats are dropped on the
+floor (see README "Distributed sweeps"):
+
+- :mod:`~repro.farm.dist.wire` — the ``repro.farm-dist/1`` JSON
+  protocol, one definition imported by both sides;
+- :mod:`~repro.farm.dist.coordinator` — shard-leased fragments,
+  heartbeat TTLs, a reaper that requeues lost work, and exactly-once
+  result recording with duplicate suppression;
+- :mod:`~repro.farm.dist.agent` — the stateless worker loop
+  (register → acquire → run on a local Farm → deliver);
+- :mod:`~repro.farm.dist.client` — the HTTP client, with the chaos
+  transport-fault hook;
+- :mod:`~repro.farm.dist.sweep` — the driver (`repro sweep --dist`).
+"""
+
+from .agent import AgentConfig, DistAgent, agent_forever
+from .client import AgentGone, DistClient
+from .coordinator import (Coordinator, CoordinatorConfig,
+                          CoordinatorHandle, CoordinatorServer, DistError,
+                          UnknownAgentError, UnknownSweepError,
+                          coordinator_forever, start_coordinator_in_thread)
+from .sweep import dist_sweep, records_to_results
+from .wire import DIST_SCHEMA, WireError
+
+__all__ = [
+    "DIST_SCHEMA",
+    "AgentConfig",
+    "AgentGone",
+    "Coordinator",
+    "CoordinatorConfig",
+    "CoordinatorHandle",
+    "CoordinatorServer",
+    "DistAgent",
+    "DistClient",
+    "DistError",
+    "UnknownAgentError",
+    "UnknownSweepError",
+    "WireError",
+    "agent_forever",
+    "coordinator_forever",
+    "dist_sweep",
+    "records_to_results",
+    "start_coordinator_in_thread",
+]

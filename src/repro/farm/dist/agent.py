@@ -1,0 +1,264 @@
+"""The dist worker agent: acquire leases, run fragments, deliver.
+
+One :class:`DistAgent` is a long-lived worker process that:
+
+1. registers with the coordinator (getting its lease TTL and heartbeat
+   interval),
+2. runs a daemon heartbeat thread renewing every lease it holds,
+3. loops: acquire fragments → validate each leased job document through
+   the *same* :func:`~repro.farm.validate.validate_jobspec` the
+   coordinator used (so both sides agree on every content address) →
+   execute them on a local :class:`~repro.farm.Farm` → deliver results.
+
+Crash-safety is the coordinator's job, which makes the agent simple: it
+never persists state, and being SIGKILL'd at any instant is fully
+recovered by lease expiry + re-execution + duplicate suppression. The
+agent only handles the *graceful* signals — SIGTERM/SIGINT finish the
+fragment in hand, deliver it, and exit.
+
+Chaos: if ``REPRO_DIST_CHAOS`` is set (JSON, see
+:class:`repro.faults.chaos.TransportChaos`) the agent installs the
+scripted transport faults on its client — dropped heartbeats and
+partition windows then exercise the coordinator's expiry/requeue paths
+with this agent as the (unwitting) victim.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ...faults.chaos import ChaosDrop, TransportChaos
+from ..farm import Farm
+from ..job import JobSpec
+from ..validate import validate_jobspec
+from . import wire
+from .client import AgentGone, DistClient
+
+
+@dataclass
+class AgentConfig:
+    """Everything one agent process needs."""
+
+    coordinator_url: str
+    agent_id: str = ""                  #: "" = coordinator assigns one
+    jobs: int = 1                       #: local Farm parallelism
+    max_fragments: int = 1              #: leases to hold at once
+    poll_interval_s: float = 0.25       #: acquire poll period when idle
+    exit_when_idle: bool = False        #: exit 0 once no work is pending
+    cache_dir: Optional[str] = None     #: local Farm read/write cache
+    crash_dump_dir: Optional[str] = None
+    max_attempts: int = 2               #: local Farm retry budget
+    use_pool: Optional[bool] = None     #: None = pool iff jobs > 1
+    #: delivery retries on transient transport failure
+    deliver_attempts: int = 5
+
+
+class DistAgent:
+    """One worker agent (see module docs)."""
+
+    def __init__(self, config: AgentConfig, *,
+                 client: Optional[DistClient] = None,
+                 chaos: Optional[TransportChaos] = None,
+                 log=None) -> None:
+        self.config = config
+        self.chaos = chaos if chaos is not None \
+            else TransportChaos.from_env()
+        self.client = client or DistClient(
+            config.coordinator_url, transport_fault=self.chaos)
+        if client is not None and self.chaos is not None \
+                and client.transport_fault is None:
+            client.transport_fault = self.chaos
+        # the heartbeat thread gets its own connection — an HTTP client
+        # is one socket, and heartbeats must never interleave with an
+        # in-flight acquire/deliver on it (they share the chaos script,
+        # so drop ordinals still count per op class, not per socket)
+        self._hb_client = DistClient(config.coordinator_url,
+                                     transport_fault=self.chaos)
+        self._log = log or (lambda msg: print(
+            f"[agent{':' + self.agent_id if self.agent_id else ''}] "
+            f"{msg}", file=sys.stderr, flush=True))
+        self.agent_id = config.agent_id
+        self.heartbeat_interval_s = 1.0
+        self._stop = threading.Event()
+        self._reregister = threading.Event()
+        self._held_lock = threading.Lock()
+        self._held: List[str] = []
+        self._hb_thread: Optional[threading.Thread] = None
+        self.n_fragments_run = 0
+        self.n_jobs_run = 0
+        self.n_heartbeats_dropped = 0
+        self.farm = Farm(jobs=config.jobs, use_pool=config.use_pool,
+                         max_attempts=config.max_attempts,
+                         persistent=True, warmup=config.jobs > 1,
+                         crash_dump_dir=config.crash_dump_dir,
+                         cache=self._make_cache())
+
+    def _make_cache(self):
+        if not self.config.cache_dir:
+            return None
+        from ..cache import ResultCache
+        return ResultCache(self.config.cache_dir)
+
+    # -- lifecycle -----------------------------------------------------
+    def request_stop(self) -> None:
+        """Finish the fragment in hand, deliver it, then exit."""
+        self._stop.set()
+
+    def _install_signals(self) -> None:
+        if threading.current_thread() is not threading.main_thread():
+            return
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                signal.signal(sig, lambda *_: self.request_stop())
+            except ValueError:          # pragma: no cover (non-main)
+                pass
+
+    def _register(self) -> None:
+        doc = self.client.register(
+            agent=self.config.agent_id, capacity=self.config.jobs,
+            pid=os.getpid(), host=socket.gethostname())
+        self.agent_id = doc["agent"]
+        self.heartbeat_interval_s = float(doc["heartbeat_interval_s"])
+        self._reregister.clear()
+        self._log(f"registered as {self.agent_id!r} "
+                  f"(heartbeat {self.heartbeat_interval_s}s)")
+
+    # -- heartbeats ----------------------------------------------------
+    def _heartbeat_loop(self) -> None:
+        while not self._stop.wait(self.heartbeat_interval_s):
+            with self._held_lock:
+                held = list(self._held)
+            try:
+                doc = self._hb_client.heartbeat(self.agent_id, held)
+            except ChaosDrop:
+                self.n_heartbeats_dropped += 1
+                continue
+            except AgentGone:
+                self._reregister.set()
+                continue
+            except (ConnectionError, OSError):
+                continue
+            for lease_id in doc.get("expired", ()):
+                # keep executing: our delivery may still win the race,
+                # and if not, duplicate suppression absorbs it
+                self._log(f"lease {lease_id} expired under us "
+                          f"(will deliver anyway)")
+
+    # -- work ----------------------------------------------------------
+    def _run_lease(self, lease_raw: dict) -> None:
+        lease = wire.check_lease(lease_raw)
+        with self._held_lock:
+            self._held.append(lease["lease"])
+        try:
+            indices: List[int] = []
+            specs: List[JobSpec] = []
+            for job in lease["jobs"]:
+                indices.append(job["index"])
+                specs.append(validate_jobspec(
+                    job["spec"], source=f"lease {lease['lease']}"))
+            self._log(f"running fragment {lease['fragment']} "
+                      f"epoch {lease['epoch']} ({len(specs)} jobs)")
+            results = self.farm.run(specs)
+            self.n_fragments_run += 1
+            self.n_jobs_run += len(results)
+            payload = {
+                "agent": self.agent_id,
+                "sweep": lease["sweep"],
+                "fragment": lease["fragment"],
+                "epoch": lease["epoch"],
+                "results": [
+                    {"index": idx,
+                     "digest": r.digest,
+                     "stats": r.stats.to_dict() if r.stats else None,
+                     "error": r.error if r.stats is None else None,
+                     "wall_ms": int(r.wall_s * 1000),
+                     "attempts": r.attempts}
+                    for idx, r in zip(indices, results)],
+            }
+            self._deliver(lease["lease"], payload)
+        finally:
+            with self._held_lock:
+                if lease["lease"] in self._held:
+                    self._held.remove(lease["lease"])
+
+    def _deliver(self, lease_id: str, payload: dict) -> None:
+        last: Optional[Exception] = None
+        for attempt in range(self.config.deliver_attempts):
+            try:
+                doc = self.client.deliver(lease_id, payload)
+                self._log(f"delivered fragment {payload['fragment']}: "
+                          f"{doc['accepted']} accepted, "
+                          f"{doc['duplicates']} duplicate")
+                return
+            except (ChaosDrop, ConnectionError, OSError) as exc:
+                last = exc
+                time.sleep(0.1 * (attempt + 1))
+        self._log(f"giving up delivering fragment "
+                  f"{payload['fragment']}: {last!r} (the lease will "
+                  f"expire and the fragment re-run elsewhere)")
+
+    # -- main loop -----------------------------------------------------
+    def run(self) -> int:
+        """Register and work until stopped; returns an exit code."""
+        self._install_signals()
+        self.client.wait_ready()
+        self._register()
+        self._hb_thread = threading.Thread(
+            target=self._heartbeat_loop, name="agent-heartbeat",
+            daemon=True)
+        self._hb_thread.start()
+        try:
+            while not self._stop.is_set():
+                if self._reregister.is_set():
+                    self._register()
+                try:
+                    doc = self.client.acquire(
+                        self.agent_id,
+                        max_fragments=self.config.max_fragments)
+                except ChaosDrop:
+                    time.sleep(self.config.poll_interval_s)
+                    continue
+                except AgentGone:
+                    self._reregister.set()
+                    continue
+                except (ConnectionError, OSError):
+                    time.sleep(self.config.poll_interval_s)
+                    continue
+                for lease_raw in doc.get("leases", ()):
+                    if self._stop.is_set():
+                        break
+                    self._run_lease(lease_raw)
+                if not doc.get("leases"):
+                    if (doc.get("idle") or doc.get("draining")) \
+                            and self.config.exit_when_idle:
+                        self._log("idle; exiting")
+                        return 0
+                    self._stop.wait(self.config.poll_interval_s)
+            self._log("stop requested; drained")
+            return 0
+        finally:
+            self._stop.set()
+            if self._hb_thread is not None:
+                self._hb_thread.join(timeout=2.0)
+            self.farm.close()
+            self.client.close()
+            self._hb_client.close()
+
+    def summary(self) -> dict:
+        return {"agent": self.agent_id,
+                "fragments_run": self.n_fragments_run,
+                "jobs_run": self.n_jobs_run,
+                "heartbeats_dropped": self.n_heartbeats_dropped,
+                "chaos": self.chaos.summary() if self.chaos else None}
+
+
+def agent_forever(config: AgentConfig) -> int:
+    """CLI entry: run one agent until idle/SIGTERM."""
+    return DistAgent(config).run()

@@ -1,0 +1,95 @@
+"""HTTP client for the dist coordinator (agents, drivers, and tests).
+
+A thin :class:`~repro.serve.client.HttpJsonClient` wrapper around the
+``repro.farm-dist/1`` routes. The optional ``transport_fault`` hook is
+the chaos-injection point: it is called with ``(method, path)`` before
+every request and may delay the call or raise
+:class:`~repro.faults.chaos.ChaosDrop` to simulate a lost message — the
+agent treats a dropped heartbeat exactly like a network partition would
+look from the coordinator's side (silence, then lease expiry).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ...serve.client import HttpJsonClient, RateLimited, ServeAPIError
+
+__all__ = ["DistClient", "AgentGone", "RateLimited", "ServeAPIError"]
+
+
+class AgentGone(ServeAPIError):
+    """The coordinator no longer knows this agent (HTTP 410): its
+    registration was reaped after missed heartbeats. Re-register."""
+
+
+class DistClient(HttpJsonClient):
+    """Client for one coordinator endpoint."""
+
+    def __init__(self, base_url: str, *,
+                 transport_fault: Optional[Callable[[str, str], None]]
+                 = None, **kwargs) -> None:
+        super().__init__(base_url, **kwargs)
+        self.transport_fault = transport_fault
+
+    def _checked(self, method: str, path: str, body=None) -> dict:
+        if self.transport_fault is not None:
+            self.transport_fault(method, path)
+        try:
+            return super()._checked(method, path, body)
+        except ServeAPIError as exc:
+            if exc.status == 410:
+                raise AgentGone(exc.status, exc.doc) from None
+            raise
+
+    # -- introspection -------------------------------------------------
+    def healthz(self) -> dict:
+        return self._checked("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._checked("GET", "/metrics")
+
+    # -- sweeps --------------------------------------------------------
+    def submit_sweep(self, jobs: List[dict], *, fragments: int = 0,
+                     label: str = "") -> dict:
+        return self._checked("POST", "/v1/sweeps",
+                             {"jobs": jobs, "fragments": fragments,
+                              "label": label})
+
+    def sweep_status(self, sweep_id: str) -> dict:
+        return self._checked("GET", f"/v1/sweeps/{sweep_id}")
+
+    def sweep_results(self, sweep_id: str) -> dict:
+        return self._checked("GET", f"/v1/sweeps/{sweep_id}/results")
+
+    # -- agent protocol ------------------------------------------------
+    def register(self, *, agent: str = "", capacity: int = 1,
+                 pid: int = 0, host: str = "") -> dict:
+        return self._checked("POST", "/v1/agents/register",
+                             {"agent": agent, "capacity": capacity,
+                              "pid": pid, "host": host})
+
+    def heartbeat(self, agent_id: str, leases: List[str]) -> dict:
+        return self._checked("POST", f"/v1/agents/{agent_id}/heartbeat",
+                             {"leases": leases})
+
+    def acquire(self, agent_id: str, *, max_fragments: int = 1) -> dict:
+        return self._checked("POST", f"/v1/agents/{agent_id}/leases",
+                             {"max_fragments": max_fragments})
+
+    def deliver(self, lease_id: str, doc: dict) -> dict:
+        return self._checked("POST", f"/v1/leases/{lease_id}/results",
+                             doc)
+
+    # -- helpers -------------------------------------------------------
+    def wait_ready(self, timeout: float = 10.0) -> dict:
+        """Poll ``/healthz`` until the coordinator answers."""
+        import time
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except (ConnectionError, ServeAPIError, OSError):
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.05)

@@ -1,0 +1,849 @@
+"""The distributed-farm coordinator: shard leases, heartbeats,
+exactly-once results.
+
+One :class:`Coordinator` owns any number of *sweeps* (ordered job
+lists). Each sweep is cut into *fragments* by the deterministic blake2b
+shard of every job's content address, so fragment membership is a pure
+function of the job — no matter how many agents show up or die. Agents
+pull work by acquiring a time-bounded *lease* on one fragment, renew it
+with heartbeats, and deliver results per fragment.
+
+Fault model (the chaos harness exercises every arrow):
+
+- an agent is SIGKILL'd mid-fragment → its heartbeats stop → the lease's
+  TTL lapses → the reaper requeues the fragment with a bumped epoch →
+  another agent re-executes it;
+- heartbeats are dropped/delayed (network fault) while the agent is
+  still alive → same expiry path; when the zombie later delivers, every
+  already-recorded job is *suppressed as a duplicate* — content
+  addressing guarantees the re-executed fragment reconciled to the very
+  same digests, so suppression loses nothing;
+- results are recorded **exactly once** per job: the first delivery
+  wins, is written through the :class:`~repro.farm.cache.ResultCache`'s
+  atomic content-addressed file (re-writes reconcile to identical
+  bytes), and every later delivery only increments
+  ``dist.duplicates_suppressed`` (with a stats-equality cross-check —
+  a mismatch would be a determinism bug and is counted separately).
+
+The upshot: a sweep's result table is byte-identical to a serial run no
+matter which agents died along the way — the distributed analogue of
+the simulator's speculative-but-deterministic commit order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ...errors import ConfigError
+from ...telemetry import (AgentLostEvent, AgentRegisteredEvent,
+                          DuplicateResultEvent, EventBus, FragmentDoneEvent,
+                          FragmentRequeuedEvent, LeaseExpiredEvent,
+                          LeaseGrantedEvent, MetricsRegistry)
+from ..cache import ResultCache
+from ..job import JobSpec, stable_digest
+from ..shard import shard_index
+from ..validate import validate_jobspec
+from ...serve.httpbase import JsonHttpServer, Request, run_loop_in_thread
+from . import wire
+
+# fragment states
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+
+
+class DistError(Exception):
+    """Coordinator-level request failure (maps to an HTTP status)."""
+
+    status = 500
+
+
+class UnknownAgentError(DistError):
+    status = 410            # Gone: the agent must re-register
+
+    def __init__(self, agent_id: str) -> None:
+        super().__init__(f"unknown agent {agent_id!r}; re-register")
+
+
+class UnknownSweepError(DistError):
+    status = 404
+
+    def __init__(self, sweep_id: str) -> None:
+        super().__init__(f"unknown sweep id {sweep_id!r}")
+
+
+@dataclass
+class CoordinatorConfig:
+    """Everything one coordinator instance needs."""
+
+    host: str = "127.0.0.1"
+    port: int = 8178
+    #: seconds an un-renewed lease stays valid
+    lease_ttl_s: float = 6.0
+    #: how often agents should heartbeat (sent to them at register)
+    heartbeat_interval_s: float = 1.5
+    #: default fragment count per sweep (0 = one fragment per job)
+    fragments: int = 8
+    #: content-addressed result cache; None disables it
+    cache_dir: Optional[str] = "benchmarks/results/.cache"
+    #: missed heartbeats (x lease_ttl_s) before an agent is declared lost
+    agent_ttl_factor: float = 2.0
+    #: reaper wake-up period
+    reap_interval_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.lease_ttl_s <= 0:
+            raise ConfigError("lease_ttl_s must be > 0")
+        if self.heartbeat_interval_s <= 0:
+            raise ConfigError("heartbeat_interval_s must be > 0")
+        if self.heartbeat_interval_s >= self.lease_ttl_s:
+            raise ConfigError("heartbeat_interval_s must be < lease_ttl_s "
+                              "(a healthy agent must renew in time)")
+        if self.fragments < 0:
+            raise ConfigError("fragments must be >= 0")
+
+
+class Lease:
+    """One agent's live claim on one fragment."""
+
+    __slots__ = ("id", "agent", "sweep", "fragment", "epoch", "granted",
+                 "deadline")
+
+    def __init__(self, lease_id: str, agent: str, sweep: str,
+                 fragment: int, epoch: int, now: float,
+                 ttl: float) -> None:
+        self.id = lease_id
+        self.agent = agent
+        self.sweep = sweep
+        self.fragment = fragment
+        self.epoch = epoch
+        self.granted = now
+        self.deadline = now + ttl
+
+
+class Fragment:
+    """One shard of a sweep's jobs — the unit of leasing and requeue."""
+
+    __slots__ = ("id", "indices", "state", "epoch", "lease", "attempts")
+
+    def __init__(self, fragment_id: int, indices: List[int]) -> None:
+        self.id = fragment_id
+        self.indices = indices          # job indices, input order
+        self.state = PENDING
+        self.epoch = 0
+        self.lease: Optional[Lease] = None
+        self.attempts = 0               # times leased
+
+    def to_doc(self) -> dict:
+        return {"id": self.id, "n_jobs": len(self.indices),
+                "state": self.state, "epoch": self.epoch,
+                "attempts": self.attempts,
+                "agent": self.lease.agent if self.lease else None}
+
+
+class AgentRecord:
+    """One registered worker agent."""
+
+    def __init__(self, agent_id: str, capacity: int, now: float) -> None:
+        self.id = agent_id
+        self.capacity = capacity
+        self.registered = now
+        self.last_seen = now
+        self.n_heartbeats = 0
+        self.n_delivered = 0
+        self.leases: Dict[str, Lease] = {}
+
+    def to_doc(self) -> dict:
+        return {"id": self.id, "capacity": self.capacity,
+                "heartbeats": self.n_heartbeats,
+                "delivered": self.n_delivered,
+                "leases": sorted(self.leases)}
+
+
+class SweepState:
+    """One submitted sweep: ordered jobs, fragments, recorded results."""
+
+    def __init__(self, sweep_id: str, docs: List[dict],
+                 specs: List[JobSpec], n_fragments: int,
+                 label: str) -> None:
+        self.id = sweep_id
+        self.label = label
+        self.docs = docs
+        self.specs = specs
+        self.created = time.time()
+        #: one record per job index, None until recorded (exactly once)
+        self.records: List[Optional[dict]] = [None] * len(specs)
+        self.n_recorded = 0
+        self.n_failed = 0
+        # fragment membership is digest-sharded: a pure function of each
+        # job's content address, independent of the rest of the sweep
+        by_fragment: Dict[int, List[int]] = {}
+        for i, spec in enumerate(specs):
+            fid = shard_index(spec.digest(), n_fragments)
+            by_fragment.setdefault(fid, []).append(i)
+        self.fragments: Dict[int, Fragment] = {
+            fid: Fragment(fid, indices)
+            for fid, indices in sorted(by_fragment.items())}
+
+    @property
+    def complete(self) -> bool:
+        return self.n_recorded == len(self.specs)
+
+    def fragment_recorded(self, frag: Fragment) -> bool:
+        return all(self.records[i] is not None for i in frag.indices)
+
+    def to_doc(self) -> dict:
+        states = {PENDING: 0, LEASED: 0, DONE: 0}
+        for f in self.fragments.values():
+            states[f.state] += 1
+        return {"id": self.id, "label": self.label,
+                "n_jobs": len(self.specs),
+                "recorded": self.n_recorded, "failed": self.n_failed,
+                "complete": self.complete,
+                "fragments": {"total": len(self.fragments), **states}}
+
+
+class Coordinator:
+    """Transport-independent coordinator core (see module docs).
+
+    Thread-safe; the HTTP layer and the reaper thread call into it under
+    one lock. ``clock`` is injectable so lease-expiry tests never sleep.
+    """
+
+    def __init__(self, config: CoordinatorConfig, *,
+                 cache: Optional[ResultCache] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.config = config
+        self._clock = clock
+        if cache is not None:
+            self.cache: Optional[ResultCache] = cache
+        elif config.cache_dir:
+            self.cache = ResultCache(config.cache_dir)
+        else:
+            self.cache = None
+        self.registry = MetricsRegistry()
+        self.bus = EventBus()
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._sweeps: Dict[str, SweepState] = {}
+        self._agents: Dict[str, AgentRecord] = {}
+        self._leases: Dict[str, Lease] = {}
+        self._n_agents_ever = 0
+        self._n_leases_ever = 0
+        self._draining = False
+        self._reaper: Optional[threading.Thread] = None
+        self._reaper_stop = threading.Event()
+        self.t0 = time.monotonic()
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        """Start the lease/agent reaper thread (idempotent)."""
+        with self._lock:
+            if self._reaper is not None:
+                return
+            self._reaper_stop.clear()
+            t = threading.Thread(target=self._reap_loop,
+                                 name="dist-reaper", daemon=True)
+            self._reaper = t
+        t.start()
+
+    def stop(self) -> None:
+        """Stop granting leases and stop the reaper."""
+        with self._lock:
+            self._draining = True
+            reaper = self._reaper
+            self._reaper = None
+        self._reaper_stop.set()
+        if reaper is not None:
+            reaper.join(timeout=5.0)
+
+    def _reap_loop(self) -> None:
+        while not self._reaper_stop.wait(self.config.reap_interval_s):
+            self.reap()
+
+    # -- helpers -------------------------------------------------------
+    def _now_ms(self) -> int:
+        return int((time.monotonic() - self.t0) * 1000)
+
+    def _emit(self, event) -> None:
+        if self.bus:
+            self.bus.emit(event)
+
+    # -- sweeps --------------------------------------------------------
+    def submit_sweep(self, doc: dict) -> dict:
+        """Admit one sweep (idempotent: same jobs -> same sweep id).
+
+        Validates every job document through the shared
+        :func:`~repro.farm.validate.validate_jobspec`, pre-fills results
+        from the cache, and cuts the rest into digest-sharded fragments.
+        """
+        msg = wire.check_submit_sweep(doc)
+        specs = [validate_jobspec(job, source=f"jobs[{i}]")
+                 for i, job in enumerate(msg["jobs"])]
+        n_fragments = msg["fragments"] or self.config.fragments
+        if n_fragments <= 0:
+            n_fragments = len(specs)
+        n_fragments = min(n_fragments, len(specs))
+        sweep_id = stable_digest({
+            "sweep": [s.digest() for s in specs],
+            "fragments": n_fragments})
+        with self._cond:
+            sweep = self._sweeps.get(sweep_id)
+            if sweep is not None:
+                return {"id": sweep_id, "outcome": "known",
+                        **sweep.to_doc()}
+            sweep = SweepState(sweep_id, msg["jobs"], specs, n_fragments,
+                               msg["label"])
+            self._sweeps[sweep_id] = sweep
+            self.registry.inc("dist.sweeps_submitted")
+            # cache pre-fill: cached digests are recorded up front, so
+            # fragments that are fully warm never get leased at all
+            if self.cache is not None:
+                for i, spec in enumerate(specs):
+                    stats = self.cache.get(spec.digest())
+                    if stats is not None:
+                        self._record(sweep, i, spec.digest(),
+                                     stats.to_dict(), None, 0, 0,
+                                     agent="cache", cached=True)
+            for frag in sweep.fragments.values():
+                if sweep.fragment_recorded(frag):
+                    frag.state = DONE
+            self._cond.notify_all()
+            return {"id": sweep_id, "outcome": "queued", **sweep.to_doc()}
+
+    def sweep(self, sweep_id: str) -> SweepState:
+        with self._lock:
+            sweep = self._sweeps.get(sweep_id)
+            if sweep is None:
+                raise UnknownSweepError(sweep_id)
+            return sweep
+
+    def sweep_status(self, sweep_id: str) -> dict:
+        with self._lock:
+            return self.sweep(sweep_id).to_doc()
+
+    def sweep_results(self, sweep_id: str) -> dict:
+        """Every recorded result, in input order (None while pending)."""
+        with self._lock:
+            sweep = self.sweep(sweep_id)
+            return {"id": sweep.id, "complete": sweep.complete,
+                    "n_jobs": len(sweep.specs),
+                    "results": list(sweep.records)}
+
+    def wait_complete(self, sweep_id: str,
+                      timeout: Optional[float] = None) -> bool:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while not self.sweep(sweep_id).complete:
+                remaining = None if deadline is None \
+                    else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cond.wait(0.2 if remaining is None
+                                else min(0.2, remaining))
+            return True
+
+    # -- agents --------------------------------------------------------
+    def register_agent(self, doc: dict) -> dict:
+        msg = wire.check_register(doc)
+        with self._lock:
+            now = self._clock()
+            self._n_agents_ever += 1
+            agent_id = msg["agent"] or f"agent-{self._n_agents_ever}"
+            if agent_id in self._agents:
+                agent_id = f"{agent_id}-{self._n_agents_ever}"
+            self._agents[agent_id] = AgentRecord(agent_id,
+                                                 msg["capacity"], now)
+            self.registry.inc("dist.agents_registered")
+            self.registry.gauge("dist.agents_alive").set(len(self._agents))
+            self._emit(AgentRegisteredEvent(
+                t=self._now_ms(), agent=agent_id,
+                capacity=msg["capacity"]))
+            return {"agent": agent_id,
+                    "lease_ttl_s": self.config.lease_ttl_s,
+                    "heartbeat_interval_s":
+                        self.config.heartbeat_interval_s}
+
+    def _agent(self, agent_id: str) -> AgentRecord:
+        agent = self._agents.get(agent_id)
+        if agent is None:
+            raise UnknownAgentError(agent_id)
+        return agent
+
+    def heartbeat(self, agent_id: str, doc: dict) -> dict:
+        """Renew the agent's liveness and every lease it still holds.
+
+        Lease ids the coordinator no longer honors come back in
+        ``expired`` so the agent knows its work may be re-executed
+        elsewhere (it should still deliver — duplicates are suppressed,
+        and its delivery may well win the race).
+        """
+        msg = wire.check_heartbeat(doc)
+        with self._lock:
+            agent = self._agent(agent_id)     # 410 -> re-register
+            now = self._clock()
+            agent.last_seen = now
+            agent.n_heartbeats += 1
+            self.registry.inc("dist.heartbeats")
+            expired = []
+            for lease_id in msg["leases"]:
+                lease = agent.leases.get(lease_id)
+                if lease is None or self._leases.get(lease_id) is not lease:
+                    expired.append(lease_id)
+                else:
+                    lease.deadline = now + self.config.lease_ttl_s
+            return {"ok": True, "expired": expired}
+
+    # -- leases --------------------------------------------------------
+    def acquire(self, agent_id: str, doc: dict) -> dict:
+        """Grant up to ``max_fragments`` pending fragments to the agent.
+
+        Invariant (tested): a fragment is granted only from PENDING, so
+        at any instant at most one live lease covers it — re-sharding
+        after agent loss can never split one fragment across two leases.
+        """
+        msg = wire.check_acquire(doc)
+        with self._lock:
+            agent = self._agent(agent_id)
+            now = self._clock()
+            agent.last_seen = now
+            if self._draining:
+                return {"leases": [], "idle": True, "draining": True}
+            granted = []
+            for sweep in self._sweeps.values():
+                if len(granted) >= msg["max_fragments"]:
+                    break
+                if sweep.complete:
+                    continue
+                for frag in sweep.fragments.values():
+                    if len(granted) >= msg["max_fragments"]:
+                        break
+                    if frag.state != PENDING:
+                        continue
+                    assert frag.lease is None, \
+                        "PENDING fragment with a live lease"
+                    self._n_leases_ever += 1
+                    lease = Lease(f"lease-{self._n_leases_ever}",
+                                  agent_id, sweep.id, frag.id,
+                                  frag.epoch, now,
+                                  self.config.lease_ttl_s)
+                    frag.state = LEASED
+                    frag.lease = lease
+                    frag.attempts += 1
+                    agent.leases[lease.id] = lease
+                    self._leases[lease.id] = lease
+                    self.registry.inc("dist.leases_granted")
+                    self._emit(LeaseGrantedEvent(
+                        t=self._now_ms(), agent=agent_id, lease=lease.id,
+                        fragment=frag.id, epoch=frag.epoch,
+                        n_jobs=len(frag.indices)))
+                    jobs = [{"index": i, "spec": sweep.docs[i]}
+                            for i in frag.indices
+                            if sweep.records[i] is None]
+                    granted.append(wire.lease_doc(
+                        lease.id, sweep.id, frag.id, frag.epoch, jobs))
+            self._update_gauges()
+            # idle means "the cluster's work is finished", not "nothing
+            # submitted yet" — an --exit-when-idle agent that starts
+            # before the first sweep must wait for it
+            idle = (not granted and bool(self._sweeps)
+                    and all(s.complete for s in self._sweeps.values()))
+            return {"leases": granted, "idle": idle, "draining": False}
+
+    def release(self, lease_id: str) -> None:
+        """Drop a lease without requeueing (its fragment completed)."""
+        with self._lock:
+            lease = self._leases.pop(lease_id, None)
+            if lease is None:
+                return
+            agent = self._agents.get(lease.agent)
+            if agent is not None:
+                agent.leases.pop(lease_id, None)
+            self._update_gauges()
+
+    def _expire_lease(self, lease: Lease, reason: str) -> None:
+        # caller holds the lock
+        self._leases.pop(lease.id, None)
+        agent = self._agents.get(lease.agent)
+        if agent is not None:
+            agent.leases.pop(lease.id, None)
+        sweep = self._sweeps.get(lease.sweep)
+        if sweep is None:
+            return
+        frag = sweep.fragments.get(lease.fragment)
+        if frag is None or frag.lease is not lease:
+            return
+        frag.lease = None
+        now = self._clock()
+        self.registry.inc("dist.leases_expired", reason=reason)
+        self._emit(LeaseExpiredEvent(
+            t=self._now_ms(), agent=lease.agent, lease=lease.id,
+            fragment=frag.id, epoch=lease.epoch,
+            age_ms=int((now - lease.granted) * 1000)))
+        if sweep.fragment_recorded(frag):
+            frag.state = DONE
+            return
+        # back to the queue with a bumped epoch: the next grant is
+        # distinguishable from the zombie's, and exactly-once recording
+        # makes the re-execution safe
+        frag.state = PENDING
+        frag.epoch += 1
+        self.registry.inc("dist.fragments_requeued", reason=reason)
+        self._emit(FragmentRequeuedEvent(
+            t=self._now_ms(), fragment=frag.id, epoch=frag.epoch,
+            n_jobs=len(frag.indices), reason=reason))
+
+    def reap(self) -> int:
+        """Expire overdue leases and lost agents; returns expiries."""
+        with self._cond:
+            now = self._clock()
+            n = 0
+            for lease in [l for l in self._leases.values()
+                          if l.deadline < now]:
+                self._expire_lease(lease, "lease_expired")
+                n += 1
+            agent_ttl = (self.config.lease_ttl_s
+                         * self.config.agent_ttl_factor)
+            for agent in [a for a in self._agents.values()
+                          if now - a.last_seen > agent_ttl]:
+                leases = list(agent.leases.values())
+                for lease in leases:
+                    self._expire_lease(lease, "agent_lost")
+                    n += 1
+                del self._agents[agent.id]
+                self.registry.inc("dist.agents_lost")
+                self._emit(AgentLostEvent(t=self._now_ms(),
+                                          agent=agent.id,
+                                          n_leases=len(leases)))
+            if n:
+                self._update_gauges()
+                self._cond.notify_all()
+            return n
+
+    def _update_gauges(self) -> None:
+        self.registry.gauge("dist.agents_alive").set(len(self._agents))
+        self.registry.gauge("dist.leases_live").set(len(self._leases))
+        self.registry.gauge("dist.fragments_pending").set(sum(
+            1 for s in self._sweeps.values()
+            for f in s.fragments.values() if f.state == PENDING))
+
+    # -- results -------------------------------------------------------
+    def deliver(self, lease_id: str, doc: dict) -> dict:
+        """Record one fragment's results — each job exactly once.
+
+        Deliveries are honored even from expired or unknown leases (the
+        zombie case): the results are provably identical — same content
+        address, same deterministic simulator — so the first to arrive
+        wins and the rest are suppressed, never double-counted.
+        """
+        msg = wire.check_deliver(doc)
+        with self._cond:
+            sweep = self._sweeps.get(msg["sweep"])
+            if sweep is None:
+                raise UnknownSweepError(msg["sweep"])
+            frag = sweep.fragments.get(msg["fragment"])
+            if frag is None:
+                raise UnknownSweepError(
+                    f"{msg['sweep']}#{msg['fragment']}")
+            agent = self._agents.get(msg["agent"])
+            if agent is not None:
+                agent.last_seen = self._clock()
+                agent.n_delivered += len(msg["results"])
+            accepted = duplicates = 0
+            for r in msg["results"]:
+                idx = r["index"]
+                if not 0 <= idx < len(sweep.specs):
+                    raise wire.WireError(f"deliver: bad job index {idx}")
+                expect = sweep.specs[idx].digest()
+                if r["digest"] != expect:
+                    raise wire.WireError(
+                        f"deliver: digest mismatch at index {idx}: "
+                        f"got {r['digest'][:12]}, leased {expect[:12]}")
+                if sweep.records[idx] is None:
+                    self._record(sweep, idx, r["digest"], r["stats"],
+                                 r["error"], r["wall_ms"], r["attempts"],
+                                 agent=msg["agent"], epoch=msg["epoch"])
+                    accepted += 1
+                else:
+                    duplicates += 1
+                    match = (sweep.records[idx].get("stats")
+                             == r["stats"])
+                    self.registry.inc("dist.duplicates_suppressed")
+                    if not match:
+                        self.registry.inc("dist.result_mismatch")
+                    self._emit(DuplicateResultEvent(
+                        t=self._now_ms(), digest=r["digest"],
+                        fragment=frag.id, agent=msg["agent"],
+                        match=match))
+            fragment_done = sweep.fragment_recorded(frag)
+            if fragment_done and frag.state != DONE:
+                frag.state = DONE
+                lease = frag.lease
+                if lease is not None:
+                    frag.lease = None
+                    self._leases.pop(lease.id, None)
+                    if agent is not None:
+                        agent.leases.pop(lease.id, None)
+                self.registry.inc("dist.fragments_done")
+                self._emit(FragmentDoneEvent(
+                    t=self._now_ms(), fragment=frag.id,
+                    epoch=msg["epoch"], agent=msg["agent"],
+                    n_jobs=len(frag.indices)))
+            self._update_gauges()
+            self._cond.notify_all()
+            return {"accepted": accepted, "duplicates": duplicates,
+                    "fragment_done": fragment_done,
+                    "sweep_complete": sweep.complete}
+
+    def _record(self, sweep: SweepState, idx: int, digest: str,
+                stats: Optional[dict], error: Optional[str],
+                wall_ms: int, attempts: int, *, agent: str,
+                epoch: int = 0, cached: bool = False) -> None:
+        # caller holds the lock; records[idx] is None (checked by caller
+        # for deliveries, structurally true at submit pre-fill)
+        spec = sweep.specs[idx]
+        sweep.records[idx] = {
+            "index": idx, "digest": digest, "label": spec.display,
+            "app": spec.app, "variant": spec.variant,
+            "n_cores": spec.resolved_config().n_cores,
+            "stats": stats, "error": error, "wall_ms": wall_ms,
+            "attempts": attempts, "agent": agent, "epoch": epoch,
+            "cached": cached,
+        }
+        sweep.n_recorded += 1
+        if error is not None:
+            sweep.n_failed += 1
+            self.registry.inc("dist.results_recorded", status="failed")
+        else:
+            self.registry.inc("dist.results_recorded",
+                              status="cached" if cached else "done")
+            if (self.cache is not None and not cached and stats is not None
+                    and stats.get("failure") is None):
+                # atomic write-then-rename; a concurrent writer of the
+                # same digest reconciles to byte-identical content
+                from ...core.stats import RunStats
+                self.cache.put(spec, RunStats.from_dict(stats),
+                               wall_s=wall_ms / 1000.0)
+
+    # -- introspection -------------------------------------------------
+    def healthy(self) -> dict:
+        with self._lock:
+            pending = sum(1 for s in self._sweeps.values()
+                          for f in s.fragments.values()
+                          if f.state == PENDING)
+            leased = sum(1 for s in self._sweeps.values()
+                         for f in s.fragments.values()
+                         if f.state == LEASED)
+            return {"ok": True,
+                    "state": "draining" if self._draining else "serving",
+                    "uptime_s": round(time.monotonic() - self.t0, 3),
+                    "agents": len(self._agents),
+                    "leases": len(self._leases),
+                    "sweeps": len(self._sweeps),
+                    "fragments": {"pending": pending, "leased": leased}}
+
+    def summary(self) -> dict:
+        with self._lock:
+            return {
+                "uptime_s": round(time.monotonic() - self.t0, 3),
+                "draining": self._draining,
+                "agents": {a.id: a.to_doc()
+                           for a in sorted(self._agents.values(),
+                                           key=lambda a: a.id)},
+                "sweeps": {s.id: s.to_doc()
+                           for s in self._sweeps.values()},
+                "cache": self.cache.stats() if self.cache else None,
+            }
+
+    def metrics_snapshot(self) -> dict:
+        with self._lock:
+            return self.registry.snapshot()
+
+
+# -- HTTP front --------------------------------------------------------
+class CoordinatorServer(JsonHttpServer):
+    """The coordinator's JSON-over-HTTP front (see module docs).
+
+    Routes::
+
+        POST /v1/sweeps                     submit a sweep (idempotent)
+        GET  /v1/sweeps/{id}                sweep status
+        GET  /v1/sweeps/{id}/results        recorded results, input order
+        POST /v1/agents/register            join; returns id + ttls
+        POST /v1/agents/{id}/heartbeat      renew leases
+        POST /v1/agents/{id}/leases         acquire fragments
+        POST /v1/leases/{lease}/results     deliver fragment results
+        GET  /healthz                       coordinator state
+        GET  /metrics                       dist.* counters + summary
+    """
+
+    SCHEMA = wire.DIST_SCHEMA
+
+    def __init__(self, coordinator: Coordinator,
+                 config: CoordinatorConfig) -> None:
+        super().__init__(config.host, config.port)
+        self.coordinator = coordinator
+        self.config = config
+
+    async def start(self) -> None:
+        await super().start()
+        self.coordinator.start()
+
+    def _translate_error(self, exc: Exception):
+        if isinstance(exc, wire.WireError):
+            return 400, {"error": str(exc), "source": "wire"}, None
+        if isinstance(exc, DistError):
+            return exc.status, {"error": str(exc)}, None
+        from ..validate import SpecValidationError
+        if isinstance(exc, SpecValidationError):
+            return 400, {"error": str(exc.what), "source": "spec",
+                         "errors": exc.errors}, None
+        return None
+
+    async def _blocking(self, fn, *args):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, fn, *args)
+
+    async def _dispatch(self, req: Request, writer) -> bool:
+        c = self.coordinator
+        m, path = req.method, req.path.rstrip("/") or "/"
+        if path == "/healthz" and m == "GET":
+            self._send(writer, 200, c.healthy())
+        elif path == "/metrics" and m == "GET":
+            self._send(writer, 200, {
+                "schema": "repro.dist-metrics/1",
+                "dist": c.summary(),
+                "metrics": c.metrics_snapshot()})
+        elif path == "/v1/sweeps" and m == "POST":
+            doc = await self._blocking(c.submit_sweep, req.json())
+            self._send(writer, 202 if doc["outcome"] == "queued" else 200,
+                       doc)
+        elif path.startswith("/v1/sweeps/") and m == "GET":
+            rest = path[len("/v1/sweeps/"):]
+            sweep_id, _, sub = rest.partition("/")
+            if sub == "":
+                self._send(writer, 200, c.sweep_status(sweep_id))
+            elif sub == "results":
+                self._send(writer, 200,
+                           await self._blocking(c.sweep_results, sweep_id))
+            else:
+                return await self._not_found(req, writer)
+        elif path == "/v1/agents/register" and m == "POST":
+            self._send(writer, 200, c.register_agent(req.json()))
+        elif path.startswith("/v1/agents/") and m == "POST":
+            rest = path[len("/v1/agents/"):]
+            agent_id, _, sub = rest.partition("/")
+            if sub == "heartbeat":
+                self._send(writer, 200, c.heartbeat(agent_id, req.json()))
+            elif sub == "leases":
+                self._send(writer, 200,
+                           await self._blocking(c.acquire, agent_id,
+                                                req.json()))
+            else:
+                return await self._not_found(req, writer)
+        elif path.startswith("/v1/leases/") and m == "POST":
+            rest = path[len("/v1/leases/"):]
+            lease_id, _, sub = rest.partition("/")
+            if sub != "results":
+                return await self._not_found(req, writer)
+            self._send(writer, 200,
+                       await self._blocking(c.deliver, lease_id,
+                                            req.json()))
+        else:
+            return await self._not_found(req, writer)
+        await writer.drain()
+        return True
+
+
+class CoordinatorHandle:
+    """A coordinator server on a background thread (tests, benchmarks,
+    and ``repro sweep --dist`` local clusters)."""
+
+    def __init__(self, coordinator: Coordinator,
+                 server: CoordinatorServer, loop, thread) -> None:
+        self.coordinator = coordinator
+        self.server = server
+        self.loop = loop
+        self.thread = thread
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.server.config.host}:{self.server.port}"
+
+    def stop(self) -> None:
+        fut = asyncio.run_coroutine_threadsafe(self.server.close(),
+                                               self.loop)
+        fut.result(timeout=10)
+        self.coordinator.stop()
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10)
+
+
+def start_coordinator_in_thread(
+        config: CoordinatorConfig, *,
+        coordinator: Optional[Coordinator] = None) -> CoordinatorHandle:
+    """Start a coordinator on a daemon thread; returns once listening.
+
+    ``config.port`` may be 0 to pick a free port (see ``handle.url``).
+    """
+    coord = coordinator or Coordinator(config)
+    server = CoordinatorServer(coord, config)
+    loop, thread = run_loop_in_thread(server, name="dist-coordinator")
+    return CoordinatorHandle(coord, server, loop, thread)
+
+
+async def _amain(config: CoordinatorConfig) -> int:
+    coordinator = Coordinator(config)
+    server = CoordinatorServer(coordinator, config)
+    await server.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except NotImplementedError:      # pragma: no cover (non-unix)
+            pass
+    print(f"[coordinator] listening on http://{config.host}:{server.port} "
+          f"(lease ttl {config.lease_ttl_s}s, heartbeat "
+          f"{config.heartbeat_interval_s}s, cache="
+          f"{config.cache_dir or 'off'})", file=sys.stderr, flush=True)
+    await stop.wait()
+    print("[coordinator] signal received; shutting down",
+          file=sys.stderr, flush=True)
+    await server.close()
+    coordinator.stop()
+    with coordinator._lock:
+        incomplete = sum(1 for s in coordinator._sweeps.values()
+                         if not s.complete)
+    return 0 if incomplete == 0 else 3
+
+
+def coordinator_forever(config: CoordinatorConfig) -> int:
+    """Run until SIGTERM/SIGINT; exit 0 when every sweep completed,
+    3 when shut down with incomplete sweeps."""
+    try:
+        return asyncio.run(_amain(config))
+    except KeyboardInterrupt:            # pragma: no cover
+        return 0
+
+
+def _json_default(obj):                  # pragma: no cover - debug aid
+    return repr(obj)
+
+
+if __name__ == "__main__":               # pragma: no cover - debug aid
+    cfg = CoordinatorConfig(port=0)
+    handle = start_coordinator_in_thread(cfg)
+    print(json.dumps({"url": handle.url}))
+    try:
+        while True:
+            time.sleep(1)
+    except KeyboardInterrupt:
+        handle.stop()

@@ -1,0 +1,80 @@
+"""Driver for distributed sweeps: submit, wait, reassemble in order.
+
+:func:`dist_sweep` is the client-side counterpart of
+``Farm.run(specs)``: it hands a list of JobSpec wire documents to a
+coordinator, waits for the (possibly chaos-ridden) cluster to finish,
+and returns the records **in input order** — so a table rendered from a
+distributed sweep is byte-identical to a serial one, which is exactly
+what the chaos smoke asserts.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from ...core.stats import RunStats
+from ...errors import FarmError
+from ..job import JobResult
+from .client import DistClient
+
+
+def dist_sweep(coordinator_url: str, jobs: List[dict], *,
+               fragments: int = 0, label: str = "",
+               timeout_s: float = 600.0, poll_s: float = 0.25,
+               client: Optional[DistClient] = None,
+               progress=None) -> dict:
+    """Run ``jobs`` (JobSpec wire documents) through a coordinator.
+
+    Returns the coordinator's results document: ``{"id", "complete",
+    "n_jobs", "results": [record, ...]}`` with one record per job in
+    input order. Raises :class:`TimeoutError` when the cluster does not
+    finish in ``timeout_s`` (records gathered so far are attached).
+    """
+    own = client is None
+    c = client or DistClient(coordinator_url)
+    try:
+        c.wait_ready()
+        sub = c.submit_sweep(jobs, fragments=fragments, label=label)
+        sweep_id = sub["id"]
+        deadline = time.monotonic() + timeout_s
+        last_done = -1
+        while True:
+            doc = c.sweep_results(sweep_id)
+            n_done = sum(1 for r in doc["results"] if r is not None)
+            if progress is not None and n_done != last_done:
+                progress(n_done, doc["n_jobs"])
+                last_done = n_done
+            if doc["complete"]:
+                return doc
+            if time.monotonic() > deadline:
+                exc = TimeoutError(
+                    f"dist sweep {sweep_id[:12]} incomplete after "
+                    f"{timeout_s}s ({n_done}/{doc['n_jobs']} jobs)")
+                exc.partial = doc
+                raise exc
+            time.sleep(poll_s)
+    finally:
+        if own:
+            c.close()
+
+
+def records_to_results(records: List[dict]) -> List[JobResult]:
+    """Rebuild Farm-shaped :class:`JobResult` rows from sweep records.
+
+    The bridge between a distributed sweep and everything downstream
+    that consumes ``Farm.run`` output (report tables, BENCH summaries,
+    parity tests).
+    """
+    out = []
+    for r in records:
+        if r is None:
+            raise FarmError("sweep incomplete: missing record")
+        out.append(JobResult(
+            digest=r["digest"], app=r["app"], variant=r["variant"],
+            n_cores=r["n_cores"], label=r["label"],
+            stats=(RunStats.from_dict(r["stats"])
+                   if r["stats"] is not None else None),
+            cached=bool(r.get("cached")), wall_s=r["wall_ms"] / 1000.0,
+            attempts=r["attempts"], error=r["error"]))
+    return out

@@ -1,0 +1,182 @@
+"""The coordinator/agent wire protocol (``repro.farm-dist/1``).
+
+Everything that crosses the network between a
+:class:`~repro.farm.dist.coordinator.Coordinator` and its agents is a
+JSON document checked by one of the validators here — both sides import
+this module, so the protocol has exactly one definition.
+
+Message flow::
+
+    agent                                coordinator
+      | POST /v1/agents/register           |   -> agent id, ttl, interval
+      | POST /v1/agents/{id}/leases        |   -> leased fragments (specs
+      |                                    |      inline, index-tagged)
+      | POST /v1/agents/{id}/heartbeat     |   -> renews every held lease
+      | POST /v1/leases/{lease}/results    |   -> per-job accepted /
+      |                                    |      duplicate-suppressed
+
+A *fragment* is the lease unit: the subset of a sweep's jobs whose
+digests fall in one deterministic blake2b shard
+(:func:`repro.farm.shard.shard_index`), so fragment membership never
+depends on delivery order, agent count, or which agent computes it. A
+*lease* is one agent's time-bounded claim on one fragment; the ``epoch``
+counts how many times the fragment has been (re-)issued, which lets the
+coordinator tell a live delivery from a zombie's.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+#: protocol tag stamped into every coordinator response
+DIST_SCHEMA = "repro.farm-dist/1"
+
+#: delivery verdicts, per job (the coordinator's deliver response)
+ACCEPTED = "accepted"
+DUPLICATE = "duplicate"
+
+
+class WireError(ValueError):
+    """A message failed wire validation (maps to HTTP 400)."""
+
+
+def _need(doc: dict, key: str, types, what: str):
+    if key not in doc:
+        raise WireError(f"{what}: missing field {key!r}")
+    v = doc[key]
+    if not isinstance(v, types) or isinstance(v, bool) and types is int:
+        raise WireError(
+            f"{what}: field {key!r} must be {types}, got {type(v).__name__}")
+    return v
+
+
+def _opt(doc: dict, key: str, types, default, what: str):
+    v = doc.get(key, default)
+    if v is default:
+        return default
+    if not isinstance(v, types):
+        raise WireError(
+            f"{what}: field {key!r} must be {types}, got {type(v).__name__}")
+    return v
+
+
+# -- agent -> coordinator ----------------------------------------------
+def check_register(doc: Any) -> dict:
+    """Validate a register request; returns the cleaned document."""
+    if not isinstance(doc, dict):
+        raise WireError("register: body must be a JSON object")
+    return {
+        "agent": _opt(doc, "agent", str, "", "register"),
+        "capacity": _opt(doc, "capacity", int, 1, "register"),
+        "pid": _opt(doc, "pid", int, 0, "register"),
+        "host": _opt(doc, "host", str, "", "register"),
+    }
+
+
+def check_acquire(doc: Any) -> dict:
+    if not isinstance(doc, dict):
+        raise WireError("acquire: body must be a JSON object")
+    max_fragments = _opt(doc, "max_fragments", int, 1, "acquire")
+    if max_fragments < 1:
+        raise WireError("acquire: max_fragments must be >= 1")
+    return {"max_fragments": max_fragments}
+
+
+def check_heartbeat(doc: Any) -> dict:
+    if not isinstance(doc, dict):
+        raise WireError("heartbeat: body must be a JSON object")
+    leases = _opt(doc, "leases", list, [], "heartbeat")
+    for lease in leases:
+        if not isinstance(lease, str):
+            raise WireError("heartbeat: leases must be lease-id strings")
+    return {"leases": list(leases)}
+
+
+def check_deliver(doc: Any) -> dict:
+    """Validate a result delivery; returns the cleaned document.
+
+    ``results`` entries carry the job's sweep ``index``, its content
+    ``digest`` (cross-checked coordinator-side against the leased spec),
+    and either ``stats`` (RunStats JSON) or ``error``.
+    """
+    if not isinstance(doc, dict):
+        raise WireError("deliver: body must be a JSON object")
+    out = {
+        "agent": _need(doc, "agent", str, "deliver"),
+        "sweep": _need(doc, "sweep", str, "deliver"),
+        "fragment": _need(doc, "fragment", int, "deliver"),
+        "epoch": _need(doc, "epoch", int, "deliver"),
+        "results": [],
+    }
+    results = _need(doc, "results", list, "deliver")
+    for i, r in enumerate(results):
+        what = f"deliver.results[{i}]"
+        if not isinstance(r, dict):
+            raise WireError(f"{what}: must be an object")
+        stats = _opt(r, "stats", dict, None, what)
+        error = _opt(r, "error", str, None, what)
+        if stats is None and error is None:
+            raise WireError(f"{what}: needs stats or error")
+        out["results"].append({
+            "index": _need(r, "index", int, what),
+            "digest": _need(r, "digest", str, what),
+            "stats": stats,
+            "error": error,
+            "wall_ms": _opt(r, "wall_ms", int, 0, what),
+            "attempts": _opt(r, "attempts", int, 1, what),
+        })
+    return out
+
+
+def check_submit_sweep(doc: Any) -> dict:
+    """Validate a sweep submission: a list of JobSpec wire documents.
+
+    The job documents themselves are validated by the shared
+    :func:`repro.farm.validate.validate_jobspec` coordinator-side (and
+    again agent-side before execution) — this only checks the envelope.
+    """
+    if not isinstance(doc, dict):
+        raise WireError("sweep: body must be a JSON object")
+    jobs = _need(doc, "jobs", list, "sweep")
+    if not jobs:
+        raise WireError("sweep: jobs must be non-empty")
+    for i, job in enumerate(jobs):
+        if not isinstance(job, dict):
+            raise WireError(f"sweep: jobs[{i}] must be an object")
+    fragments = _opt(doc, "fragments", int, 0, "sweep")
+    if fragments < 0:
+        raise WireError("sweep: fragments must be >= 0")
+    return {"jobs": list(jobs), "fragments": fragments,
+            "label": _opt(doc, "label", str, "", "sweep")}
+
+
+# -- coordinator -> agent ----------------------------------------------
+def lease_doc(lease_id: str, sweep_id: str, fragment: int, epoch: int,
+              jobs: List[Dict[str, Any]]) -> dict:
+    """One granted lease as shipped to the agent (specs inline)."""
+    return {"lease": lease_id, "sweep": sweep_id, "fragment": fragment,
+            "epoch": epoch, "jobs": jobs}
+
+
+def check_lease(doc: Any) -> dict:
+    """Agent-side validation of one granted lease document."""
+    if not isinstance(doc, dict):
+        raise WireError("lease: must be a JSON object")
+    out = {
+        "lease": _need(doc, "lease", str, "lease"),
+        "sweep": _need(doc, "sweep", str, "lease"),
+        "fragment": _need(doc, "fragment", int, "lease"),
+        "epoch": _need(doc, "epoch", int, "lease"),
+        "jobs": [],
+    }
+    for i, job in enumerate(_need(doc, "jobs", list, "lease")):
+        what = f"lease.jobs[{i}]"
+        if not isinstance(job, dict):
+            raise WireError(f"{what}: must be an object")
+        out["jobs"].append({
+            "index": _need(job, "index", int, what),
+            "spec": _need(job, "spec", dict, what),
+        })
+    if not out["jobs"]:
+        raise WireError("lease: jobs must be non-empty")
+    return out

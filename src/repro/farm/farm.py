@@ -27,7 +27,9 @@ byte-identical to a serial run. On top of the pool it layers:
 from __future__ import annotations
 
 import dataclasses
+import signal
 import sys
+import threading
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -102,7 +104,8 @@ class Farm:
                  retry_policy: Optional[ResiliencePolicy] = None,
                  warmup: bool = True,
                  use_pool: Optional[bool] = None,
-                 persistent: bool = False):
+                 persistent: bool = False,
+                 crash_dump_dir: Optional[str] = None):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if max_attempts < 1:
@@ -122,6 +125,12 @@ class Farm:
         self.collect_metrics = collect_metrics
         self.retry_policy = retry_policy or _DEFAULT_RETRY
         self.warmup = warmup
+        self.crash_dump_dir = str(crash_dump_dir) if crash_dump_dir \
+            else None
+        #: set by request_stop()/SIGTERM: drain in-flight, fail unstarted
+        self._stop_requested = threading.Event()
+        self.n_drained = 0
+        self.n_drain_failed = 0
         # lifetime counters (across run() calls) for summary()
         self.n_jobs = 0
         self.n_done = 0
@@ -160,6 +169,7 @@ class Farm:
         set; they never raise here so one bad job cannot sink a sweep.
         """
         t_run = time.monotonic()
+        self._stop_requested.clear()
         specs = [self._with_timeout(s) for s in specs]
         if shard is not None:
             k, n = shard
@@ -221,8 +231,51 @@ class Farm:
     def _retry_delay_s(self, attempt: int) -> float:
         return backoff_delay(self.retry_policy, attempt) / 1000.0
 
+    # -- graceful drain ------------------------------------------------
+    def request_stop(self) -> None:
+        """Ask a running sweep to drain: in-flight jobs finish (and their
+        cache entries persist), unstarted jobs fail fast with a
+        ``farm stopped`` error instead of executing. Thread/signal-safe;
+        idempotent; a later ``run()`` call starts fresh."""
+        self._stop_requested.set()
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop_requested.is_set()
+
+    def _drain_queue(self, specs, queue, results) -> None:
+        # fail everything not yet submitted; in-flight futures keep
+        # running and are finalized (cached) by the normal path
+        while queue:
+            idx, attempt, _ = queue.popleft()
+            spec = specs[idx]
+            self.n_drain_failed += 1
+            self.registry.inc("farm_drain_failed")
+            self._finalize(spec, JobResult(
+                digest=spec.digest(), app=spec.app, variant=spec.variant,
+                n_cores=spec.resolved_config().n_cores,
+                label=spec.display, attempts=attempt,
+                error="farm stopped: job drained before execution"),
+                results, idx)
+
+    def _dump_worker_crash(self, spec, attempt: int, detail: str) -> None:
+        if self.crash_dump_dir is None:
+            return
+        try:
+            from ..faults.crashdump import write_farm_crash_bundle
+            write_farm_crash_bundle(
+                spec, self.crash_dump_dir, "farm_worker_crash",
+                attempt=attempt, detail=detail)
+        except Exception:           # diagnostics must never sink a sweep
+            pass
+
     def _run_inline(self, specs, pending, results) -> None:
-        for idx in pending:
+        for i, idx in enumerate(pending):
+            if self._stop_requested.is_set():
+                self._drain_queue(
+                    specs, deque((j, 1, 0.0) for j in pending[i:]),
+                    results)
+                return
             spec = specs[idx]
             attempt = 1
             while True:
@@ -249,6 +302,10 @@ class Farm:
         executor = self._ensure_executor()
         try:
             while queue or inflight:
+                if self._stop_requested.is_set() and queue:
+                    self._drain_queue(specs, queue, results)
+                    if not inflight:
+                        break
                 now = time.monotonic()
                 while queue and len(inflight) < max_inflight:
                     idx, attempt, ready_at = queue[0]
@@ -283,6 +340,9 @@ class Farm:
                         self._emit(WorkerCrashEvent(
                             t=self._now_ms(), n_inflight=len(inflight) + 1,
                             detail=f"{type(exc).__name__}: {exc}"))
+                        self._dump_worker_crash(
+                            specs[idx], attempt,
+                            f"{type(exc).__name__}: {exc}")
                         self._requeue_or_fail(specs, idx, attempt,
                                               f"worker crash: {exc}",
                                               queue, results)
@@ -296,6 +356,9 @@ class Farm:
                                       time.monotonic()
                                       + self._retry_delay_s(attempt)))
                     else:
+                        if self._stop_requested.is_set() \
+                                and res.error is None:
+                            self.n_drained += 1
                         self._finalize(specs[idx], res, results, idx)
                 if crashed:
                     # drain the victims — salvage any future that finished
@@ -322,7 +385,12 @@ class Farm:
                     executor = self._executor = self._make_executor()
                 self._progress(len(specs), running=len(inflight))
         finally:
-            if self.persistent:
+            if self._stop_requested.is_set():
+                # drain shutdown: wait for the workers so the pool is
+                # never orphaned mid-write, persistent or not
+                executor.shutdown(wait=True, cancel_futures=True)
+                self._executor = None
+            elif self.persistent:
                 self._executor = executor
             else:
                 executor.shutdown(wait=False, cancel_futures=True)
@@ -396,6 +464,8 @@ class Farm:
                 "done": self.n_done, "failed": self.n_failed,
                 "cache_hits": self.n_cache_hits, "retries": self.n_retries,
                 "worker_crashes": self.n_worker_crashes,
+                "drained": self.n_drained,
+                "drain_failed": self.n_drain_failed,
                 "wall_s": round(self.wall_s, 3), "cache": cache}
 
     def raise_on_failures(self, results: Sequence[JobResult]) -> None:
@@ -407,3 +477,23 @@ class Farm:
             raise FarmError(
                 f"{len(failures)} of {len(results)} farm jobs failed "
                 f"(first: {label}: {err})", failures=failures)
+
+
+def install_sigterm_drain(farm: Farm) -> None:
+    """Make SIGTERM (and SIGINT) drain ``farm`` instead of killing it.
+
+    In-flight jobs finish and persist their cache entries; unstarted jobs
+    fail fast; the process pool shuts down waited-for, never orphaned.
+    Must run on the main thread (signal-handler rule); chains any
+    previously installed handler.
+    """
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        previous = signal.getsignal(sig)
+
+        def _drain(signum, frame, _prev=previous):
+            farm.request_stop()
+            if callable(_prev) and _prev not in (signal.SIG_IGN,
+                                                 signal.SIG_DFL):
+                _prev(signum, frame)
+
+        signal.signal(sig, _drain)

@@ -1,0 +1,184 @@
+"""Chaos injection for the distributed farm (and anything networked).
+
+The dist chaos harness needs three failure modes, all **deterministic**
+so a red CI run replays exactly:
+
+- **process kills** — :func:`kill_after` SIGKILLs a worker/agent process
+  on a timer, mid-fragment;
+- **dropped/delayed messages** — :class:`TransportChaos` is installed as
+  a :class:`~repro.farm.dist.client.DistClient` ``transport_fault`` hook
+  and drops or delays calls by *op ordinal* (the k-th heartbeat, not "a
+  random heartbeat"), with an optional seeded drop rate whose coin flips
+  come from blake2b, never :mod:`random`;
+- **partitions** — a ``partition`` window drops *every* op between two
+  ordinals of a chosen op class, which from the coordinator's side is
+  indistinguishable from the agent vanishing (heartbeats stop, leases
+  expire, fragments requeue) — until the agent comes back and its
+  deliveries exercise duplicate suppression.
+
+Agent processes pick their chaos up from the ``REPRO_DIST_CHAOS``
+environment variable (JSON, see :meth:`TransportChaos.from_env`), so the
+harness can hand each subprocess a different failure script.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from ..errors import ConfigError
+
+#: environment variable agents read their transport chaos from
+CHAOS_ENV = "REPRO_DIST_CHAOS"
+
+#: op classes TransportChaos keys on, derived from (method, path)
+OPS = ("register", "heartbeat", "acquire", "deliver", "other")
+
+
+class ChaosDrop(Exception):
+    """The chaos plan dropped this message before it hit the wire."""
+
+    def __init__(self, op: str, ordinal: int) -> None:
+        super().__init__(f"chaos dropped {op} #{ordinal}")
+        self.op = op
+        self.ordinal = ordinal
+
+
+def classify_op(method: str, path: str) -> str:
+    """Map a dist-protocol request to its chaos op class."""
+    if path.endswith("/heartbeat"):
+        return "heartbeat"
+    if path.endswith("/leases"):
+        return "acquire"
+    if path.endswith("/results") and method == "POST":
+        return "deliver"
+    if path.endswith("/register"):
+        return "register"
+    return "other"
+
+
+def _coin(seed: int, op: str, ordinal: int) -> float:
+    """Deterministic uniform [0, 1) from (seed, op, ordinal)."""
+    h = hashlib.blake2b(f"{seed}:{op}:{ordinal}".encode(),
+                        digest_size=8).digest()
+    return int.from_bytes(h, "big") / 2 ** 64
+
+
+class TransportChaos:
+    """A seeded message-fault script, callable as a transport hook.
+
+    Spec keys (all optional)::
+
+        seed        int   — drop-rate coin seed (default 0)
+        drop        {op: [ordinals]}      — drop the k-th call (1-based)
+        drop_rate   {op: p}               — seeded chance of dropping
+        delay_ms    {op: ms}              — sleep before every call
+        partition   {op: [start, end]}    — drop ordinals start..end
+
+    Each instance keeps its own per-op ordinal counters, so a script is
+    a pure function of the call sequence — same calls, same faults.
+    """
+
+    def __init__(self, spec: Optional[Dict[str, Any]] = None, *,
+                 sleep=time.sleep) -> None:
+        spec = dict(spec or {})
+        self.seed = int(spec.pop("seed", 0))
+        self.drop = {op: set(int(k) for k in v)
+                     for op, v in dict(spec.pop("drop", {})).items()}
+        self.drop_rate = {op: float(p)
+                          for op, p in dict(spec.pop("drop_rate",
+                                                     {})).items()}
+        self.delay_ms = {op: float(ms)
+                         for op, ms in dict(spec.pop("delay_ms",
+                                                     {})).items()}
+        self.partition = {op: (int(w[0]), int(w[1]))
+                          for op, w in dict(spec.pop("partition",
+                                                     {})).items()}
+        if spec:
+            raise ConfigError(
+                f"unknown chaos keys: {sorted(spec)} (have: seed, drop, "
+                f"drop_rate, delay_ms, partition)")
+        for table in (self.drop, self.drop_rate, self.delay_ms,
+                      self.partition):
+            for op in table:
+                if op not in OPS:
+                    raise ConfigError(
+                        f"unknown chaos op {op!r} (have: {OPS})")
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._ordinals: Dict[str, int] = {}
+        self.n_dropped = 0
+        self.n_delayed = 0
+
+    @classmethod
+    def from_env(cls, env: Optional[Dict[str, str]] = None,
+                 var: str = CHAOS_ENV) -> Optional["TransportChaos"]:
+        """Build from a JSON env var; None when unset/empty."""
+        raw = (env if env is not None else os.environ).get(var, "")
+        if not raw.strip():
+            return None
+        try:
+            return cls(json.loads(raw))
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"bad {var} JSON: {exc}") from None
+
+    def __call__(self, method: str, path: str) -> None:
+        """Apply the script to one outgoing request (transport hook)."""
+        op = classify_op(method, path)
+        with self._lock:
+            ordinal = self._ordinals.get(op, 0) + 1
+            self._ordinals[op] = ordinal
+        delay = self.delay_ms.get(op, 0.0)
+        if delay > 0:
+            self.n_delayed += 1
+            self._sleep(delay / 1000.0)
+        dropped = ordinal in self.drop.get(op, ())
+        window = self.partition.get(op)
+        if window is not None and window[0] <= ordinal <= window[1]:
+            dropped = True
+        rate = self.drop_rate.get(op, 0.0)
+        if rate > 0 and _coin(self.seed, op, ordinal) < rate:
+            dropped = True
+        if dropped:
+            self.n_dropped += 1
+            raise ChaosDrop(op, ordinal)
+
+    def summary(self) -> dict:
+        with self._lock:
+            return {"dropped": self.n_dropped, "delayed": self.n_delayed,
+                    "ordinals": dict(self._ordinals)}
+
+
+def kill_after(pid: int, delay_s: float, *,
+               sig: int = signal.SIGKILL) -> threading.Timer:
+    """SIGKILL ``pid`` after ``delay_s`` seconds (daemon timer).
+
+    Returns the started :class:`threading.Timer`; cancel it to call the
+    chaos off. A process that exited on its own is ignored.
+    """
+    def _kill() -> None:
+        try:
+            os.kill(pid, sig)
+        except (ProcessLookupError, PermissionError):
+            pass
+
+    timer = threading.Timer(delay_s, _kill)
+    timer.daemon = True
+    timer.start()
+    return timer
+
+
+def wait_until(predicate, timeout_s: float, *,
+               interval_s: float = 0.05) -> bool:
+    """Poll ``predicate()`` until true or ``timeout_s`` elapses."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return bool(predicate())

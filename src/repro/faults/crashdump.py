@@ -106,6 +106,61 @@ def write_crash_bundle(sim, directory: str, reason: str,
     return path
 
 
+def build_farm_crash_bundle(spec, reason: str, *, attempt: int,
+                            detail: str = "",
+                            events: Optional[List[dict]] = None) -> dict:
+    """Snapshot a Farm worker-process death as a ``repro.crash/1`` bundle.
+
+    A worker crash has no simulator to introspect — the process is gone —
+    so the simulator-shaped keys are present-but-empty and the payload
+    that matters lives under ``farm``: the fragment's JobSpec content
+    digest (enough to re-run the exact job) and the attempt count when
+    the worker died.
+    """
+    return {
+        "schema": CRASH_BUNDLE_SCHEMA,
+        "run": spec.display,
+        "reason": reason,
+        "error": {"type": "WorkerCrash", "message": detail},
+        "cycle": 0,
+        "gvt": None,
+        "n_live": 0,
+        "live_tasks": [],
+        "tiles": [],
+        "resilience_state": {"mode": None, "safe_commits": 0},
+        "injections": None,
+        "stats": {},
+        "events": list(events or []),
+        "n_events_seen": len(events or []),
+        "farm": {
+            "digest": spec.digest(),
+            "app": spec.app,
+            "variant": spec.variant,
+            "n_cores": spec.resolved_config().n_cores,
+            "attempt": attempt,
+        },
+    }
+
+
+def write_farm_crash_bundle(spec, directory: str, reason: str, *,
+                            attempt: int, detail: str = "",
+                            events: Optional[List[dict]] = None) -> str:
+    """Write a farm worker-crash bundle; returns the file path.
+
+    Deterministic filename (digest prefix + attempt): retried crashes of
+    the same job produce distinct bundles, re-runs overwrite.
+    """
+    bundle = build_farm_crash_bundle(spec, reason, attempt=attempt,
+                                     detail=detail, events=events)
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(
+        directory, f"crash-farm-{spec.digest()[:12]}-a{attempt}.json")
+    with open(path, "w") as fh:
+        json.dump(bundle, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
 def validate_crash_bundle(doc: dict) -> None:
     """Raise ``ValueError`` unless ``doc`` is a well-formed crash bundle."""
     if not isinstance(doc, dict):

@@ -14,15 +14,34 @@ Typical use::
 
 Raises :class:`ServeAPIError` on any non-2xx response;
 :class:`RateLimited` (a subclass) carries ``retry_after`` for 429s.
+
+With ``retries=N`` the client absorbs up to N consecutive 429s per call
+instead of raising: it sleeps for the server's ``Retry-After`` hint (or
+the :mod:`repro.faults` exponential backoff curve, whichever is longer)
+plus a deterministic seeded jitter so a herd of clients with distinct
+seeds doesn't re-stampede the quota on the same tick.
+
+The HTTP plumbing lives in :class:`HttpJsonClient`, shared with the
+distributed-farm client (:mod:`repro.farm.dist.client`).
 """
 
 from __future__ import annotations
 
+import hashlib
 import http.client
 import json
 import time
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 from urllib.parse import urlsplit
+
+from ..faults.resilience import ResiliencePolicy, backoff_delay
+
+#: retry curve for 429 backoff; cycles read as milliseconds here
+_RETRY_CURVE = ResiliencePolicy(backoff_base=250, backoff_factor=2.0,
+                                backoff_cap=10_000)
+
+#: hard ceiling on one retry sleep, seconds
+RETRY_SLEEP_CAP_S = 30.0
 
 
 class ServeAPIError(Exception):
@@ -51,20 +70,51 @@ class JobFailed(ServeAPIError):
     """The job finished with an error (result endpoint, HTTP 500)."""
 
 
-class ServeClient:
-    """Blocking client for one serve endpoint. Not thread-safe — use one
-    client per thread (they are cheap)."""
+def retry_delay_s(attempt: int, retry_after: float, seed: int, *,
+                  cap_s: float = RETRY_SLEEP_CAP_S) -> float:
+    """The sleep before retry number ``attempt`` (1-based) of a 429.
+
+    Honors the server's Retry-After hint as a floor, grows along the
+    shared :func:`repro.faults.backoff_delay` curve, adds up to +25%
+    deterministic jitter keyed on ``(seed, attempt)``, and is capped at
+    ``cap_s``. Pure function — the chaos tests pin its values.
+    """
+    curve_s = backoff_delay(_RETRY_CURVE, attempt) / 1000.0
+    h = hashlib.blake2b(f"{seed}:{attempt}".encode(),
+                        digest_size=8).digest()
+    jitter = int.from_bytes(h, "big") / 2 ** 64        # [0, 1)
+    delay = max(retry_after, curve_s) * (1.0 + 0.25 * jitter)
+    return min(delay, cap_s)
+
+
+class HttpJsonClient:
+    """Blocking JSON-over-HTTP client plumbing for one endpoint.
+
+    Not thread-safe — use one client per thread (they are cheap).
+    ``retries`` bounds how many consecutive 429s one logical call will
+    absorb (0 = raise immediately, the historic behavior); ``sleep`` is
+    injectable so tests never wait.
+    """
 
     def __init__(self, base_url: str, *, api_key: str = "",
-                 timeout: float = 60.0) -> None:
+                 timeout: float = 60.0, retries: int = 0,
+                 retry_seed: int = 0,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
         parts = urlsplit(base_url)
         if parts.scheme != "http":
             raise ValueError(f"only http:// endpoints supported: {base_url}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.host = parts.hostname or "127.0.0.1"
         self.port = parts.port or 80
         self.api_key = api_key
         self.timeout = timeout
+        self.retries = retries
+        self.retry_seed = retry_seed
+        self._sleep = sleep
         self._conn: Optional[http.client.HTTPConnection] = None
+        #: lifetime count of 429s absorbed by the retry loop
+        self.n_rate_retries = 0
 
     # -- plumbing ------------------------------------------------------
     def _headers(self) -> Dict[str, str]:
@@ -85,7 +135,7 @@ class ServeClient:
             self._conn.close()
             self._conn = None
 
-    def __enter__(self) -> "ServeClient":
+    def __enter__(self):
         return self
 
     def __exit__(self, *exc) -> None:
@@ -115,8 +165,8 @@ class ServeClient:
         headers = {k.lower(): v for k, v in resp.getheaders()}
         return resp.status, headers, doc
 
-    def _checked(self, method: str, path: str,
-                 body: Optional[dict] = None) -> dict:
+    def _checked_once(self, method: str, path: str,
+                      body: Optional[dict] = None) -> dict:
         status, headers, doc = self._request(method, path, body)
         if status == 429:
             retry_after = float(doc.get("retry_after")
@@ -125,6 +175,24 @@ class ServeClient:
         if status >= 400:
             raise ServeAPIError(status, doc)
         return doc
+
+    def _checked(self, method: str, path: str,
+                 body: Optional[dict] = None) -> dict:
+        attempt = 0
+        while True:
+            try:
+                return self._checked_once(method, path, body)
+            except RateLimited as exc:
+                attempt += 1
+                if attempt > self.retries:
+                    raise
+                self.n_rate_retries += 1
+                self._sleep(retry_delay_s(attempt, exc.retry_after,
+                                          self.retry_seed))
+
+
+class ServeClient(HttpJsonClient):
+    """Client for one serve endpoint (see module docs)."""
 
     # -- API -----------------------------------------------------------
     def healthz(self) -> dict:

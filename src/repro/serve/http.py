@@ -1,4 +1,4 @@
-"""The serve HTTP layer: a small asyncio HTTP/1.1 server (stdlib only).
+"""The serve HTTP layer: routes over the shared asyncio plumbing.
 
 Routes (all JSON unless noted)::
 
@@ -12,10 +12,10 @@ Routes (all JSON unless noted)::
     GET  /healthz           liveness + drain state
     GET  /metrics           serve/farm/sim metrics snapshot + summary
 
-The server is deliberately HTTP/1.1-minimal: no TLS, no chunked request
-bodies, JSON in / JSON out, SSE for streaming. It exists so the farm can
-be driven by many tenants without importing repro — everything deeper
-lives in :class:`~repro.serve.manager.JobManager`.
+The connection loop, request parsing, and error scaffolding live in
+:mod:`repro.serve.httpbase` (shared with the distributed-farm
+coordinator); this module adds only the serve routes and their binding
+to :class:`~repro.serve.manager.JobManager`.
 """
 
 from __future__ import annotations
@@ -27,142 +27,42 @@ import signal
 import sys
 import threading
 import time
-from typing import Optional, Tuple
-from urllib.parse import urlsplit
+from typing import Optional
 
 from ..errors import ConfigError
 from ..farm import SpecValidationError
 from .config import SERVE_SCHEMA, ServeConfig
+from .httpbase import (MAX_BODY, JsonHttpServer, Request,  # noqa: F401
+                       run_loop_in_thread)
 from .manager import DONE, FAILED, JobManager, ServeError
 
-#: largest accepted request body (a JobSpec is tiny; this is generous)
-MAX_BODY = 8 * 1024 * 1024
+#: kept as the historic import location (tests patch/import these here)
+_Request = Request
 
 #: seconds between SSE keepalive comments on an idle stream
 SSE_KEEPALIVE_S = 15.0
 
-_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
-            401: "Unauthorized", 404: "Not Found",
-            405: "Method Not Allowed", 409: "Conflict",
-            413: "Payload Too Large", 429: "Too Many Requests",
-            500: "Internal Server Error", 503: "Service Unavailable"}
 
-
-class _Request:
-    __slots__ = ("method", "path", "query", "headers", "body")
-
-    def __init__(self, method: str, path: str, query: str, headers: dict,
-                 body: bytes) -> None:
-        self.method = method
-        self.path = path
-        self.query = query
-        self.headers = headers
-        self.body = body
-
-    @property
-    def api_key(self) -> str:
-        return self.headers.get("x-api-key", "")
-
-    def json(self) -> dict:
-        if not self.body:
-            raise ValueError("empty request body")
-        doc = json.loads(self.body.decode("utf-8"))
-        if not isinstance(doc, dict):
-            raise ValueError("request body must be a JSON object")
-        return doc
-
-
-class ServeServer:
+class ServeServer(JsonHttpServer):
     """One listening server bound to a :class:`JobManager`."""
 
+    SCHEMA = SERVE_SCHEMA
+
     def __init__(self, manager: JobManager, config: ServeConfig) -> None:
+        super().__init__(config.host, config.port)
         self.manager = manager
         self.config = config
-        self.port: Optional[int] = None
-        self._server: Optional[asyncio.base_events.Server] = None
 
     async def start(self) -> None:
-        self._server = await asyncio.start_server(
-            self._client, self.config.host, self.config.port)
-        self.port = self._server.sockets[0].getsockname()[1]
+        await super().start()
         self.manager.start()
 
-    async def close(self) -> None:
-        """Stop accepting new connections (drain happens in the manager)."""
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
-
-    # -- connection handling -------------------------------------------
-    async def _client(self, reader: asyncio.StreamReader,
-                      writer: asyncio.StreamWriter) -> None:
-        try:
-            while True:
-                req = await self._read_request(reader, writer)
-                if req is None:
-                    break
-                keep = await self._route(req, writer)
-                if not keep:
-                    break
-        except (asyncio.IncompleteReadError, ConnectionError,
-                asyncio.TimeoutError):
-            pass
-        finally:
-            try:
-                writer.close()
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
-
-    async def _read_request(self, reader, writer) -> Optional[_Request]:
-        line = await reader.readline()
-        if not line or line in (b"\r\n", b"\n"):
-            return None
-        try:
-            method, target, _version = line.decode("latin-1").split()
-        except ValueError:
-            self._send(writer, 400, {"error": "malformed request line"})
-            return None
-        headers = {}
-        while True:
-            h = await reader.readline()
-            if h in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = h.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length") or 0)
-        if length > MAX_BODY:
-            self._send(writer, 413, {"error": "request body too large"})
-            return None
-        body = await reader.readexactly(length) if length else b""
-        parts = urlsplit(target)
-        return _Request(method.upper(), parts.path, parts.query, headers,
-                        body)
-
-    # -- responses -----------------------------------------------------
-    def _send(self, writer, status: int, doc: dict, *,
-              headers: Optional[dict] = None, keep_alive: bool = True) -> None:
-        doc = {"schema": SERVE_SCHEMA, **doc}
-        body = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
-        head = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-                "Content-Type: application/json",
-                f"Content-Length: {len(body)}",
-                f"Connection: {'keep-alive' if keep_alive else 'close'}"]
-        for k, v in (headers or {}).items():
-            head.append(f"{k}: {v}")
-        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
-                     + body)
-
-    # -- routing -------------------------------------------------------
-    async def _route(self, req: _Request, writer) -> bool:
-        try:
-            return await self._dispatch(req, writer)
-        except SpecValidationError as exc:
-            self._send(writer, 400, {"error": str(exc.what),
-                                     "source": "spec",
-                                     "errors": exc.errors})
-        except ServeError as exc:
+    # -- error translation ---------------------------------------------
+    def _translate_error(self, exc: Exception):
+        if isinstance(exc, SpecValidationError):
+            return 400, {"error": str(exc.what), "source": "spec",
+                         "errors": exc.errors}, None
+        if isinstance(exc, ServeError):
             doc = {"error": str(exc)}
             headers = {}
             if getattr(exc, "retry_after", None) is not None:
@@ -170,21 +70,11 @@ class ServeServer:
                     max(1, math.ceil(exc.retry_after)))
                 doc["retry_after"] = round(exc.retry_after, 3)
                 doc["reason"] = exc.reason
-            self._send(writer, exc.status, doc, headers=headers)
-        except (ValueError, json.JSONDecodeError) as exc:
-            self._send(writer, 400, {"error": f"bad request: {exc}"})
-        except (ConnectionError, asyncio.IncompleteReadError):
-            raise
-        except Exception as exc:                     # pragma: no cover
-            self._send(writer, 500,
-                       {"error": f"{type(exc).__name__}: {exc}"})
-        try:
-            await writer.drain()
-        except (ConnectionError, OSError):
-            return False
-        return True
+            return exc.status, doc, headers
+        return None
 
-    async def _dispatch(self, req: _Request, writer) -> bool:
+    # -- routing -------------------------------------------------------
+    async def _dispatch(self, req: Request, writer) -> bool:
         m, path = req.method, req.path.rstrip("/") or "/"
         if path == "/healthz" and m == "GET":
             self._send(writer, 200, self.manager.healthy())
@@ -206,14 +96,11 @@ class ServeServer:
         elif path.startswith("/v1/jobs/"):
             return await self._job_route(req, writer, path)
         else:
-            self._send(writer, 404, {"error": f"no route {m} {req.path}"},
-                       keep_alive=False)
-            await writer.drain()
-            return False
+            return await self._not_found(req, writer)
         await writer.drain()
         return True
 
-    async def _job_route(self, req: _Request, writer, path: str) -> bool:
+    async def _job_route(self, req: Request, writer, path: str) -> bool:
         rest = path[len("/v1/jobs/"):]
         job_id, _, sub = rest.partition("/")
         if req.method != "GET" or sub not in ("", "result", "events"):
@@ -243,7 +130,7 @@ class ServeServer:
         return True
 
     # -- SSE -----------------------------------------------------------
-    async def _sse(self, req: _Request, writer, job_id: str) -> None:
+    async def _sse(self, req: Request, writer, job_id: str) -> None:
         loop = asyncio.get_running_loop()
         queue: asyncio.Queue = asyncio.Queue()
 
@@ -354,36 +241,11 @@ def start_in_thread(config: ServeConfig, *,
     ``config.port`` may be 0 to pick a free port (see ``handle.url``).
     """
     mgr = manager or JobManager(config)
-    holder: dict = {}
-    started = threading.Event()
+    server = ServeServer(mgr, config)
+    loop, thread = run_loop_in_thread(server, name="serve-http")
+    return ServerHandle(mgr, server, loop, thread)
 
-    def run() -> None:
-        loop = asyncio.new_event_loop()
-        asyncio.set_event_loop(loop)
-        server = ServeServer(mgr, config)
-        try:
-            loop.run_until_complete(server.start())
-        except OSError as exc:
-            holder["error"] = ConfigError(
-                f"cannot bind {config.host}:{config.port}: {exc}")
-            started.set()
-            loop.close()
-            return
-        holder["server"] = server
-        holder["loop"] = loop
-        started.set()
-        try:
-            loop.run_forever()
-        finally:
-            for task in asyncio.all_tasks(loop):
-                task.cancel()
-            loop.run_until_complete(asyncio.sleep(0))
-            loop.close()
 
-    thread = threading.Thread(target=run, name="serve-http", daemon=True)
-    thread.start()
-    if not started.wait(timeout=10):
-        raise ConfigError("server failed to start within 10s")
-    if "error" in holder:
-        raise holder["error"]
-    return ServerHandle(mgr, holder["server"], holder["loop"], thread)
+# re-exported for backward compatibility (original definition site)
+__all__ = ["MAX_BODY", "SSE_KEEPALIVE_S", "ServeServer", "ServerHandle",
+           "serve_forever", "start_in_thread"]

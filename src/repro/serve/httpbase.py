@@ -1,0 +1,242 @@
+"""Shared asyncio HTTP/1.1 plumbing (stdlib only).
+
+Both JSON services in the tree — the multi-tenant simulation service
+(:mod:`repro.serve.http`) and the distributed-farm coordinator
+(:mod:`repro.farm.dist.coordinator`) — speak the same deliberately
+minimal dialect: no TLS, no chunked request bodies, JSON in / JSON out,
+SSE where streaming is needed. This module owns everything that is not
+route logic:
+
+- :class:`JsonHttpServer` — the listener, the per-connection
+  request/response loop, body-size limits, keep-alive handling, and the
+  error-to-status translation scaffold. Subclasses implement
+  :meth:`JsonHttpServer._dispatch` (the route table) and may override
+  :meth:`JsonHttpServer._translate_error` for service-specific exception
+  families.
+- :func:`run_loop_in_thread` — the "server on a daemon thread" pattern
+  used by tests, benchmarks and in-process deployments.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Optional
+from urllib.parse import urlsplit
+
+from ..errors import ConfigError
+
+#: largest accepted request body (specs and result batches are small;
+#: this is generous)
+MAX_BODY = 8 * 1024 * 1024
+
+_REASONS = {200: "OK", 202: "Accepted", 204: "No Content",
+            400: "Bad Request", 401: "Unauthorized", 404: "Not Found",
+            405: "Method Not Allowed", 409: "Conflict", 410: "Gone",
+            413: "Payload Too Large", 429: "Too Many Requests",
+            500: "Internal Server Error", 503: "Service Unavailable"}
+
+
+class Request:
+    """One parsed HTTP request (method, split target, headers, body)."""
+
+    __slots__ = ("method", "path", "query", "headers", "body")
+
+    def __init__(self, method: str, path: str, query: str, headers: dict,
+                 body: bytes) -> None:
+        self.method = method
+        self.path = path
+        self.query = query
+        self.headers = headers
+        self.body = body
+
+    @property
+    def api_key(self) -> str:
+        return self.headers.get("x-api-key", "")
+
+    def json(self) -> dict:
+        if not self.body:
+            raise ValueError("empty request body")
+        doc = json.loads(self.body.decode("utf-8"))
+        if not isinstance(doc, dict):
+            raise ValueError("request body must be a JSON object")
+        return doc
+
+
+class JsonHttpServer:
+    """One listening JSON-over-HTTP server; subclasses own the routes.
+
+    ``SCHEMA`` (when set) is stamped into every JSON response body as its
+    ``schema`` field, so clients can sanity-check what they are talking
+    to without a separate version endpoint.
+    """
+
+    #: wire-format tag injected into every response body (None = none)
+    SCHEMA: Optional[str] = None
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.configured_port = port
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._client, self.host, self.configured_port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        """Stop accepting new connections."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling -------------------------------------------
+    async def _client(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                req = await self._read_request(reader, writer)
+                if req is None:
+                    break
+                keep = await self._route(req, writer)
+                if not keep:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionError,
+                asyncio.TimeoutError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader, writer) -> Optional[Request]:
+        line = await reader.readline()
+        if not line or line in (b"\r\n", b"\n"):
+            return None
+        try:
+            method, target, _version = line.decode("latin-1").split()
+        except ValueError:
+            self._send(writer, 400, {"error": "malformed request line"})
+            return None
+        headers = {}
+        while True:
+            h = await reader.readline()
+            if h in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = h.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length") or 0)
+        if length > MAX_BODY:
+            self._send(writer, 413, {"error": "request body too large"})
+            return None
+        body = await reader.readexactly(length) if length else b""
+        parts = urlsplit(target)
+        return Request(method.upper(), parts.path, parts.query, headers,
+                       body)
+
+    # -- responses -----------------------------------------------------
+    def _send(self, writer, status: int, doc: dict, *,
+              headers: Optional[dict] = None,
+              keep_alive: bool = True) -> None:
+        if self.SCHEMA is not None:
+            doc = {"schema": self.SCHEMA, **doc}
+        body = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+        head = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+                "Content-Type: application/json",
+                f"Content-Length: {len(body)}",
+                f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+        for k, v in (headers or {}).items():
+            head.append(f"{k}: {v}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+                     + body)
+
+    # -- routing scaffold ----------------------------------------------
+    async def _route(self, req: Request, writer) -> bool:
+        try:
+            return await self._dispatch(req, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            raise
+        except Exception as exc:
+            translated = self._translate_error(exc)
+            if translated is None:
+                if isinstance(exc, (ValueError, json.JSONDecodeError)):
+                    translated = (400, {"error": f"bad request: {exc}"},
+                                  None)
+                else:
+                    translated = (500,
+                                  {"error": f"{type(exc).__name__}: {exc}"},
+                                  None)
+            status, doc, headers = translated
+            self._send(writer, status, doc, headers=headers)
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):
+            return False
+        return True
+
+    def _translate_error(self, exc: Exception):
+        """Map a service exception to ``(status, doc, headers)`` or None.
+
+        Returning None falls back to the generic 400 (malformed JSON /
+        ValueError) and 500 handling in :meth:`_route`.
+        """
+        return None
+
+    async def _dispatch(self, req: Request, writer) -> bool:
+        """Handle one request; return False to close the connection."""
+        raise NotImplementedError
+
+    async def _not_found(self, req: Request, writer) -> bool:
+        self._send(writer, 404,
+                   {"error": f"no route {req.method} {req.path}"},
+                   keep_alive=False)
+        await writer.drain()
+        return False
+
+
+def run_loop_in_thread(server: JsonHttpServer, *, name: str):
+    """Start ``server`` on a fresh event loop on a daemon thread.
+
+    Returns ``(loop, thread)`` once the listener is bound
+    (``server.port`` is then set); raises
+    :class:`~repro.errors.ConfigError` if the bind fails or startup takes
+    more than 10 seconds. Stop the loop with
+    ``loop.call_soon_threadsafe(loop.stop)`` after closing the server,
+    then join the thread.
+    """
+    holder: dict = {}
+    started = threading.Event()
+
+    def run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(server.start())
+        except OSError as exc:
+            holder["error"] = ConfigError(
+                f"cannot bind {server.host}:{server.configured_port}: {exc}")
+            started.set()
+            loop.close()
+            return
+        holder["loop"] = loop
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            for task in asyncio.all_tasks(loop):
+                task.cancel()
+            loop.run_until_complete(asyncio.sleep(0))
+            loop.close()
+
+    thread = threading.Thread(target=run, name=name, daemon=True)
+    thread.start()
+    if not started.wait(timeout=10):
+        raise ConfigError("server failed to start within 10s")
+    if "error" in holder:
+        raise holder["error"]
+    return holder["loop"], thread

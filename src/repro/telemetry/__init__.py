@@ -22,20 +22,27 @@ from .events import (
     EVENT_TYPES,
     AbortEvent,
     AdmissionRejectEvent,
+    AgentLostEvent,
+    AgentRegisteredEvent,
     CacheHitEvent,
     CommitEvent,
     ConflictEvent,
     DispatchEvent,
     DivertEvent,
+    DuplicateResultEvent,
     EnqueueEvent,
     Event,
     FaultInjectedEvent,
     FinishEvent,
+    FragmentDoneEvent,
+    FragmentRequeuedEvent,
     GvtTickEvent,
     JobCoalescedEvent,
     JobDoneEvent,
     JobQueuedEvent,
     JobStartEvent,
+    LeaseExpiredEvent,
+    LeaseGrantedEvent,
     LivelockThrottleEvent,
     QueuePressureEvent,
     RetryBackoffEvent,
@@ -60,7 +67,8 @@ from .export import (
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .perfetto import to_perfetto, write_perfetto
 from .profiling import (PROFILE_SCHEMA, collect_profile, fold_into_registry,
-                        format_profile, format_serve_profile)
+                        format_dist_profile, format_profile,
+                        format_serve_profile)
 
 _VALIDATE_NAMES = ("ValidationError", "validate_event_dict",
                    "validate_jsonl")
@@ -80,12 +88,15 @@ __all__ = [
     "PROFILE_SCHEMA",
     "AbortEvent",
     "AdmissionRejectEvent",
+    "AgentLostEvent",
+    "AgentRegisteredEvent",
     "CacheHitEvent",
     "CommitEvent",
     "ConflictEvent",
     "Counter",
     "DispatchEvent",
     "DivertEvent",
+    "DuplicateResultEvent",
     "EnqueueEvent",
     "Event",
     "EventBus",
@@ -93,6 +104,8 @@ __all__ = [
     "EventRingBuffer",
     "FaultInjectedEvent",
     "FinishEvent",
+    "FragmentDoneEvent",
+    "FragmentRequeuedEvent",
     "Gauge",
     "GvtTickEvent",
     "Histogram",
@@ -101,6 +114,8 @@ __all__ = [
     "JobQueuedEvent",
     "JobStartEvent",
     "JsonlExporter",
+    "LeaseExpiredEvent",
+    "LeaseGrantedEvent",
     "LivelockThrottleEvent",
     "MetricsRegistry",
     "QueuePressureEvent",
@@ -118,6 +133,7 @@ __all__ = [
     "collect_profile",
     "event_from_dict",
     "fold_into_registry",
+    "format_dist_profile",
     "format_profile",
     "format_serve_profile",
     "metrics_snapshot",

@@ -404,6 +404,97 @@ class ServeDrainEvent(Event):
     n_pending: int
 
 
+# --- dist events (repro.farm.dist) ------------------------------------
+# ``t`` is milliseconds since the coordinator started (wall clock).
+
+
+@dataclass
+class AgentRegisteredEvent(Event):
+    """A worker agent joined the coordinator."""
+
+    KIND: ClassVar[str] = "agent_registered"
+
+    agent: str
+    capacity: int
+
+
+@dataclass
+class AgentLostEvent(Event):
+    """An agent missed enough heartbeats to be declared dead; its live
+    leases were expired."""
+
+    KIND: ClassVar[str] = "agent_lost"
+
+    agent: str
+    n_leases: int
+
+
+@dataclass
+class LeaseGrantedEvent(Event):
+    """The coordinator leased one fragment to an agent."""
+
+    KIND: ClassVar[str] = "lease_granted"
+
+    agent: str
+    lease: str
+    fragment: int
+    epoch: int
+    n_jobs: int
+
+
+@dataclass
+class LeaseExpiredEvent(Event):
+    """A lease's heartbeat TTL lapsed; its fragment goes back to the
+    pending queue with a bumped epoch."""
+
+    KIND: ClassVar[str] = "lease_expired"
+
+    agent: str
+    lease: str
+    fragment: int
+    epoch: int
+    age_ms: int
+
+
+@dataclass
+class FragmentRequeuedEvent(Event):
+    """A fragment lost its lease and was requeued for re-execution."""
+
+    KIND: ClassVar[str] = "fragment_requeued"
+
+    fragment: int
+    epoch: int
+    n_jobs: int
+    reason: str          # "lease_expired" | "agent_lost" | "released"
+
+
+@dataclass
+class FragmentDoneEvent(Event):
+    """Every job of a fragment has a recorded result."""
+
+    KIND: ClassVar[str] = "fragment_done"
+
+    fragment: int
+    epoch: int
+    agent: str
+    n_jobs: int
+
+
+@dataclass
+class DuplicateResultEvent(Event):
+    """A delivery carried a result that was already recorded; it was
+    suppressed (never double-counted). ``match`` is False when the
+    duplicate's stats differed from the recorded ones — a determinism
+    violation that the chaos harness asserts never happens."""
+
+    KIND: ClassVar[str] = "duplicate_result"
+
+    digest: str
+    fragment: int
+    agent: str
+    match: bool
+
+
 #: every concrete event class, keyed by its wire ``kind``
 EVENT_TYPES: Dict[str, Type[Event]] = {
     cls.KIND: cls
@@ -415,7 +506,10 @@ EVENT_TYPES: Dict[str, Type[Event]] = {
                 SafeModeExitEvent, QueuePressureEvent, WatchdogEvent,
                 JobStartEvent, JobDoneEvent, CacheHitEvent,
                 WorkerCrashEvent, JobQueuedEvent, JobCoalescedEvent,
-                AdmissionRejectEvent, ServeDrainEvent)
+                AdmissionRejectEvent, ServeDrainEvent,
+                AgentRegisteredEvent, AgentLostEvent, LeaseGrantedEvent,
+                LeaseExpiredEvent, FragmentRequeuedEvent,
+                FragmentDoneEvent, DuplicateResultEvent)
 }
 
 #: kind -> required field names (the JSONL schema)

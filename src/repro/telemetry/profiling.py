@@ -190,3 +190,68 @@ def format_serve_profile(doc: Dict) -> str:
                 f"{ts.get('warm_hits', 0):>6} {rejected:>8} "
                 f"{ts.get('done', 0):>6} {ts.get('failed', 0):>6}")
     return "\n".join(lines)
+
+
+def format_dist_profile(doc: Dict) -> str:
+    """Render a coordinator ``/metrics`` document (``repro profile
+    --dist``).
+
+    ``doc`` is the JSON body of the coordinator's ``GET /metrics``: a
+    ``dist`` summary (agents, sweeps, cache) plus the metrics snapshot
+    with the ``dist.*`` counters — the chaos-visibility numbers: leases
+    expired, fragments requeued, duplicates suppressed, and the
+    result-mismatch count that must stay zero.
+    """
+    dist = doc.get("dist", {})
+    metrics = doc.get("metrics", {})
+    agents = dist.get("agents", {})
+    sweeps = dist.get("sweeps", {})
+    n_jobs = sum(s.get("n_jobs", 0) for s in sweeps.values())
+    n_recorded = sum(s.get("recorded", 0) for s in sweeps.values())
+    lines = [
+        f"dist profile: up {dist.get('uptime_s', 0.0):,.1f}s, "
+        f"{len(agents)} agents"
+        + (", DRAINING" if dist.get("draining") else ""),
+        "",
+        f"  sweeps           {len(sweeps):>8,} known   "
+        f"{n_recorded:>6,}/{n_jobs:,} jobs recorded",
+        f"  agents           "
+        f"{_metric_total(metrics, 'dist.agents_registered'):>8,} "
+        f"registered   "
+        f"{_metric_total(metrics, 'dist.agents_lost'):>6,} lost   "
+        f"{_metric_total(metrics, 'dist.heartbeats'):>8,} heartbeats",
+        f"  leases           "
+        f"{_metric_total(metrics, 'dist.leases_granted'):>8,} granted   "
+        f"{_metric_total(metrics, 'dist.leases_expired'):>6,} expired",
+        f"  fragments        "
+        f"{_metric_total(metrics, 'dist.fragments_done'):>8,} done   "
+        f"{_metric_total(metrics, 'dist.fragments_requeued'):>6,} "
+        f"requeued",
+        f"  exactly-once     "
+        f"{_metric_total(metrics, 'dist.results_recorded'):>8,} "
+        f"recorded   "
+        f"{_metric_total(metrics, 'dist.duplicates_suppressed'):>6,} "
+        f"duplicates suppressed   "
+        f"{_metric_total(metrics, 'dist.result_mismatch'):>6,} "
+        f"MISMATCHED",
+    ]
+    cache = dist.get("cache")
+    if cache:
+        lookups = cache.get("hits", 0) + cache.get("misses", 0)
+        ratio = cache.get("hits", 0) / lookups if lookups else 0.0
+        lines.append(
+            f"  result cache     {cache.get('entries', 0):>8,} entries   "
+            f"{cache.get('hits', 0):>6,} hits  "
+            f"{cache.get('misses', 0):>6,} misses  "
+            f"(hit ratio {ratio:.1%})")
+    if agents:
+        lines.append("")
+        lines.append(f"  {'agent':<16} {'capacity':>8} {'heartbeats':>10} "
+                     f"{'delivered':>9} {'leases':>6}")
+        for name, a in sorted(agents.items()):
+            lines.append(
+                f"  {name:<16} {a.get('capacity', 0):>8} "
+                f"{a.get('heartbeats', 0):>10} "
+                f"{a.get('delivered', 0):>9} "
+                f"{len(a.get('leases', ())):>6}")
+    return "\n".join(lines)

@@ -1,0 +1,276 @@
+"""Coordinator unit tests: leases, heartbeats, reaping, exactly-once.
+
+All timing goes through an injected fake clock, so lease expiry and
+agent loss are tested without sleeping; the reaper thread is never
+started — ``coord.reap()`` is called explicitly.
+"""
+
+import pytest
+
+from repro.core.stats import RunStats
+from repro.farm import ResultCache, validate_jobspec
+from repro.farm.dist import wire
+from repro.farm.dist.coordinator import (DONE, LEASED, PENDING, Coordinator,
+                                         CoordinatorConfig,
+                                         UnknownAgentError,
+                                         UnknownSweepError)
+from repro.telemetry import EventRecorder
+
+FAKEAPP = "tests.farm._fakeapp"
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, s):
+        self.now += s
+
+
+def job_docs(n=6):
+    return [{"app": FAKEAPP, "n_cores": 1,
+             "input": {"n_tasks": 2 + i}} for i in range(n)]
+
+
+def make_coord(ttl=10.0, fragments=3, cache=None, clock=None):
+    cfg = CoordinatorConfig(lease_ttl_s=ttl, heartbeat_interval_s=ttl / 4,
+                            fragments=fragments, cache_dir=None)
+    return Coordinator(cfg, cache=cache, clock=clock or FakeClock())
+
+
+def fake_stats(i=0):
+    return RunStats(name=f"job{i}", makespan=100 + i).to_dict()
+
+
+def deliver_doc(coord, sweep_id, fragment, agent="w1", epoch=0,
+                stats_for=None):
+    sweep = coord.sweep(sweep_id)
+    frag = sweep.fragments[fragment]
+    return {"agent": agent, "sweep": sweep_id, "fragment": fragment,
+            "epoch": epoch,
+            "results": [{"index": i,
+                         "digest": sweep.specs[i].digest(),
+                         "stats": (stats_for(i) if stats_for
+                                   else fake_stats(i))}
+                        for i in frag.indices]}
+
+
+class TestSubmit:
+    def test_fragments_partition_all_jobs(self):
+        coord = make_coord()
+        doc = coord.submit_sweep({"jobs": job_docs()})
+        sweep = coord.sweep(doc["id"])
+        seen = sorted(i for f in sweep.fragments.values()
+                      for i in f.indices)
+        assert seen == list(range(6))
+
+    def test_submission_is_idempotent(self):
+        coord = make_coord()
+        first = coord.submit_sweep({"jobs": job_docs()})
+        again = coord.submit_sweep({"jobs": job_docs()})
+        assert first["id"] == again["id"]
+        assert first["outcome"] == "queued"
+        assert again["outcome"] == "known"
+        assert coord.metrics_snapshot()  # only one sweep counted
+        assert len(coord._sweeps) == 1
+
+    def test_different_fragment_count_is_a_different_sweep(self):
+        coord = make_coord()
+        a = coord.submit_sweep({"jobs": job_docs(), "fragments": 2})
+        b = coord.submit_sweep({"jobs": job_docs(), "fragments": 3})
+        assert a["id"] != b["id"]
+
+    def test_bad_job_doc_rejected(self):
+        from repro.farm import SpecValidationError
+        coord = make_coord()
+        with pytest.raises(SpecValidationError):
+            coord.submit_sweep({"jobs": [{"app": "no-such-app"}]})
+
+    def test_unknown_sweep_raises(self):
+        with pytest.raises(UnknownSweepError):
+            make_coord().sweep_status("f" * 64)
+
+
+class TestLeases:
+    def test_acquire_leases_pending_fragments_only_once(self):
+        coord = make_coord(fragments=3)
+        sweep_id = coord.submit_sweep({"jobs": job_docs()})["id"]
+        a = coord.register_agent({"agent": "w1"})["agent"]
+        b = coord.register_agent({"agent": "w2"})["agent"]
+        got_a = coord.acquire(a, {"max_fragments": 8})["leases"]
+        got_b = coord.acquire(b, {"max_fragments": 8})["leases"]
+        frags_a = {l["fragment"] for l in got_a}
+        frags_b = {l["fragment"] for l in got_b}
+        assert frags_a and not frags_b          # w1 took everything
+        sweep = coord.sweep(sweep_id)
+        assert all(f.state == LEASED for f in sweep.fragments.values())
+
+    def test_unknown_agent_is_410(self):
+        coord = make_coord()
+        coord.submit_sweep({"jobs": job_docs()})
+        with pytest.raises(UnknownAgentError):
+            coord.acquire("ghost", {"max_fragments": 1})
+
+    def test_heartbeat_renews_leases_past_ttl(self):
+        clock = FakeClock()
+        coord = make_coord(ttl=10.0, clock=clock)
+        coord.submit_sweep({"jobs": job_docs()})
+        agent = coord.register_agent({})["agent"]
+        leases = [l["lease"] for l in
+                  coord.acquire(agent, {"max_fragments": 8})["leases"]]
+        for _ in range(5):
+            clock.advance(8.0)              # would expire without renewal
+            doc = coord.heartbeat(agent, {"leases": leases})
+            assert doc["expired"] == []
+            assert coord.reap() == 0
+        assert len(coord._leases) == len(leases)
+
+    def test_heartbeat_reports_unknown_leases_as_expired(self):
+        coord = make_coord()
+        agent = coord.register_agent({})["agent"]
+        doc = coord.heartbeat(agent, {"leases": ["lease-999"]})
+        assert doc["expired"] == ["lease-999"]
+
+    def test_expired_lease_requeues_fragment_with_bumped_epoch(self):
+        clock = FakeClock()
+        coord = make_coord(ttl=10.0, fragments=2, clock=clock)
+        rec = EventRecorder()
+        coord.bus.subscribe(rec)
+        sweep_id = coord.submit_sweep({"jobs": job_docs()})["id"]
+        agent = coord.register_agent({})["agent"]
+        granted = coord.acquire(agent, {"max_fragments": 8})["leases"]
+        clock.advance(11.0)                 # past the lease TTL
+        n = coord.reap()
+        assert n == len(granted)
+        sweep = coord.sweep(sweep_id)
+        for lease in granted:
+            frag = sweep.fragments[lease["fragment"]]
+            assert frag.state == PENDING
+            assert frag.epoch == lease["epoch"] + 1
+            assert frag.lease is None
+        kinds = [e.KIND for e in rec.events]
+        assert "lease_expired" in kinds and "fragment_requeued" in kinds
+        snap = coord.metrics_snapshot()
+        requeued = sum(c["value"] for c in snap["counters"]
+                       if c["name"] == "dist.fragments_requeued")
+        assert requeued == len(granted)
+
+    def test_lost_agent_expires_all_its_leases(self):
+        clock = FakeClock()
+        coord = make_coord(ttl=10.0, clock=clock)  # agent ttl = 20
+        coord.submit_sweep({"jobs": job_docs()})
+        agent = coord.register_agent({"agent": "victim"})["agent"]
+        coord.acquire(agent, {"max_fragments": 8})
+        clock.advance(21.0)
+        coord.reap()
+        assert agent not in coord._agents
+        assert not coord._leases
+        with pytest.raises(UnknownAgentError):
+            coord.heartbeat(agent, {"leases": []})
+
+
+class TestExactlyOnce:
+    def setup_method(self):
+        self.clock = FakeClock()
+        self.coord = make_coord(fragments=2, clock=self.clock)
+        self.sweep_id = self.coord.submit_sweep(
+            {"jobs": job_docs(4)})["id"]
+        self.agent = self.coord.register_agent({"agent": "w1"})["agent"]
+        self.leases = self.coord.acquire(
+            self.agent, {"max_fragments": 8})["leases"]
+
+    def test_first_delivery_is_recorded(self):
+        lease = self.leases[0]
+        doc = self.coord.deliver(lease["lease"], deliver_doc(
+            self.coord, self.sweep_id, lease["fragment"]))
+        assert doc["accepted"] == len(lease["jobs"])
+        assert doc["duplicates"] == 0
+        assert doc["fragment_done"] is True
+
+    def test_redelivery_is_suppressed_never_double_counted(self):
+        lease = self.leases[0]
+        payload = deliver_doc(self.coord, self.sweep_id,
+                              lease["fragment"])
+        self.coord.deliver(lease["lease"], payload)
+        before = self.coord.sweep_results(self.sweep_id)["results"]
+        again = self.coord.deliver(lease["lease"], payload)
+        assert again["accepted"] == 0
+        assert again["duplicates"] == len(lease["jobs"])
+        after = self.coord.sweep_results(self.sweep_id)["results"]
+        assert before == after              # records untouched
+        snap = self.coord.metrics_snapshot()
+        dupes = sum(c["value"] for c in snap["counters"]
+                    if c["name"] == "dist.duplicates_suppressed")
+        mismatches = sum(c["value"] for c in snap["counters"]
+                         if c["name"] == "dist.result_mismatch")
+        assert dupes == len(lease["jobs"])
+        assert mismatches == 0              # identical stats matched
+
+    def test_mismatched_duplicate_is_counted(self):
+        lease = self.leases[0]
+        self.coord.deliver(lease["lease"], deliver_doc(
+            self.coord, self.sweep_id, lease["fragment"]))
+        evil = deliver_doc(self.coord, self.sweep_id, lease["fragment"],
+                           stats_for=lambda i: fake_stats(i + 100))
+        self.coord.deliver(lease["lease"], evil)
+        snap = self.coord.metrics_snapshot()
+        mismatches = sum(c["value"] for c in snap["counters"]
+                         if c["name"] == "dist.result_mismatch")
+        assert mismatches == len(lease["jobs"])
+
+    def test_zombie_delivery_after_requeue_is_still_exactly_once(self):
+        # the SIGKILL-recovery scenario in miniature: the lease expires,
+        # the fragment re-runs elsewhere, then the zombie delivers late
+        lease = self.leases[0]
+        payload = deliver_doc(self.coord, self.sweep_id,
+                              lease["fragment"])
+        self.clock.advance(11.0)
+        self.coord.reap()                   # zombie's lease is gone
+        fresh = self.coord.acquire(
+            self.agent, {"max_fragments": 8})["leases"]
+        refreshed = [l for l in fresh
+                     if l["fragment"] == lease["fragment"]][0]
+        self.coord.deliver(refreshed["lease"], deliver_doc(
+            self.coord, self.sweep_id, lease["fragment"],
+            epoch=refreshed["epoch"]))
+        late = self.coord.deliver(lease["lease"], payload)  # zombie
+        assert late["accepted"] == 0
+        assert late["duplicates"] == len(lease["jobs"])
+
+    def test_digest_mismatch_is_rejected(self):
+        lease = self.leases[0]
+        bad = deliver_doc(self.coord, self.sweep_id, lease["fragment"])
+        bad["results"][0]["digest"] = "0" * 64
+        with pytest.raises(wire.WireError):
+            self.coord.deliver(lease["lease"], bad)
+
+    def test_sweep_completes_after_all_fragments(self):
+        for lease in self.leases:
+            self.coord.deliver(lease["lease"], deliver_doc(
+                self.coord, self.sweep_id, lease["fragment"]))
+        doc = self.coord.sweep_results(self.sweep_id)
+        assert doc["complete"] is True
+        assert all(r is not None for r in doc["results"])
+        assert self.coord.wait_complete(self.sweep_id, timeout=0.1)
+
+
+class TestCachePrefill:
+    def test_cached_jobs_never_get_leased(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        docs = job_docs(4)
+        for i, doc in enumerate(docs):
+            spec = validate_jobspec(doc)
+            cache.put(spec, RunStats(name=f"warm{i}", makespan=50 + i))
+        coord = make_coord(cache=cache)
+        sub = coord.submit_sweep({"jobs": docs})
+        sweep = coord.sweep(sub["id"])
+        assert sweep.complete
+        assert all(f.state == DONE for f in sweep.fragments.values())
+        agent = coord.register_agent({})["agent"]
+        assert coord.acquire(agent, {"max_fragments": 8})["leases"] == []
+        results = coord.sweep_results(sub["id"])["results"]
+        assert all(r["cached"] and r["agent"] == "cache"
+                   for r in results)

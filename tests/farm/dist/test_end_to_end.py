@@ -1,0 +1,148 @@
+"""End-to-end dist sweeps over real HTTP, including the chaos path.
+
+The acceptance criteria of the dist design, in miniature:
+
+- a clean two-agent sweep produces records whose stats are byte-equal
+  to a serial ``Farm`` run of the same validated specs, and the same
+  rendered speedup table;
+- an agent whose heartbeats are all dropped (scripted
+  :class:`~repro.faults.chaos.TransportChaos` — indistinguishable from
+  a SIGKILL'd or partitioned agent to the coordinator) loses its leases,
+  the fragments are requeued and re-executed by a healthy agent, the
+  zombie's late deliveries are suppressed as duplicates, and the final
+  table is still byte-identical — with zero result mismatches.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.bench.harness import AppRun
+from repro.bench.report import speedup_table
+from repro.core.stats import RunStats
+from repro.farm import Farm, validate_jobspec
+from repro.farm.dist import (AgentConfig, CoordinatorConfig, DistAgent,
+                             dist_sweep, start_coordinator_in_thread)
+from repro.faults.chaos import TransportChaos
+
+FAKEAPP = "tests.farm._fakeapp"
+CORES = (1, 2, 4, 8)
+
+
+def job_docs():
+    return [{"app": FAKEAPP, "variant": "fractal", "n_cores": n,
+             "input": {"n_tasks": 4, "work_cycles": 20}} for n in CORES]
+
+
+def serial_stats():
+    specs = [validate_jobspec(doc) for doc in job_docs()]
+    results = Farm(jobs=1).run(specs)
+    return [r.stats.to_dict() for r in results]
+
+
+def start_agent(url, name, chaos=None, jobs=1):
+    agent = DistAgent(AgentConfig(coordinator_url=url, agent_id=name,
+                                  jobs=jobs, max_fragments=8,
+                                  poll_interval_s=0.05),
+                      chaos=chaos, log=lambda msg: None)
+    thread = threading.Thread(target=agent.run, daemon=True,
+                              name=f"agent-{name}")
+    thread.start()
+    return agent, thread
+
+
+def stop_agents(agents):
+    for agent, thread in agents:
+        agent.request_stop()
+    for agent, thread in agents:
+        thread.join(timeout=10)
+
+
+def counters(coord, name):
+    snap = coord.metrics_snapshot()
+    return sum(c["value"] for c in snap["counters"]
+               if c["name"] == name)
+
+
+def table_for(records):
+    runs = [AppRun(app=r["app"], variant=r["variant"],
+                   n_cores=r["n_cores"],
+                   stats=RunStats.from_dict(r["stats"]), handles={},
+                   cached=True) for r in records]
+    return speedup_table(runs, baseline_variant="fractal",
+                         baseline_cores=CORES[0])
+
+
+@pytest.fixture
+def coordinator():
+    cfg = CoordinatorConfig(port=0, lease_ttl_s=0.8,
+                            heartbeat_interval_s=0.2, fragments=2,
+                            cache_dir=None, reap_interval_s=0.1)
+    handle = start_coordinator_in_thread(cfg)
+    yield handle
+    handle.stop()
+
+
+class TestCleanSweep:
+    def test_matches_serial_run_byte_for_byte(self, coordinator):
+        agents = [start_agent(coordinator.url, f"w{i}")
+                  for i in range(2)]
+        try:
+            doc = dist_sweep(coordinator.url, job_docs(), timeout_s=60)
+        finally:
+            stop_agents(agents)
+        assert doc["complete"]
+        dist = [r["stats"] for r in doc["results"]]
+        assert json.dumps(dist, sort_keys=True) \
+            == json.dumps(serial_stats(), sort_keys=True)
+        assert counters(coordinator.coordinator,
+                        "dist.result_mismatch") == 0
+
+    def test_resubmission_is_served_from_records(self, coordinator):
+        agents = [start_agent(coordinator.url, "w0")]
+        try:
+            first = dist_sweep(coordinator.url, job_docs(), timeout_s=60)
+            again = dist_sweep(coordinator.url, job_docs(), timeout_s=5)
+        finally:
+            stop_agents(agents)
+        assert first["id"] == again["id"]
+        assert first["results"] == again["results"]
+
+
+class TestChaosSweep:
+    def test_dropped_heartbeats_requeue_and_suppress_duplicates(
+            self, coordinator):
+        # the zombie: every heartbeat dropped (a partition), deliveries
+        # delayed past the lease TTL — its work always arrives late
+        zombie_chaos = TransportChaos({
+            "partition": {"heartbeat": [1, 10_000]},
+            "delay_ms": {"deliver": 2_000},
+        })
+        zombie = start_agent(coordinator.url, "zombie",
+                             chaos=zombie_chaos)
+        healthy = start_agent(coordinator.url, "healthy")
+        try:
+            doc = dist_sweep(coordinator.url, job_docs(), timeout_s=120)
+        finally:
+            stop_agents([zombie, healthy])
+        coord = coordinator.coordinator
+        assert doc["complete"]
+        # the chaos actually happened: at least one lease expired and
+        # its fragment was re-executed
+        assert counters(coord, "dist.fragments_requeued") >= 1
+        assert counters(coord, "dist.leases_expired") >= 1
+        # exactly-once held: every duplicate was suppressed with
+        # matching stats, nothing double-counted, nothing lost
+        assert counters(coord, "dist.result_mismatch") == 0
+        n_done = counters(coord, "dist.results_recorded")
+        assert n_done == len(CORES)
+        # and the output is still byte-identical to a serial run
+        dist = [r["stats"] for r in doc["results"]]
+        assert json.dumps(dist, sort_keys=True) \
+            == json.dumps(serial_stats(), sort_keys=True)
+        assert table_for(doc["results"]) == table_for([
+            {"app": r["app"], "variant": r["variant"],
+             "n_cores": r["n_cores"], "stats": s}
+            for r, s in zip(doc["results"], serial_stats())])
+        assert zombie[0].n_heartbeats_dropped >= 1

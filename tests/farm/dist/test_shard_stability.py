@@ -1,0 +1,153 @@
+"""Shard-lease stability properties (hypothesis).
+
+Two invariants the dist design leans on:
+
+1. **Subset stability** — a job's fragment is a pure function of its own
+   content digest (blake2b shard), so submitting any subset of a sweep
+   assigns every surviving job to the same fragment id it had in the
+   full sweep. Caches, retries, and partial resubmissions can never
+   reshuffle work.
+2. **Never-split leasing** — across any interleaving of registrations,
+   acquires, clock advances, reaps, and heartbeats, a fragment is
+   covered by at most one live lease: re-sharding after agent loss moves
+   whole fragments, it never splits one across two live leases.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.farm import stable_digest
+from repro.farm.dist.coordinator import (LEASED, Coordinator,
+                                         CoordinatorConfig)
+from repro.farm.shard import shard_index
+
+FAKEAPP = "tests.farm._fakeapp"
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_coord(fragments, clock):
+    cfg = CoordinatorConfig(lease_ttl_s=10.0, heartbeat_interval_s=2.0,
+                            fragments=fragments, cache_dir=None)
+    return Coordinator(cfg, clock=clock)
+
+
+def docs_for(seeds):
+    return [{"app": FAKEAPP, "n_cores": 1,
+             "input": {"n_tasks": 2, "work_cycles": 10 + s}}
+            for s in seeds]
+
+
+# -- property 1: subset stability --------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(keys=st.lists(st.text(min_size=1, max_size=20), min_size=1,
+                     max_size=30, unique=True),
+       n_shards=st.integers(min_value=1, max_value=16),
+       subset_mask=st.lists(st.booleans(), min_size=30, max_size=30))
+def test_shard_index_is_subset_stable(keys, n_shards, subset_mask):
+    digests = [stable_digest(k) for k in keys]
+    full = {d: shard_index(d, n_shards) for d in digests}
+    subset = [d for d, keep in zip(digests, subset_mask) if keep]
+    for d in subset:
+        assert shard_index(d, n_shards) == full[d]
+        assert 0 <= full[d] < n_shards
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds=st.lists(st.integers(min_value=0, max_value=200),
+                      min_size=2, max_size=10, unique=True),
+       n_fragments=st.integers(min_value=1, max_value=5),
+       drop=st.integers(min_value=0, max_value=9))
+def test_sweep_subset_keeps_fragment_assignment(seeds, n_fragments, drop):
+    """Removing a job from a sweep never moves the others' fragments."""
+    clock = FakeClock()
+    coord = make_coord(n_fragments, clock)
+    full_id = coord.submit_sweep({"jobs": docs_for(seeds),
+                                  "fragments": n_fragments})["id"]
+    full = coord.sweep(full_id)
+    frag_of = {full.specs[i].digest(): f.id
+               for f in full.fragments.values() for i in f.indices}
+
+    subset_seeds = [s for i, s in enumerate(seeds) if i != drop % len(seeds)]
+    if not subset_seeds:
+        return
+    sub_id = coord.submit_sweep({"jobs": docs_for(subset_seeds),
+                                 "fragments": n_fragments})["id"]
+    sub = coord.sweep(sub_id)
+    # a smaller sweep clamps n_fragments the same way only when the job
+    # count still covers it; compare only when the modulus is unchanged
+    if min(n_fragments, len(seeds)) != min(n_fragments, len(subset_seeds)):
+        return
+    for f in sub.fragments.values():
+        for i in f.indices:
+            assert frag_of[sub.specs[i].digest()] == f.id
+
+
+# -- property 2: never-split leasing -----------------------------------
+def _assert_never_split(coord):
+    live_by_fragment = {}
+    for lease in coord._leases.values():
+        key = (lease.sweep, lease.fragment)
+        assert key not in live_by_fragment, \
+            f"fragment {key} held by two live leases"
+        live_by_fragment[key] = lease
+    for sweep in coord._sweeps.values():
+        for frag in sweep.fragments.values():
+            if frag.state == LEASED:
+                assert frag.lease is not None
+                assert coord._leases.get(frag.lease.id) is frag.lease
+            else:
+                assert frag.lease is None
+
+
+op_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("acquire"),
+                  st.integers(min_value=0, max_value=3),
+                  st.integers(min_value=1, max_value=4)),
+        st.tuples(st.just("advance"),
+                  st.sampled_from([1.0, 5.0, 11.0, 21.0]), st.just(0)),
+        st.tuples(st.just("heartbeat"),
+                  st.integers(min_value=0, max_value=3), st.just(0)),
+        st.tuples(st.just("reap"), st.just(0), st.just(0)),
+    ),
+    min_size=1, max_size=25)
+
+
+@settings(max_examples=20, deadline=None)
+@given(ops=op_strategy, n_fragments=st.integers(min_value=1, max_value=4))
+def test_fragment_never_held_by_two_live_leases(ops, n_fragments):
+    clock = FakeClock()
+    coord = make_coord(n_fragments, clock)
+    coord.submit_sweep({"jobs": docs_for(range(6)),
+                        "fragments": n_fragments})
+    agents = [coord.register_agent({"agent": f"w{i}"})["agent"]
+              for i in range(4)]
+    held = {a: [] for a in agents}
+    for kind, a, k in ops:
+        agent = agents[int(a) % len(agents)] if kind != "advance" else None
+        if kind == "acquire":
+            try:
+                got = coord.acquire(agent, {"max_fragments": k})
+            except Exception:
+                pass                         # agent reaped: acceptable
+            else:
+                held[agent].extend(l["lease"] for l in got["leases"])
+        elif kind == "advance":
+            clock.now += a                   # a is the seconds value
+        elif kind == "heartbeat":
+            try:
+                coord.heartbeat(agent, {"leases": held[agent]})
+            except Exception:
+                pass
+        elif kind == "reap":
+            coord.reap()
+        _assert_never_split(coord)
+    coord.reap()
+    _assert_never_split(coord)

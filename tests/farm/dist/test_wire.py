@@ -1,0 +1,91 @@
+"""Wire-protocol validators: both sides must reject malformed docs."""
+
+import pytest
+
+from repro.farm.dist import wire
+
+
+class TestRegister:
+    def test_defaults(self):
+        msg = wire.check_register({})
+        assert msg == {"agent": "", "capacity": 1, "pid": 0, "host": ""}
+
+    def test_rejects_non_object(self):
+        with pytest.raises(wire.WireError):
+            wire.check_register([1, 2])
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(wire.WireError):
+            wire.check_register({"capacity": "lots"})
+
+
+class TestAcquire:
+    def test_default_one_fragment(self):
+        assert wire.check_acquire({}) == {"max_fragments": 1}
+
+    def test_rejects_zero(self):
+        with pytest.raises(wire.WireError):
+            wire.check_acquire({"max_fragments": 0})
+
+
+class TestHeartbeat:
+    def test_lease_ids(self):
+        assert wire.check_heartbeat({"leases": ["a", "b"]}) \
+            == {"leases": ["a", "b"]}
+
+    def test_rejects_non_string_lease(self):
+        with pytest.raises(wire.WireError):
+            wire.check_heartbeat({"leases": [7]})
+
+
+class TestDeliver:
+    BASE = {"agent": "w1", "sweep": "s" * 64, "fragment": 0, "epoch": 1}
+
+    def test_accepts_stats_result(self):
+        msg = wire.check_deliver({
+            **self.BASE,
+            "results": [{"index": 3, "digest": "d" * 64,
+                         "stats": {"makespan": 10}}]})
+        r = msg["results"][0]
+        assert r["index"] == 3 and r["error"] is None
+        assert r["attempts"] == 1          # default
+
+    def test_accepts_error_result(self):
+        msg = wire.check_deliver({
+            **self.BASE,
+            "results": [{"index": 0, "digest": "d" * 64,
+                         "error": "RuntimeError: boom"}]})
+        assert msg["results"][0]["stats"] is None
+
+    def test_rejects_result_with_neither(self):
+        with pytest.raises(wire.WireError):
+            wire.check_deliver({
+                **self.BASE,
+                "results": [{"index": 0, "digest": "d" * 64}]})
+
+    def test_rejects_missing_envelope_field(self):
+        doc = dict(self.BASE, results=[])
+        del doc["epoch"]
+        with pytest.raises(wire.WireError):
+            wire.check_deliver(doc)
+
+
+class TestSweepAndLease:
+    def test_sweep_rejects_empty_jobs(self):
+        with pytest.raises(wire.WireError):
+            wire.check_submit_sweep({"jobs": []})
+
+    def test_sweep_rejects_negative_fragments(self):
+        with pytest.raises(wire.WireError):
+            wire.check_submit_sweep({"jobs": [{}], "fragments": -1})
+
+    def test_lease_roundtrip(self):
+        doc = wire.lease_doc("lease-1", "s" * 64, 2, 1,
+                             [{"index": 0, "spec": {"app": "mis"}}])
+        msg = wire.check_lease(doc)
+        assert msg["lease"] == "lease-1" and msg["epoch"] == 1
+        assert msg["jobs"][0]["spec"] == {"app": "mis"}
+
+    def test_lease_rejects_empty_jobs(self):
+        with pytest.raises(wire.WireError):
+            wire.check_lease(wire.lease_doc("l", "s", 0, 0, []))

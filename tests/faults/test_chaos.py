@@ -1,0 +1,127 @@
+"""TransportChaos: deterministic, scripted message faults."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults.chaos import (CHAOS_ENV, ChaosDrop, TransportChaos,
+                                classify_op, kill_after, wait_until)
+
+HB = ("POST", "/v1/agents/w1/heartbeat")
+DELIVER = ("POST", "/v1/leases/lease-1/results")
+
+
+class TestClassify:
+    def test_op_classes(self):
+        assert classify_op(*HB) == "heartbeat"
+        assert classify_op(*DELIVER) == "deliver"
+        assert classify_op("POST", "/v1/agents/w1/leases") == "acquire"
+        assert classify_op("POST", "/v1/agents/register") == "register"
+        assert classify_op("GET", "/healthz") == "other"
+
+
+class TestScript:
+    def test_drop_by_ordinal(self):
+        chaos = TransportChaos({"drop": {"heartbeat": [2]}})
+        chaos(*HB)                          # ordinal 1 passes
+        with pytest.raises(ChaosDrop) as exc:
+            chaos(*HB)                      # ordinal 2 dropped
+        assert exc.value.ordinal == 2
+        chaos(*HB)                          # ordinal 3 passes
+        assert chaos.n_dropped == 1
+
+    def test_partition_window(self):
+        chaos = TransportChaos({"partition": {"heartbeat": [2, 3]}})
+        chaos(*HB)
+        for _ in range(2):
+            with pytest.raises(ChaosDrop):
+                chaos(*HB)
+        chaos(*HB)                          # window over
+
+    def test_ordinals_are_per_op_class(self):
+        chaos = TransportChaos({"drop": {"heartbeat": [1]}})
+        chaos(*DELIVER)                     # deliver #1: unaffected
+        with pytest.raises(ChaosDrop):
+            chaos(*HB)                      # heartbeat #1: dropped
+
+    def test_delay_uses_injected_sleep(self):
+        sleeps = []
+        chaos = TransportChaos({"delay_ms": {"deliver": 250}},
+                               sleep=sleeps.append)
+        chaos(*DELIVER)
+        assert sleeps == [0.25]
+        assert chaos.n_delayed == 1
+
+    def test_drop_rate_is_seeded_and_deterministic(self):
+        def outcomes(seed):
+            chaos = TransportChaos({"seed": seed,
+                                    "drop_rate": {"heartbeat": 0.5}})
+            out = []
+            for _ in range(40):
+                try:
+                    chaos(*HB)
+                    out.append(False)
+                except ChaosDrop:
+                    out.append(True)
+            return out
+
+        a, b, c = outcomes(7), outcomes(7), outcomes(8)
+        assert a == b                       # same seed, same script
+        assert a != c                       # seed moves the coin
+        assert any(a) and not all(a)        # rate 0.5 drops some
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError):
+            TransportChaos({"explode": True})
+        with pytest.raises(ConfigError):
+            TransportChaos({"drop": {"no-such-op": [1]}})
+
+    def test_summary(self):
+        chaos = TransportChaos({"drop": {"heartbeat": [1]}})
+        with pytest.raises(ChaosDrop):
+            chaos(*HB)
+        assert chaos.summary() == {"dropped": 1, "delayed": 0,
+                                   "ordinals": {"heartbeat": 1}}
+
+
+class TestFromEnv:
+    def test_unset_means_no_chaos(self):
+        assert TransportChaos.from_env(env={}) is None
+        assert TransportChaos.from_env(env={CHAOS_ENV: "  "}) is None
+
+    def test_json_spec(self):
+        env = {CHAOS_ENV: json.dumps({"drop": {"heartbeat": [1]}})}
+        chaos = TransportChaos.from_env(env=env)
+        with pytest.raises(ChaosDrop):
+            chaos(*HB)
+
+    def test_bad_json_is_config_error(self):
+        with pytest.raises(ConfigError):
+            TransportChaos.from_env(env={CHAOS_ENV: "{nope"})
+
+
+class TestKillAfter:
+    def test_kills_a_real_process(self):
+        proc = subprocess.Popen([sys.executable, "-c",
+                                 "import time; time.sleep(60)"])
+        kill_after(proc.pid, 0.05)
+        assert wait_until(lambda: proc.poll() is not None, timeout_s=10)
+        assert proc.returncode == -signal.SIGKILL
+
+    def test_cancel_calls_it_off(self):
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        timer = kill_after(proc.pid, 30.0)
+        timer.cancel()
+        proc.wait(timeout=10)
+        assert proc.returncode == 0
+
+    def test_dead_pid_is_ignored(self):
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait(timeout=10)
+        timer = kill_after(proc.pid, 0.0)
+        timer.join(timeout=5)               # must not raise in the timer

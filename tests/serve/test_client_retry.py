@@ -1,0 +1,97 @@
+"""ServeClient 429 handling: opt-in Retry-After retry loop."""
+
+import pytest
+
+from repro.serve.client import (RETRY_SLEEP_CAP_S, RateLimited, ServeClient,
+                                retry_delay_s)
+
+
+class FakeWire:
+    """Scripted (status, headers, doc) responses for client._request."""
+
+    def __init__(self, responses):
+        self.responses = list(responses)
+        self.calls = []
+
+    def __call__(self, method, path, body=None):
+        self.calls.append((method, path))
+        return self.responses.pop(0)
+
+
+def rate_limited(after):
+    return (429, {"retry-after": str(after)},
+            {"error": "slow down", "retry_after": after, "reason": "rate"})
+
+
+OK = (200, {}, {"id": "d" * 64, "outcome": "queued"})
+
+
+def make_client(responses, retries=0, seed=0):
+    sleeps = []
+    client = ServeClient("http://127.0.0.1:1", retries=retries,
+                         retry_seed=seed, sleep=sleeps.append)
+    wire = FakeWire(responses)
+    client._request = wire
+    return client, wire, sleeps
+
+
+class TestRetryLoop:
+    def test_default_still_raises_immediately(self):
+        client, wire, sleeps = make_client([rate_limited(2.5)])
+        with pytest.raises(RateLimited) as exc:
+            client.submit({"app": "mis"})
+        assert exc.value.retry_after == 2.5
+        assert sleeps == []                       # never slept
+        assert len(wire.calls) == 1
+
+    def test_retries_absorb_429_and_honor_retry_after(self):
+        client, wire, sleeps = make_client(
+            [rate_limited(0.5), rate_limited(1.5), OK], retries=3)
+        doc = client.submit({"app": "mis"})
+        assert doc["outcome"] == "queued"
+        assert len(wire.calls) == 3
+        assert client.n_rate_retries == 2
+        # every sleep is at least the server's Retry-After hint
+        assert sleeps[0] >= 0.5 and sleeps[1] >= 1.5
+
+    def test_retry_budget_exhausted_reraises(self):
+        client, wire, sleeps = make_client(
+            [rate_limited(0.1)] * 3, retries=2)
+        with pytest.raises(RateLimited):
+            client.submit({"app": "mis"})
+        assert len(wire.calls) == 3               # 1 try + 2 retries
+        assert len(sleeps) == 2
+
+    def test_non_429_errors_never_retry(self):
+        client, wire, sleeps = make_client(
+            [(400, {}, {"error": "bad spec"})], retries=5)
+        from repro.serve.client import ServeAPIError
+        with pytest.raises(ServeAPIError):
+            client.submit({"app": "nope"})
+        assert len(wire.calls) == 1 and sleeps == []
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            ServeClient("http://127.0.0.1:1", retries=-1)
+
+
+class TestRetryDelay:
+    def test_floor_is_retry_after_hint(self):
+        assert retry_delay_s(1, 5.0, seed=0) >= 5.0
+
+    def test_backoff_curve_grows_when_hint_is_small(self):
+        small_hint = [retry_delay_s(a, 0.01, seed=0) for a in (1, 2, 3, 4)]
+        assert small_hint == sorted(small_hint)
+        assert small_hint[-1] > small_hint[0]
+
+    def test_capped(self):
+        assert retry_delay_s(30, 10_000.0, seed=0) <= RETRY_SLEEP_CAP_S
+
+    def test_jitter_is_seeded_and_deterministic(self):
+        a = retry_delay_s(2, 1.0, seed=7)
+        b = retry_delay_s(2, 1.0, seed=7)
+        c = retry_delay_s(2, 1.0, seed=8)
+        assert a == b                     # same seed -> same delay
+        assert a != c                     # different seed -> jitter moves
+        # jitter is bounded: within +25% of the un-jittered base
+        assert 1.0 <= a <= 1.25 * max(1.0, 0.5)
