@@ -19,6 +19,16 @@ Real OS processes, real faults, byte-level acceptance:
    mismatched (duplicate) writes;
 5. SIGTERM the coordinator and assert it drains and exits 0.
 
+Then the **coordinator-kill phase** (the PR-8 acceptance): a fresh
+coordinator with a write-ahead journal and a required wire token is
+SIGKILLed mid-sweep; the agent and the sweep driver ride out the
+outage; a second coordinator started on the same port and journal
+directory replays the journal and finishes the sweep. Asserts the
+output is still byte-identical to the serial run, the journal's
+exactly-once ledger holds (every job recorded once, across both
+coordinator processes), the agent reconnected unaided, anonymous
+requests 401, and ``repro profile --dist`` renders the recovery block.
+
 Exit code 0 if every step holds, 1 otherwise. Stdlib + repro only.
 """
 
@@ -39,12 +49,18 @@ from repro.bench.harness import AppRun                        # noqa: E402
 from repro.bench.plots import speedup_chart                   # noqa: E402
 from repro.bench.report import speedup_table                  # noqa: E402
 from repro.farm import Farm, validate_jobspec                 # noqa: E402
-from repro.farm.dist import DistClient                        # noqa: E402
+from repro.farm.dist import (TOKEN_ENV, DistClient,           # noqa: E402
+                             read_journal)
 from repro.faults.chaos import CHAOS_ENV, wait_until          # noqa: E402
+from repro.serve.client import ServeAPIError                  # noqa: E402
 
 APP = "zoomtree"
 VARIANT = "fractal"
 CORES = (1, 2, 4)
+
+#: phase-B wire secret: every process gets it via the env, the
+#: anonymous probe deliberately doesn't
+TOKEN = "smoke-token-123"
 
 BANNER = re.compile(r"listening on http://([\d.]+):(\d+)")
 
@@ -193,10 +209,166 @@ def main():
             return fail(f"coordinator exit {rc}, expected clean drain")
         print("drain pass: healthy agent idle-exited, coordinator "
               "SIGTERM -> 0", flush=True)
+
+        rc = coordinator_kill_phase(expected)
+        if rc:
+            return rc
         print("dist-chaos-smoke: OK", flush=True)
         return 0
     finally:
         for proc in (sweep, victim, healthy, coord):
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+
+def start_coordinator(port, journal_dir):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "coordinator",
+         "--port", str(port), "--lease-ttl", "2",
+         "--heartbeat-interval", "0.5", "--fragments", "3", "--no-cache",
+         "--journal-dir", journal_dir],
+        cwd=REPO_ROOT, stderr=subprocess.PIPE, text=True,
+        env=child_env(**{TOKEN_ENV: TOKEN}))
+
+
+def journal_record_ledger(journal_dir):
+    """Every recorded (sweep, index) in the journal, with counts —
+    snapshot state and WAL tail combined (compaction moves records from
+    one to the other, it must never duplicate or drop them)."""
+    replay = read_journal(journal_dir)
+    counts = {}
+    if replay.snapshot is not None:
+        for s in replay.snapshot["state"]["sweeps"]:
+            for rec in s["records"]:
+                if rec is not None:
+                    key = (s["id"], rec["index"])
+                    counts[key] = counts.get(key, 0) + 1
+    for rec in replay.records:
+        if rec["kind"] == "record":
+            key = (rec["sweep"], rec["record"]["index"])
+            counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def coordinator_kill_phase(expected):
+    """SIGKILL the coordinator mid-sweep; restart it from its journal."""
+    print("--- coordinator-kill phase (journal + auth) ---", flush=True)
+    journal_dir = tempfile.mkdtemp(prefix="dist-chaos-journal-")
+    coord1 = start_coordinator(0, journal_dir)
+    coord2 = survivor = sweep = None
+    try:
+        url, _ = wait_for_banner(coord1)
+        port = int(url.rsplit(":", 1)[1])
+        print(f"journaling coordinator up at {url}", flush=True)
+
+        survivor = start_agent(url, "survivor", **{TOKEN_ENV: TOKEN})
+        sweep = subprocess.Popen(
+            [sys.executable, "-m", "repro", "sweep", APP,
+             "--dist", url, "--variants", VARIANT,
+             "--cores", ",".join(str(n) for n in CORES),
+             "--dist-timeout", "240"],
+            cwd=REPO_ROOT, stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL, text=True,
+            env=child_env(**{TOKEN_ENV: TOKEN}))
+
+        with DistClient(url, timeout=10.0, token=TOKEN) as client:
+            client.wait_ready(timeout=30)
+            # kill only once at least one result is durably journaled
+            # (and, with 3 single-job fragments, more are still to come)
+            if not wait_until(
+                    lambda: counter(client.metrics(),
+                                    "dist.results_recorded") >= 1,
+                    timeout_s=120):
+                return fail("no result recorded before the kill window")
+        os.kill(coord1.pid, signal.SIGKILL)
+        coord1.wait(timeout=30)
+        if coord1.returncode != -signal.SIGKILL:
+            return fail(f"coordinator exit {coord1.returncode}, "
+                        f"expected -SIGKILL")
+        print("coordinator SIGKILLed mid-sweep", flush=True)
+        if survivor.poll() is not None:
+            return fail("survivor agent died with the coordinator")
+
+        coord2 = start_coordinator(port, journal_dir)
+        url2, _ = wait_for_banner(coord2)
+        if url2 != url:
+            return fail(f"restart bound {url2}, expected {url}")
+        with DistClient(url2, timeout=10.0, token=TOKEN) as client:
+            health = client.wait_ready(timeout=30)
+            if not health.get("recovered"):
+                return fail(f"restart did not recover: {health}")
+
+            # the wire requires the token: an anonymous probe 401s
+            try:
+                with DistClient(url2, timeout=10.0, token="") as anon:
+                    anon.healthz()
+                return fail("anonymous healthz was not rejected")
+            except ServeAPIError as exc:
+                if exc.status != 401:
+                    return fail(f"anonymous healthz got {exc.status}, "
+                                f"expected 401")
+
+            out, _ = sweep.communicate(timeout=240)
+            if sweep.returncode != 0:
+                return fail(f"dist sweep exited {sweep.returncode} "
+                            f"across the coordinator restart")
+            metrics = client.metrics()
+
+        if out != expected:
+            return fail("post-recovery table differs from serial run:\n"
+                        f"--- dist ---\n{out}--- serial ---\n{expected}")
+        print("recovery pass: sweep completed across the restart, "
+              "byte-identical to serial run", flush=True)
+
+        recovery = metrics["dist"]["recovery"]
+        if not recovery.get("recovered"):
+            return fail(f"metrics claim no recovery: {recovery}")
+        if recovery.get("replayed_records", 0) < 1 \
+                and recovery.get("snapshot_seq", 0) < 1:
+            return fail(f"nothing replayed: {recovery}")
+        if counter(metrics, "dist.auth_reject") < 1:
+            return fail("the anonymous probe was not counted")
+        if counter(metrics, "dist.result_mismatch") != 0:
+            return fail("mismatched duplicate writes after recovery")
+
+        ledger = journal_record_ledger(journal_dir)
+        dupes = {k: n for k, n in ledger.items() if n != 1}
+        if dupes:
+            return fail(f"journal recorded jobs more than once: {dupes}")
+        if len(ledger) != len(CORES):
+            return fail(f"journal ledger has {len(ledger)} records, "
+                        f"expected {len(CORES)}")
+        print(f"journal pass: {recovery['replayed_records']} record(s) "
+              f"replayed, {len(ledger)} job(s) recorded exactly once "
+              f"across both coordinator processes", flush=True)
+
+        profile = subprocess.run(
+            [sys.executable, "-m", "repro", "profile",
+             "--dist", url2, "--token", TOKEN],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=60,
+            env=child_env())
+        if profile.returncode != 0:
+            return fail(f"profile --dist exited {profile.returncode}: "
+                        f"{profile.stderr}")
+        if "journal records replayed" not in profile.stdout \
+                or "wire auth" not in profile.stdout:
+            return fail("profile --dist shows no recovery block:\n"
+                        f"{profile.stdout}")
+        print("profile pass: recovery + auth block rendered", flush=True)
+
+        if survivor.wait(timeout=60) != 0:
+            return fail(f"survivor agent exit {survivor.returncode}")
+        coord2.send_signal(signal.SIGTERM)
+        rc = coord2.wait(timeout=60)
+        if rc != 0:
+            return fail(f"restarted coordinator exit {rc}, "
+                        f"expected clean drain")
+        print("kill pass: survivor reconnected and idle-exited, "
+              "restarted coordinator SIGTERM -> 0", flush=True)
+        return 0
+    finally:
+        for proc in (sweep, survivor, coord1, coord2):
             if proc is not None and proc.poll() is None:
                 proc.kill()
                 proc.wait(timeout=10)

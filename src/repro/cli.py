@@ -33,6 +33,9 @@ Commands:
   admission control, SSE progress streaming, and graceful drain on
   SIGTERM. ``profile --serve URL`` reports a live instance's queue
   depths, admission rejects and cache hit rates.
+- ``crash-validate BUNDLE.json ...`` — validate ``repro.crash/1`` crash
+  bundles: exit 0 all valid, 1 structurally invalid, 4 unreadable or
+  truncated/garbage JSON (field-level messages, never a traceback).
 
 Exit codes (``run``): 0 success; 1 application failure (result check or
 :class:`repro.errors.AppError`, incl. a task exhausting its retries);
@@ -75,6 +78,13 @@ exit codes:
   0  clean shutdown (SIGTERM/SIGINT drained all queued and running jobs)
   2  invalid configuration (tenants file, bind address)
   3  drain timed out: --drain-timeout expired with jobs still pending
+"""
+
+_CRASH_EXIT_CODES = """\
+exit codes:
+  0  every bundle valid
+  1  a bundle parsed as JSON but failed repro.crash/1 validation
+  4  a file was unreadable or not JSON at all (truncated or garbage)
 """
 
 
@@ -163,6 +173,9 @@ def _build_parser() -> argparse.ArgumentParser:
                          metavar="SEC",
                          help="--dist: overall sweep deadline "
                               "(default 600)")
+    p_sweep.add_argument("--token", default=None, metavar="SECRET",
+                         help="--dist: coordinator wire token (default: "
+                              "$REPRO_DIST_TOKEN)")
 
     p_coord = sub.add_parser(
         "coordinator",
@@ -185,6 +198,18 @@ def _build_parser() -> argparse.ArgumentParser:
                               "benchmarks/results/.cache)")
     p_coord.add_argument("--no-cache", action="store_true",
                          help="disable the result cache")
+    p_coord.add_argument("--journal-dir", metavar="DIR", default=None,
+                         help="write-ahead journal directory; restarting "
+                              "on the same dir resumes every in-flight "
+                              "sweep (default: off, in-memory only)")
+    p_coord.add_argument("--snapshot-every", type=int, default=2048,
+                         metavar="N",
+                         help="compact the journal into a snapshot every "
+                              "N records (default 2048)")
+    p_coord.add_argument("--token", default=None, metavar="SECRET",
+                         help="require X-Repro-Token on every request "
+                              "(default: $REPRO_DIST_TOKEN; empty = "
+                              "open)")
 
     p_agent = sub.add_parser(
         "agent", help="run a distributed-farm worker agent")
@@ -207,6 +232,13 @@ def _build_parser() -> argparse.ArgumentParser:
     p_agent.add_argument("--crash-dump-dir", metavar="DIR", default=None,
                          help="write repro.crash/1 bundles when farm "
                               "worker processes die")
+    p_agent.add_argument("--token", default="", metavar="SECRET",
+                         help="coordinator wire token (default: "
+                              "$REPRO_DIST_TOKEN)")
+    p_agent.add_argument("--reconnect-timeout", type=float, default=120.0,
+                         metavar="SEC",
+                         help="continuous coordinator silence before "
+                              "the agent gives up (default 120)")
 
     p_serve = sub.add_parser(
         "serve", help="run the always-on simulation service (repro.serve)",
@@ -267,7 +299,18 @@ def _build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--dist", metavar="URL", default=None,
                         help="profile a running dist coordinator "
                              "instead: leases, requeues, duplicate "
-                             "suppression, per-agent rows")
+                             "suppression, recovery, per-agent rows")
+    p_prof.add_argument("--token", default=None, metavar="SECRET",
+                        help="--dist: coordinator wire token (default: "
+                             "$REPRO_DIST_TOKEN)")
+
+    p_crash = sub.add_parser(
+        "crash-validate",
+        help="validate repro.crash/1 crash-bundle files",
+        epilog=_CRASH_EXIT_CODES,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    p_crash.add_argument("bundles", nargs="+", metavar="BUNDLE.json",
+                         help="crash bundle files to validate")
 
     sub.add_parser("apps", help="list applications")
     sub.add_parser("config", help="print the Table 2 configuration")
@@ -403,14 +446,22 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_coordinator(args) -> int:
+    import os as _os
+
     from .farm.dist import CoordinatorConfig, coordinator_forever
+    from .farm.dist.wire import TOKEN_ENV
+    token = args.token if args.token is not None \
+        else _os.environ.get(TOKEN_ENV, "")
     try:
         config = CoordinatorConfig(
             host=args.host, port=args.port,
             lease_ttl_s=args.lease_ttl,
             heartbeat_interval_s=args.heartbeat_interval,
             fragments=args.fragments,
-            cache_dir=None if args.no_cache else args.cache_dir)
+            cache_dir=None if args.no_cache else args.cache_dir,
+            journal_dir=args.journal_dir,
+            journal_snapshot_every=args.snapshot_every,
+            auth_token=token)
         return coordinator_forever(config)
     except ConfigError as exc:
         print(f"coordinator: {exc}", file=sys.stderr)
@@ -429,7 +480,9 @@ def _cmd_agent(args) -> int:
             jobs=args.jobs, max_fragments=args.max_fragments,
             exit_when_idle=args.exit_when_idle,
             cache_dir=args.cache_dir,
-            crash_dump_dir=args.crash_dump_dir)
+            crash_dump_dir=args.crash_dump_dir,
+            token=args.token,
+            reconnect_timeout_s=args.reconnect_timeout)
         return agent_forever(config)
     except ConfigError as exc:
         print(f"agent: {exc}", file=sys.stderr)
@@ -445,7 +498,8 @@ def _cmd_profile_dist(args) -> int:
     from .serve.client import ServeAPIError
     from .telemetry.profiling import format_dist_profile
     try:
-        with DistClient(args.dist, timeout=10.0) as client:
+        with DistClient(args.dist, token=args.token,
+                        timeout=10.0) as client:
             doc = client.metrics()
     except (OSError, ValueError, ServeAPIError) as exc:
         print(f"cannot fetch {args.dist}/metrics: {exc}", file=sys.stderr)
@@ -543,6 +597,7 @@ def _cmd_sweep_dist(args, variants, cores) -> int:
     from .bench.harness import AppRun
     from .core.stats import RunStats
     from .farm.dist import dist_sweep
+    from .serve.client import ServeAPIError
 
     jobs = [{"app": args.app, "variant": variant, "n_cores": n,
              "input": {}}
@@ -557,12 +612,17 @@ def _cmd_sweep_dist(args, variants, cores) -> int:
     try:
         doc = dist_sweep(args.dist, jobs, fragments=args.fragments,
                          label=f"sweep:{args.app}",
-                         timeout_s=args.dist_timeout, progress=progress)
+                         timeout_s=args.dist_timeout,
+                         token=args.token, progress=progress)
     except TimeoutError as exc:
         print(f"\ndist sweep: {exc}", file=sys.stderr)
         return 2
     except (OSError, ConnectionError) as exc:
         print(f"dist sweep: cannot reach {args.dist}: {exc}",
+              file=sys.stderr)
+        return 2
+    except ServeAPIError as exc:
+        print(f"dist sweep: coordinator rejected us: {exc}",
               file=sys.stderr)
         return 2
     finally:
@@ -641,6 +701,11 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_crash_validate(args) -> int:
+    from .faults.crashdump import validate_paths
+    return validate_paths(args.bundles)
+
+
 def _cmd_apps() -> int:
     rows = [[name, module.rsplit(".", 2)[-2] if "stamp" in module
              or "swarm" in module else "core", ", ".join(variants)]
@@ -664,6 +729,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_coordinator(args)
     if args.command == "agent":
         return _cmd_agent(args)
+    if args.command == "crash-validate":
+        return _cmd_crash_validate(args)
     if args.command == "apps":
         return _cmd_apps()
     if args.command == "config":

@@ -11,10 +11,14 @@ floor (see README "Distributed sweeps"):
 - :mod:`~repro.farm.dist.coordinator` — shard-leased fragments,
   heartbeat TTLs, a reaper that requeues lost work, and exactly-once
   result recording with duplicate suppression;
+- :mod:`~repro.farm.dist.journal` — the coordinator's write-ahead log
+  and snapshot compaction: a coordinator started with a journal dir
+  replays it on restart and finishes every in-flight sweep;
 - :mod:`~repro.farm.dist.agent` — the stateless worker loop
-  (register → acquire → run on a local Farm → deliver);
+  (register → acquire → run on a local Farm → deliver), which rides out
+  coordinator restarts by reconnecting on the seeded backoff curve;
 - :mod:`~repro.farm.dist.client` — the HTTP client, with the chaos
-  transport-fault hook;
+  transport-fault hook and ``X-Repro-Token`` wire auth;
 - :mod:`~repro.farm.dist.sweep` — the driver (`repro sweep --dist`).
 """
 
@@ -24,11 +28,16 @@ from .coordinator import (Coordinator, CoordinatorConfig,
                           CoordinatorHandle, CoordinatorServer, DistError,
                           UnknownAgentError, UnknownSweepError,
                           coordinator_forever, start_coordinator_in_thread)
+from .journal import (JOURNAL_SCHEMA, JournalError, JournalReplay,
+                      JournalWriter, read_journal)
 from .sweep import dist_sweep, records_to_results
-from .wire import DIST_SCHEMA, WireError
+from .wire import DIST_SCHEMA, TOKEN_ENV, TOKEN_HEADER, WireError
 
 __all__ = [
     "DIST_SCHEMA",
+    "JOURNAL_SCHEMA",
+    "TOKEN_ENV",
+    "TOKEN_HEADER",
     "AgentConfig",
     "AgentGone",
     "Coordinator",
@@ -38,12 +47,16 @@ __all__ = [
     "DistAgent",
     "DistClient",
     "DistError",
+    "JournalError",
+    "JournalReplay",
+    "JournalWriter",
     "UnknownAgentError",
     "UnknownSweepError",
     "WireError",
     "agent_forever",
     "coordinator_forever",
     "dist_sweep",
+    "read_journal",
     "records_to_results",
     "start_coordinator_in_thread",
 ]

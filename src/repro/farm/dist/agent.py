@@ -16,6 +16,16 @@ recovered by lease expiry + re-execution + duplicate suppression. The
 agent only handles the *graceful* signals — SIGTERM/SIGINT finish the
 fragment in hand, deliver it, and exit.
 
+The agent does, however, survive the *coordinator's* crash window: a
+connection failure or 5xx anywhere in the register/heartbeat/acquire/
+deliver loops is retried on the seeded faults backoff curve (never
+raised out of the run loop) until ``reconnect_timeout_s`` of continuous
+silence. After a reconnect mid-delivery it reconciles the lease first —
+asks the coordinator whether the fragment is still on its epoch and
+unrecorded — and either delivers (still live, or provably identical) or
+discards (superseded), so a restarted coordinator is never spammed with
+work it already has.
+
 Chaos: if ``REPRO_DIST_CHAOS`` is set (JSON, see
 :class:`repro.faults.chaos.TransportChaos`) the agent installs the
 scripted transport faults on its client — dropped heartbeats and
@@ -31,10 +41,12 @@ import socket
 import sys
 import threading
 import time
+import zlib
 from dataclasses import dataclass
 from typing import List, Optional
 
 from ...faults.chaos import ChaosDrop, TransportChaos
+from ...serve.client import ServeAPIError, retry_delay_s
 from ..farm import Farm
 from ..job import JobSpec
 from ..validate import validate_jobspec
@@ -57,7 +69,11 @@ class AgentConfig:
     max_attempts: int = 2               #: local Farm retry budget
     use_pool: Optional[bool] = None     #: None = pool iff jobs > 1
     #: delivery retries on transient transport failure
-    deliver_attempts: int = 5
+    deliver_attempts: int = 8
+    #: wire secret sent as X-Repro-Token ("" = REPRO_DIST_TOKEN env)
+    token: str = ""
+    #: continuous coordinator silence before the agent gives up (exit 2)
+    reconnect_timeout_s: float = 120.0
 
 
 class DistAgent:
@@ -70,8 +86,10 @@ class DistAgent:
         self.config = config
         self.chaos = chaos if chaos is not None \
             else TransportChaos.from_env()
+        token = config.token or None    # None = env fallback
         self.client = client or DistClient(
-            config.coordinator_url, transport_fault=self.chaos)
+            config.coordinator_url, token=token,
+            transport_fault=self.chaos)
         if client is not None and self.chaos is not None \
                 and client.transport_fault is None:
             client.transport_fault = self.chaos
@@ -79,7 +97,7 @@ class DistAgent:
         # is one socket, and heartbeats must never interleave with an
         # in-flight acquire/deliver on it (they share the chaos script,
         # so drop ordinals still count per op class, not per socket)
-        self._hb_client = DistClient(config.coordinator_url,
+        self._hb_client = DistClient(config.coordinator_url, token=token,
                                      transport_fault=self.chaos)
         self._log = log or (lambda msg: print(
             f"[agent{':' + self.agent_id if self.agent_id else ''}] "
@@ -94,6 +112,13 @@ class DistAgent:
         self.n_fragments_run = 0
         self.n_jobs_run = 0
         self.n_heartbeats_dropped = 0
+        self.n_reconnects = 0
+        self.n_coordinator_errors = 0
+        self.n_leases_discarded = 0
+        self.n_deliveries_reconciled = 0
+        # per-agent backoff jitter seed, stable across reconnects
+        self._retry_seed = zlib.crc32(
+            (config.agent_id or "agent").encode("utf-8"))
         self.farm = Farm(jobs=config.jobs, use_pool=config.use_pool,
                          max_attempts=config.max_attempts,
                          persistent=True, warmup=config.jobs > 1,
@@ -120,15 +145,44 @@ class DistAgent:
             except ValueError:          # pragma: no cover (non-main)
                 pass
 
-    def _register(self) -> None:
-        doc = self.client.register(
-            agent=self.config.agent_id, capacity=self.config.jobs,
-            pid=os.getpid(), host=socket.gethostname())
-        self.agent_id = doc["agent"]
-        self.heartbeat_interval_s = float(doc["heartbeat_interval_s"])
-        self._reregister.clear()
-        self._log(f"registered as {self.agent_id!r} "
-                  f"(heartbeat {self.heartbeat_interval_s}s)")
+    def _backoff_sleep(self, attempt: int) -> None:
+        """Sleep the seeded faults backoff curve (interruptible)."""
+        self._stop.wait(retry_delay_s(attempt, 0.0, self._retry_seed))
+
+    def _register(self) -> bool:
+        """(Re-)register, retrying transport faults and coordinator 5xx
+        on the backoff curve; False = gave up (silence past
+        ``reconnect_timeout_s`` or stop requested)."""
+        deadline = time.monotonic() + self.config.reconnect_timeout_s
+        attempt = 0
+        while not self._stop.is_set():
+            try:
+                doc = self.client.register(
+                    agent=self.config.agent_id,
+                    capacity=self.config.jobs,
+                    pid=os.getpid(), host=socket.gethostname())
+            except (ChaosDrop, ConnectionError, OSError):
+                pass
+            except ServeAPIError as exc:
+                if exc.status < 500:
+                    raise       # 401 (bad token) / 4xx: not retryable
+                self.n_coordinator_errors += 1
+            else:
+                self.agent_id = doc["agent"]
+                self.heartbeat_interval_s = float(
+                    doc["heartbeat_interval_s"])
+                self._reregister.clear()
+                self._log(f"registered as {self.agent_id!r} "
+                          f"(heartbeat {self.heartbeat_interval_s}s)")
+                return True
+            attempt += 1
+            if time.monotonic() > deadline:
+                self._log("cannot register: coordinator silent for "
+                          f"{self.config.reconnect_timeout_s}s; "
+                          "giving up")
+                return False
+            self._backoff_sleep(attempt)
+        return False
 
     # -- heartbeats ----------------------------------------------------
     def _heartbeat_loop(self) -> None:
@@ -142,6 +196,11 @@ class DistAgent:
                 continue
             except AgentGone:
                 self._reregister.set()
+                continue
+            except ServeAPIError:
+                # a restarting coordinator answers 5xx for a moment;
+                # heartbeats are best-effort, so count and carry on
+                self.n_coordinator_errors += 1
                 continue
             except (ConnectionError, OSError):
                 continue
@@ -188,36 +247,114 @@ class DistAgent:
                 if lease["lease"] in self._held:
                     self._held.remove(lease["lease"])
 
-    def _deliver(self, lease_id: str, payload: dict) -> None:
+    def _fragment_superseded(self, payload: dict) -> bool:
+        """Ask the coordinator whether this delivery is still wanted
+        (reconcile-after-reconnect). Unreachable or erroring coordinator
+        counts as *not* superseded — keep trying to deliver; only a
+        positive answer (recorded, or a newer epoch) discards work."""
+        try:
+            doc = self.client.fragment_status(payload["sweep"],
+                                              payload["fragment"])
+        except ServeAPIError as exc:
+            # 404: the sweep is gone (journal-less restart) — nothing
+            # to deliver to
+            return exc.status == 404
+        except (ChaosDrop, ConnectionError, OSError):
+            return False
+        return (bool(doc.get("recorded"))
+                or doc.get("state") == "done"
+                or int(doc.get("epoch", 0)) > payload["epoch"])
+
+    def _deliver(self, lease_id: str, payload: dict) -> bool:
+        """Deliver one fragment's results; True on accepted delivery.
+
+        Transport faults and coordinator 5xx retry on the backoff curve.
+        After a connection failure (the coordinator-restart window) the
+        next attempt is preceded by a reconcile probe: if the fragment
+        was recorded or re-issued in the meantime, the delivery is
+        discarded instead of retried.
+        """
         last: Optional[Exception] = None
-        for attempt in range(self.config.deliver_attempts):
+        reconnected = False
+        for attempt in range(1, self.config.deliver_attempts + 1):
             try:
                 doc = self.client.deliver(lease_id, payload)
+            except ChaosDrop as exc:
+                last = exc
+            except (ConnectionError, OSError) as exc:
+                last = exc
+                reconnected = True
+            except ServeAPIError as exc:
+                if exc.status == 404:
+                    # unknown sweep: a coordinator restarted without its
+                    # journal — the sweep will be resubmitted, re-leased
+                    # and re-run; this delivery has no home
+                    self.n_leases_discarded += 1
+                    self._log(f"discarding fragment "
+                              f"{payload['fragment']}: {exc}")
+                    return False
+                if exc.status < 500:
+                    self._log(f"delivery of fragment "
+                              f"{payload['fragment']} rejected: {exc}")
+                    return False
+                last = exc
+                self.n_coordinator_errors += 1
+            else:
+                if reconnected:
+                    self.n_reconnects += 1
+                    self.n_deliveries_reconciled += 1
                 self._log(f"delivered fragment {payload['fragment']}: "
                           f"{doc['accepted']} accepted, "
                           f"{doc['duplicates']} duplicate")
-                return
-            except (ChaosDrop, ConnectionError, OSError) as exc:
-                last = exc
-                time.sleep(0.1 * (attempt + 1))
+                return True
+            if attempt >= self.config.deliver_attempts \
+                    or self._stop.is_set():
+                break
+            if reconnected and self._fragment_superseded(payload):
+                self.n_leases_discarded += 1
+                self._log(f"fragment {payload['fragment']} superseded "
+                          f"while reconnecting; discarding delivery")
+                return False
+            self._backoff_sleep(attempt)
         self._log(f"giving up delivering fragment "
                   f"{payload['fragment']}: {last!r} (the lease will "
                   f"expire and the fragment re-run elsewhere)")
+        return False
 
     # -- main loop -----------------------------------------------------
     def run(self) -> int:
-        """Register and work until stopped; returns an exit code."""
+        """Register and work until stopped; returns an exit code.
+
+        Coordinator trouble — connection refused, 5xx, 429 — never
+        raises out of this loop: the agent backs off and reconnects
+        until ``reconnect_timeout_s`` of continuous silence (exit 2).
+        A 401 (bad token) exits 2 immediately: retrying cannot fix it.
+        """
         self._install_signals()
-        self.client.wait_ready()
-        self._register()
+        try:
+            self.client.wait_ready()
+        except ServeAPIError as exc:
+            if exc.status == 401:
+                self._log(f"coordinator rejected our token: {exc} "
+                          f"(set {wire.TOKEN_ENV})")
+                return 2
+            raise
+        except (ConnectionError, OSError) as exc:
+            self._log(f"coordinator unreachable: {exc!r}")
+            return 2
+        if not self._register():
+            return 2
         self._hb_thread = threading.Thread(
             target=self._heartbeat_loop, name="agent-heartbeat",
             daemon=True)
         self._hb_thread.start()
+        down_since: Optional[float] = None
+        trouble = 0
         try:
             while not self._stop.is_set():
                 if self._reregister.is_set():
-                    self._register()
+                    if not self._register():
+                        return 2
                 try:
                     doc = self.client.acquire(
                         self.agent_id,
@@ -228,9 +365,37 @@ class DistAgent:
                 except AgentGone:
                     self._reregister.set()
                     continue
-                except (ConnectionError, OSError):
-                    time.sleep(self.config.poll_interval_s)
+                except ServeAPIError as exc:
+                    if exc.status == 401:
+                        self._log(f"coordinator rejected our token: "
+                                  f"{exc} (set {wire.TOKEN_ENV})")
+                        return 2
+                    if exc.status < 500 and exc.status != 429:
+                        raise       # a real protocol bug; surface it
+                    self.n_coordinator_errors += 1
+                    trouble += 1
+                    self._backoff_sleep(trouble)
                     continue
+                except (ConnectionError, OSError):
+                    now = time.monotonic()
+                    if down_since is None:
+                        down_since = now
+                        self._log("coordinator unreachable; "
+                                  "reconnecting with backoff")
+                    elif (now - down_since
+                          > self.config.reconnect_timeout_s):
+                        self._log("coordinator silent for "
+                                  f"{self.config.reconnect_timeout_s}s;"
+                                  " giving up")
+                        return 2
+                    trouble += 1
+                    self._backoff_sleep(trouble)
+                    continue
+                if down_since is not None:
+                    self.n_reconnects += 1
+                    self._log("reconnected to coordinator")
+                down_since = None
+                trouble = 0
                 for lease_raw in doc.get("leases", ()):
                     if self._stop.is_set():
                         break
@@ -256,6 +421,10 @@ class DistAgent:
                 "fragments_run": self.n_fragments_run,
                 "jobs_run": self.n_jobs_run,
                 "heartbeats_dropped": self.n_heartbeats_dropped,
+                "reconnects": self.n_reconnects,
+                "coordinator_errors": self.n_coordinator_errors,
+                "leases_discarded": self.n_leases_discarded,
+                "deliveries_reconciled": self.n_deliveries_reconciled,
                 "chaos": self.chaos.summary() if self.chaos else None}
 
 

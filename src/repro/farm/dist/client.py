@@ -11,9 +11,11 @@ look from the coordinator's side (silence, then lease expiry).
 
 from __future__ import annotations
 
+import os
 from typing import Callable, List, Optional
 
 from ...serve.client import HttpJsonClient, RateLimited, ServeAPIError
+from . import wire
 
 __all__ = ["DistClient", "AgentGone", "RateLimited", "ServeAPIError"]
 
@@ -24,12 +26,23 @@ class AgentGone(ServeAPIError):
 
 
 class DistClient(HttpJsonClient):
-    """Client for one coordinator endpoint."""
+    """Client for one coordinator endpoint.
+
+    ``token`` is the shared wire secret (``X-Repro-Token``). The default
+    ``None`` falls back to the ``REPRO_DIST_TOKEN`` environment variable
+    — the same place the coordinator CLI reads its own — so agents and
+    drivers in a tokened cluster need no per-call plumbing. Pass an
+    explicit ``""`` to send no token (e.g. to probe that a coordinator
+    really rejects anonymous requests).
+    """
 
     def __init__(self, base_url: str, *,
+                 token: Optional[str] = None,
                  transport_fault: Optional[Callable[[str, str], None]]
                  = None, **kwargs) -> None:
-        super().__init__(base_url, **kwargs)
+        if token is None:
+            token = os.environ.get(wire.TOKEN_ENV, "")
+        super().__init__(base_url, token=token, **kwargs)
         self.transport_fault = transport_fault
 
     def _checked(self, method: str, path: str, body=None) -> dict:
@@ -62,6 +75,12 @@ class DistClient(HttpJsonClient):
     def sweep_results(self, sweep_id: str) -> dict:
         return self._checked("GET", f"/v1/sweeps/{sweep_id}/results")
 
+    def fragment_status(self, sweep_id: str, fragment: int) -> dict:
+        """One fragment's ``{state, epoch, recorded}`` — the reconcile
+        probe a reconnecting agent uses to decide deliver vs. discard."""
+        return self._checked(
+            "GET", f"/v1/sweeps/{sweep_id}/fragments/{fragment}")
+
     # -- agent protocol ------------------------------------------------
     def register(self, *, agent: str = "", capacity: int = 1,
                  pid: int = 0, host: str = "") -> dict:
@@ -83,13 +102,23 @@ class DistClient(HttpJsonClient):
 
     # -- helpers -------------------------------------------------------
     def wait_ready(self, timeout: float = 10.0) -> dict:
-        """Poll ``/healthz`` until the coordinator answers."""
+        """Poll ``/healthz`` until the coordinator answers.
+
+        A 401 is re-raised immediately: the coordinator is up but our
+        token is wrong, and no amount of waiting will fix that.
+        """
         import time
         deadline = time.monotonic() + timeout
         while True:
             try:
                 return self.healthz()
-            except (ConnectionError, ServeAPIError, OSError):
+            except ServeAPIError as exc:
+                if exc.status == 401:
+                    raise
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.05)
+            except (ConnectionError, OSError):
                 if time.monotonic() > deadline:
                     raise
                 time.sleep(0.05)

@@ -51,12 +51,22 @@ from ..job import JobSpec, stable_digest
 from ..shard import shard_index
 from ..validate import validate_jobspec
 from ...serve.httpbase import JsonHttpServer, Request, run_loop_in_thread
+from . import journal as wal
 from . import wire
 
 # fragment states
 PENDING = "pending"
 LEASED = "leased"
 DONE = "done"
+
+
+def _lease_number(lease_id: str) -> int:
+    """The N in ``lease-N`` (0 for foreign ids) — keeps the lease
+    counter monotonic across a journal replay."""
+    try:
+        return int(lease_id.rsplit("-", 1)[-1])
+    except ValueError:
+        return 0
 
 
 class DistError(Exception):
@@ -97,6 +107,16 @@ class CoordinatorConfig:
     agent_ttl_factor: float = 2.0
     #: reaper wake-up period
     reap_interval_s: float = 0.5
+    #: write-ahead journal directory; None = in-memory only (PR 7 mode).
+    #: Restarting on the same directory resumes every in-flight sweep.
+    journal_dir: Optional[str] = None
+    #: fsync journal batches (turn off only in tests)
+    journal_fsync: bool = True
+    #: compact the journal into a snapshot every N appended records
+    journal_snapshot_every: int = 2048
+    #: shared-secret for the wire ("" = open). Clients send it as
+    #: ``X-Repro-Token``; every endpoint 401s without it.
+    auth_token: str = ""
 
     def __post_init__(self) -> None:
         if self.lease_ttl_s <= 0:
@@ -108,6 +128,8 @@ class CoordinatorConfig:
                               "(a healthy agent must renew in time)")
         if self.fragments < 0:
             raise ConfigError("fragments must be >= 0")
+        if self.journal_snapshot_every < 1:
+            raise ConfigError("journal_snapshot_every must be >= 1")
 
 
 class Lease:
@@ -177,6 +199,7 @@ class SweepState:
         self.label = label
         self.docs = docs
         self.specs = specs
+        self.n_fragments = n_fragments
         self.created = time.time()
         #: one record per job index, None until recorded (exactly once)
         self.records: List[Optional[dict]] = [None] * len(specs)
@@ -241,6 +264,19 @@ class Coordinator:
         self._reaper: Optional[threading.Thread] = None
         self._reaper_stop = threading.Event()
         self.t0 = time.monotonic()
+        self._journal: Optional[wal.JournalWriter] = None
+        self._replaying = False
+        #: how the last startup recovered (surfaced in /metrics and
+        #: ``repro profile --dist``)
+        self.recovery: Dict = {
+            "recovered": False, "replayed_records": 0,
+            "snapshot_seq": 0, "snapshot_age_s": None,
+            "truncated_tail": False, "resumed_sweeps": 0,
+            "leases_restored": 0, "leases_discarded": 0,
+            "cache_refills": 0,
+        }
+        if config.journal_dir:
+            self._open_journal(config.journal_dir)
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> None:
@@ -255,7 +291,7 @@ class Coordinator:
         t.start()
 
     def stop(self) -> None:
-        """Stop granting leases and stop the reaper."""
+        """Stop granting leases, stop the reaper, close the journal."""
         with self._lock:
             self._draining = True
             reaper = self._reaper
@@ -263,6 +299,9 @@ class Coordinator:
         self._reaper_stop.set()
         if reaper is not None:
             reaper.join(timeout=5.0)
+        with self._lock:
+            if self._journal is not None:
+                self._journal.close()
 
     def _reap_loop(self) -> None:
         while not self._reaper_stop.wait(self.config.reap_interval_s):
@@ -275,6 +314,261 @@ class Coordinator:
     def _emit(self, event) -> None:
         if self.bus:
             self.bus.emit(event)
+
+    # -- journal & recovery --------------------------------------------
+    def _japp(self, kind: str, **doc) -> None:
+        """Append one write-ahead record (no-op without a journal or
+        while replaying one)."""
+        if self._journal is not None and not self._replaying \
+                and not self._journal.closed:
+            self._journal.append(kind, doc)
+
+    def _jsync(self) -> None:
+        """Make the current batch of appends durable; compact when the
+        WAL has grown past the snapshot threshold. Caller holds the
+        lock (state must be consistent for the snapshot)."""
+        j = self._journal
+        if j is None or self._replaying or j.closed:
+            return
+        j.sync()
+        if j.n_since_snapshot >= self.config.journal_snapshot_every:
+            j.write_snapshot(self._journal_state())
+
+    def _journal_state(self) -> dict:
+        """The full coordinator state as a JSON-safe snapshot document.
+        Caller holds the lock."""
+        sweeps = []
+        for s in self._sweeps.values():
+            sweeps.append({
+                "id": s.id, "label": s.label, "jobs": s.docs,
+                "n_fragments": s.n_fragments,
+                "records": list(s.records),
+                "fragments": [{
+                    "id": f.id, "state": f.state, "epoch": f.epoch,
+                    "attempts": f.attempts,
+                    "lease": (None if f.lease is None else
+                              {"id": f.lease.id, "agent": f.lease.agent,
+                               "epoch": f.lease.epoch}),
+                } for f in s.fragments.values()],
+            })
+        return {
+            "n_agents_ever": self._n_agents_ever,
+            "n_leases_ever": self._n_leases_ever,
+            "agents": [{"id": a.id, "capacity": a.capacity}
+                       for a in self._agents.values()],
+            "sweeps": sweeps,
+        }
+
+    def _open_journal(self, root: str) -> None:
+        """Replay what survived in ``root`` and continue journaling to
+        it. Called once from ``__init__``."""
+        writer, replay = wal.resume(root,
+                                    fsync=self.config.journal_fsync)
+        self._journal = writer
+        if replay.empty:
+            return
+        with self._cond:
+            self._replaying = True
+            try:
+                self._restore(replay)
+            finally:
+                self._replaying = False
+            self.recovery.update(
+                recovered=True,
+                replayed_records=len(replay.records),
+                snapshot_seq=replay.snapshot_seq,
+                snapshot_age_s=(
+                    None if replay.snapshot is None else
+                    round(max(0.0, time.time() - replay.snapshot["t"]),
+                          3)),
+                truncated_tail=replay.truncated_tail,
+                resumed_sweeps=sum(1 for s in self._sweeps.values()
+                                   if not s.complete),
+                # leases live at the end of replay (grants the WAL later
+                # expires or completes don't count as restored)
+                leases_restored=len(self._leases),
+            )
+            # cache-warm refill: results that landed in the ResultCache
+            # (ours pre-crash, or another host's) are recorded up front
+            # so their fragments never get leased again
+            self._refill_from_cache()
+            self._jsync()
+            self.registry.inc("dist.recoveries")
+            self._update_gauges()
+            self._cond.notify_all()
+
+    def _build_sweep(self, sweep_id: str, docs: List[dict],
+                     n_fragments: int, label: str) -> SweepState:
+        specs = [validate_jobspec(job, source=f"journal jobs[{i}]")
+                 for i, job in enumerate(docs)]
+        sweep = SweepState(sweep_id, docs, specs, n_fragments, label)
+        self._sweeps[sweep_id] = sweep
+        return sweep
+
+    def _restore_lease(self, sweep: SweepState, frag: Fragment,
+                       lease_id: str, agent_id: str, epoch: int,
+                       now: float) -> None:
+        """Re-create a live lease with a fresh TTL (the reconnect grace
+        window); a lease whose agent is gone is discarded and its
+        fragment requeued with a bumped epoch."""
+        agent = self._agents.get(agent_id)
+        if agent is None:
+            frag.state = PENDING
+            frag.epoch = epoch + 1
+            frag.lease = None
+            self.recovery["leases_discarded"] += 1
+            return
+        lease = Lease(lease_id, agent_id, sweep.id, frag.id, epoch, now,
+                      self.config.lease_ttl_s)
+        frag.state = LEASED
+        frag.lease = lease
+        agent.leases[lease_id] = lease
+        self._leases[lease_id] = lease
+
+    def _restore(self, replay: wal.JournalReplay) -> None:
+        """Rebuild sweeps/fragments/leases from snapshot + WAL tail.
+        Caller holds the lock with ``_replaying`` set."""
+        now = self._clock()
+        snap = replay.snapshot["state"] if replay.snapshot else None
+        if snap:
+            self._n_agents_ever = int(snap.get("n_agents_ever", 0))
+            self._n_leases_ever = int(snap.get("n_leases_ever", 0))
+            for a in snap.get("agents", ()):
+                self._agents[a["id"]] = AgentRecord(
+                    a["id"], a["capacity"], now)
+            for s in snap.get("sweeps", ()):
+                sweep = self._build_sweep(s["id"], s["jobs"],
+                                          s["n_fragments"], s["label"])
+                for rec in s["records"]:
+                    if rec is None:
+                        continue
+                    sweep.records[rec["index"]] = rec
+                    sweep.n_recorded += 1
+                    if rec.get("error") is not None:
+                        sweep.n_failed += 1
+                for f in s["fragments"]:
+                    frag = sweep.fragments[f["id"]]
+                    frag.state = f["state"]
+                    frag.epoch = f["epoch"]
+                    frag.attempts = f["attempts"]
+                    if f["lease"] is not None:
+                        self._restore_lease(sweep, frag,
+                                            f["lease"]["id"],
+                                            f["lease"]["agent"],
+                                            f["lease"]["epoch"], now)
+                    elif frag.state == LEASED:
+                        frag.state = PENDING
+        for rec in replay.records:
+            self._apply_journal(rec, now)
+        # normalize: DONE is derived from the exactly-once ledger, and
+        # any lease that could not be restored falls back to PENDING
+        # with a bumped epoch (so zombie deliveries stay distinguishable)
+        for sweep in self._sweeps.values():
+            for frag in sweep.fragments.values():
+                if sweep.fragment_recorded(frag):
+                    self._drop_fragment_lease(frag)
+                    frag.state = DONE
+                elif frag.state == DONE:
+                    frag.state = PENDING
+                elif frag.state == LEASED and frag.lease is None:
+                    frag.state = PENDING
+                    frag.epoch += 1
+
+    def _drop_fragment_lease(self, frag: Fragment) -> None:
+        lease = frag.lease
+        if lease is None:
+            return
+        frag.lease = None
+        self._leases.pop(lease.id, None)
+        agent = self._agents.get(lease.agent)
+        if agent is not None:
+            agent.leases.pop(lease.id, None)
+
+    def _apply_journal(self, rec: dict, now: float) -> None:
+        """Apply one WAL record to in-memory state. Records are a valid
+        history prefix (replay stops at the first bad frame), so each
+        handler mirrors the live mutation it journals."""
+        kind = rec["kind"]
+        if kind == "sweep":
+            if rec["id"] not in self._sweeps:
+                self._build_sweep(rec["id"], rec["jobs"],
+                                  rec["n_fragments"], rec["label"])
+        elif kind == "register":
+            self._n_agents_ever += 1
+            self._agents[rec["agent"]] = AgentRecord(
+                rec["agent"], rec["capacity"], now)
+        elif kind == "agent_lost":
+            agent = self._agents.pop(rec["agent"], None)
+            if agent is not None:
+                for lease in list(agent.leases.values()):
+                    self._leases.pop(lease.id, None)
+                    sweep = self._sweeps.get(lease.sweep)
+                    frag = (sweep.fragments.get(lease.fragment)
+                            if sweep is not None else None)
+                    if frag is not None and frag.lease is lease:
+                        # normalization will requeue it (epoch bump)
+                        frag.lease = None
+        elif kind == "lease":
+            self._n_leases_ever = max(self._n_leases_ever,
+                                      _lease_number(rec["lease"]))
+            sweep = self._sweeps.get(rec["sweep"])
+            frag = (sweep.fragments.get(rec["fragment"])
+                    if sweep is not None else None)
+            if frag is not None:
+                self._drop_fragment_lease(frag)
+                frag.attempts += 1
+                frag.epoch = rec["epoch"]
+                self._restore_lease(sweep, frag, rec["lease"],
+                                    rec["agent"], rec["epoch"], now)
+        elif kind == "expire":
+            lease = self._leases.pop(rec["lease"], None)
+            if lease is not None:
+                agent = self._agents.get(lease.agent)
+                if agent is not None:
+                    agent.leases.pop(lease.id, None)
+                sweep = self._sweeps.get(lease.sweep)
+                frag = (sweep.fragments.get(lease.fragment)
+                        if sweep is not None else None)
+                if frag is not None and frag.lease is lease:
+                    frag.lease = None
+                    if rec["requeued"]:
+                        frag.state = PENDING
+                        frag.epoch = rec["epoch"]
+                    else:
+                        frag.state = DONE
+        elif kind == "record":
+            sweep = self._sweeps.get(rec["sweep"])
+            if sweep is None:
+                return
+            r = rec["record"]
+            if sweep.records[r["index"]] is None:
+                sweep.records[r["index"]] = r
+                sweep.n_recorded += 1
+                if r.get("error") is not None:
+                    sweep.n_failed += 1
+
+    def _refill_from_cache(self) -> None:
+        """Record every unrecorded job whose digest is already in the
+        ResultCache; fragments that become fully recorded go DONE
+        without ever being leased. Caller holds the lock."""
+        if self.cache is None:
+            return
+        for sweep in self._sweeps.values():
+            if sweep.complete:
+                continue
+            for i, spec in enumerate(sweep.specs):
+                if sweep.records[i] is not None:
+                    continue
+                stats = self.cache.get(spec.digest())
+                if stats is not None:
+                    self._record(sweep, i, spec.digest(),
+                                 stats.to_dict(), None, 0, 0,
+                                 agent="cache", cached=True)
+                    self.recovery["cache_refills"] += 1
+            for frag in sweep.fragments.values():
+                if frag.state != DONE and sweep.fragment_recorded(frag):
+                    self._drop_fragment_lease(frag)
+                    frag.state = DONE
 
     # -- sweeps --------------------------------------------------------
     def submit_sweep(self, doc: dict) -> dict:
@@ -303,6 +597,8 @@ class Coordinator:
                                msg["label"])
             self._sweeps[sweep_id] = sweep
             self.registry.inc("dist.sweeps_submitted")
+            self._japp("sweep", id=sweep_id, jobs=msg["jobs"],
+                       n_fragments=n_fragments, label=msg["label"])
             # cache pre-fill: cached digests are recorded up front, so
             # fragments that are fully warm never get leased at all
             if self.cache is not None:
@@ -315,6 +611,9 @@ class Coordinator:
             for frag in sweep.fragments.values():
                 if sweep.fragment_recorded(frag):
                     frag.state = DONE
+            # durable before the 202: a crash after the ack replays the
+            # sweep instead of losing it
+            self._jsync()
             self._cond.notify_all()
             return {"id": sweep_id, "outcome": "queued", **sweep.to_doc()}
 
@@ -336,6 +635,18 @@ class Coordinator:
             return {"id": sweep.id, "complete": sweep.complete,
                     "n_jobs": len(sweep.specs),
                     "results": list(sweep.records)}
+
+    def fragment_status(self, sweep_id: str, fragment_id: int) -> dict:
+        """One fragment's liveness — what a reconnecting agent checks
+        before re-delivering work it finished across a restart."""
+        with self._lock:
+            sweep = self.sweep(sweep_id)
+            frag = sweep.fragments.get(fragment_id)
+            if frag is None:
+                raise UnknownSweepError(f"{sweep_id}#{fragment_id}")
+            return {"sweep": sweep_id, "fragment": frag.id,
+                    "state": frag.state, "epoch": frag.epoch,
+                    "recorded": sweep.fragment_recorded(frag)}
 
     def wait_complete(self, sweep_id: str,
                       timeout: Optional[float] = None) -> bool:
@@ -361,6 +672,9 @@ class Coordinator:
                 agent_id = f"{agent_id}-{self._n_agents_ever}"
             self._agents[agent_id] = AgentRecord(agent_id,
                                                  msg["capacity"], now)
+            self._japp("register", agent=agent_id,
+                       capacity=msg["capacity"])
+            self._jsync()
             self.registry.inc("dist.agents_registered")
             self.registry.gauge("dist.agents_alive").set(len(self._agents))
             self._emit(AgentRegisteredEvent(
@@ -439,6 +753,9 @@ class Coordinator:
                     frag.attempts += 1
                     agent.leases[lease.id] = lease
                     self._leases[lease.id] = lease
+                    self._japp("lease", lease=lease.id, agent=agent_id,
+                               sweep=sweep.id, fragment=frag.id,
+                               epoch=frag.epoch)
                     self.registry.inc("dist.leases_granted")
                     self._emit(LeaseGrantedEvent(
                         t=self._now_ms(), agent=agent_id, lease=lease.id,
@@ -449,6 +766,10 @@ class Coordinator:
                             if sweep.records[i] is None]
                     granted.append(wire.lease_doc(
                         lease.id, sweep.id, frag.id, frag.epoch, jobs))
+            if granted:
+                # durable before the grant leaves: a restarted
+                # coordinator honors every lease an agent is holding
+                self._jsync()
             self._update_gauges()
             # idle means "the cluster's work is finished", not "nothing
             # submitted yet" — an --exit-when-idle agent that starts
@@ -466,6 +787,10 @@ class Coordinator:
             agent = self._agents.get(lease.agent)
             if agent is not None:
                 agent.leases.pop(lease_id, None)
+            self._japp("expire", lease=lease_id, sweep=lease.sweep,
+                       fragment=lease.fragment, reason="released",
+                       requeued=False, epoch=lease.epoch)
+            self._jsync()
             self._update_gauges()
 
     def _expire_lease(self, lease: Lease, reason: str) -> None:
@@ -475,30 +800,35 @@ class Coordinator:
         if agent is not None:
             agent.leases.pop(lease.id, None)
         sweep = self._sweeps.get(lease.sweep)
-        if sweep is None:
-            return
-        frag = sweep.fragments.get(lease.fragment)
-        if frag is None or frag.lease is not lease:
-            return
-        frag.lease = None
-        now = self._clock()
-        self.registry.inc("dist.leases_expired", reason=reason)
-        self._emit(LeaseExpiredEvent(
-            t=self._now_ms(), agent=lease.agent, lease=lease.id,
-            fragment=frag.id, epoch=lease.epoch,
-            age_ms=int((now - lease.granted) * 1000)))
-        if sweep.fragment_recorded(frag):
-            frag.state = DONE
-            return
-        # back to the queue with a bumped epoch: the next grant is
-        # distinguishable from the zombie's, and exactly-once recording
-        # makes the re-execution safe
-        frag.state = PENDING
-        frag.epoch += 1
-        self.registry.inc("dist.fragments_requeued", reason=reason)
-        self._emit(FragmentRequeuedEvent(
-            t=self._now_ms(), fragment=frag.id, epoch=frag.epoch,
-            n_jobs=len(frag.indices), reason=reason))
+        frag = (sweep.fragments.get(lease.fragment)
+                if sweep is not None else None)
+        requeued = False
+        if frag is not None and frag.lease is lease:
+            frag.lease = None
+            now = self._clock()
+            self.registry.inc("dist.leases_expired", reason=reason)
+            self._emit(LeaseExpiredEvent(
+                t=self._now_ms(), agent=lease.agent, lease=lease.id,
+                fragment=frag.id, epoch=lease.epoch,
+                age_ms=int((now - lease.granted) * 1000)))
+            if sweep.fragment_recorded(frag):
+                frag.state = DONE
+            else:
+                # back to the queue with a bumped epoch: the next grant
+                # is distinguishable from the zombie's, and exactly-once
+                # recording makes the re-execution safe
+                frag.state = PENDING
+                frag.epoch += 1
+                requeued = True
+                self.registry.inc("dist.fragments_requeued",
+                                  reason=reason)
+                self._emit(FragmentRequeuedEvent(
+                    t=self._now_ms(), fragment=frag.id, epoch=frag.epoch,
+                    n_jobs=len(frag.indices), reason=reason))
+        self._japp("expire", lease=lease.id, sweep=lease.sweep,
+                   fragment=lease.fragment, reason=reason,
+                   requeued=requeued,
+                   epoch=frag.epoch if frag is not None else lease.epoch)
 
     def reap(self) -> int:
         """Expire overdue leases and lost agents; returns expiries."""
@@ -511,18 +841,22 @@ class Coordinator:
                 n += 1
             agent_ttl = (self.config.lease_ttl_s
                          * self.config.agent_ttl_factor)
+            n_lost = 0
             for agent in [a for a in self._agents.values()
                           if now - a.last_seen > agent_ttl]:
+                n_lost += 1
                 leases = list(agent.leases.values())
                 for lease in leases:
                     self._expire_lease(lease, "agent_lost")
                     n += 1
                 del self._agents[agent.id]
+                self._japp("agent_lost", agent=agent.id)
                 self.registry.inc("dist.agents_lost")
                 self._emit(AgentLostEvent(t=self._now_ms(),
                                           agent=agent.id,
                                           n_leases=len(leases)))
-            if n:
+            if n or n_lost:
+                self._jsync()
                 self._update_gauges()
                 self._cond.notify_all()
             return n
@@ -591,11 +925,18 @@ class Coordinator:
                     self._leases.pop(lease.id, None)
                     if agent is not None:
                         agent.leases.pop(lease.id, None)
+                    self._japp("expire", lease=lease.id,
+                               sweep=sweep.id, fragment=frag.id,
+                               reason="delivered", requeued=False,
+                               epoch=frag.epoch)
                 self.registry.inc("dist.fragments_done")
                 self._emit(FragmentDoneEvent(
                     t=self._now_ms(), fragment=frag.id,
                     epoch=msg["epoch"], agent=msg["agent"],
                     n_jobs=len(frag.indices)))
+            # durable before the ack: an acknowledged delivery is never
+            # re-recorded by a restarted coordinator (exactly once)
+            self._jsync()
             self._update_gauges()
             self._cond.notify_all()
             return {"accepted": accepted, "duplicates": duplicates,
@@ -618,6 +959,7 @@ class Coordinator:
             "cached": cached,
         }
         sweep.n_recorded += 1
+        self._japp("record", sweep=sweep.id, record=sweep.records[idx])
         if error is not None:
             sweep.n_failed += 1
             self.registry.inc("dist.results_recorded", status="failed")
@@ -647,6 +989,7 @@ class Coordinator:
                     "agents": len(self._agents),
                     "leases": len(self._leases),
                     "sweeps": len(self._sweeps),
+                    "recovered": self.recovery["recovered"],
                     "fragments": {"pending": pending, "leased": leased}}
 
     def summary(self) -> dict:
@@ -660,6 +1003,10 @@ class Coordinator:
                 "sweeps": {s.id: s.to_doc()
                            for s in self._sweeps.values()},
                 "cache": self.cache.stats() if self.cache else None,
+                "recovery": dict(self.recovery),
+                "auth_required": bool(self.config.auth_token),
+                "journal": (self._journal.stats()
+                            if self._journal is not None else None),
             }
 
     def metrics_snapshot(self) -> dict:
@@ -676,21 +1023,29 @@ class CoordinatorServer(JsonHttpServer):
         POST /v1/sweeps                     submit a sweep (idempotent)
         GET  /v1/sweeps/{id}                sweep status
         GET  /v1/sweeps/{id}/results        recorded results, input order
+        GET  /v1/sweeps/{id}/fragments/{f}  one fragment's state + epoch
         POST /v1/agents/register            join; returns id + ttls
         POST /v1/agents/{id}/heartbeat      renew leases
         POST /v1/agents/{id}/leases         acquire fragments
         POST /v1/leases/{lease}/results     deliver fragment results
         GET  /healthz                       coordinator state
         GET  /metrics                       dist.* counters + summary
+
+    With ``config.auth_token`` set, every route (healthz included)
+    requires a matching ``X-Repro-Token`` header and 401s otherwise.
     """
 
     SCHEMA = wire.DIST_SCHEMA
 
     def __init__(self, coordinator: Coordinator,
                  config: CoordinatorConfig) -> None:
-        super().__init__(config.host, config.port)
+        super().__init__(config.host, config.port,
+                         auth_token=config.auth_token)
         self.coordinator = coordinator
         self.config = config
+
+    def _on_auth_reject(self, req: Request) -> None:
+        self.coordinator.registry.inc("dist.auth_reject")
 
     async def start(self) -> None:
         await super().start()
@@ -733,6 +1088,12 @@ class CoordinatorServer(JsonHttpServer):
             elif sub == "results":
                 self._send(writer, 200,
                            await self._blocking(c.sweep_results, sweep_id))
+            elif sub.startswith("fragments/"):
+                try:
+                    fid = int(sub[len("fragments/"):])
+                except ValueError:
+                    return await self._not_found(req, writer)
+                self._send(writer, 200, c.fragment_status(sweep_id, fid))
             else:
                 return await self._not_found(req, writer)
         elif path == "/v1/agents/register" and m == "POST":
@@ -810,10 +1171,25 @@ async def _amain(config: CoordinatorConfig) -> int:
             loop.add_signal_handler(sig, stop.set)
         except NotImplementedError:      # pragma: no cover (non-unix)
             pass
+    rec = coordinator.recovery
     print(f"[coordinator] listening on http://{config.host}:{server.port} "
           f"(lease ttl {config.lease_ttl_s}s, heartbeat "
           f"{config.heartbeat_interval_s}s, cache="
-          f"{config.cache_dir or 'off'})", file=sys.stderr, flush=True)
+          f"{config.cache_dir or 'off'}, journal="
+          f"{config.journal_dir or 'off'}, auth="
+          f"{'required' if config.auth_token else 'off'})",
+          file=sys.stderr, flush=True)
+    if rec["recovered"]:
+        print(f"[coordinator] recovered from journal: "
+              f"{rec['replayed_records']} records replayed "
+              f"(snapshot seq {rec['snapshot_seq']}), "
+              f"{rec['resumed_sweeps']} sweeps resumed, "
+              f"{rec['leases_restored']} leases restored, "
+              f"{rec['leases_discarded']} discarded, "
+              f"{rec['cache_refills']} cache refills"
+              + (", torn tail truncated" if rec["truncated_tail"]
+                 else ""),
+              file=sys.stderr, flush=True)
     await stop.wait()
     print("[coordinator] signal received; shutting down",
           file=sys.stderr, flush=True)

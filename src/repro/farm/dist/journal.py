@@ -1,0 +1,311 @@
+"""Write-ahead journal for the dist coordinator (``repro.dist-journal/1``).
+
+PR 7's coordinator tolerated *agent* death but was itself a single point
+of failure: every sweep, fragment, and lease lived in memory. This
+module is the persistence layer that closes that gap — an append-only
+journal of coordinator state transitions plus an atomically-replaced
+snapshot, from which a restarted coordinator reconstructs its exact
+state and finishes an in-flight sweep byte-identical to an
+uninterrupted run.
+
+Layout of a journal directory::
+
+    <journal-dir>/
+        wal.jsonl       append-only tail of framed records
+        snapshot.json   latest compaction point (atomic rename)
+
+**Record framing.** Each WAL line is::
+
+    <length:08x> <blake2b-16hex> <payload-json>\\n
+
+where ``length`` is the byte length of the JSON payload and the
+checksum is ``blake2b(payload, digest_size=8)``. The framing makes a
+*torn final record* — the classic crash-during-write artifact —
+detectable without ambiguity: a record is accepted only if its length
+matches, its checksum matches, and its newline terminator arrived.
+Replay stops at the first bad record, so recovery always yields a
+**prefix-consistent** state (a state the live coordinator actually
+passed through); the torn bytes are truncated away when the writer
+reopens the file.
+
+**Payloads.** Every payload carries a strictly increasing ``seq`` and a
+``kind``; the coordinator-specific kinds (:data:`KINDS`) are sweep
+submission, agent registration/loss, lease grants/expiries, and
+exactly-once result recordings.
+
+**Durability.** ``append`` buffers; :meth:`JournalWriter.sync` flushes
+and fsyncs once per coordinator request (a *batch* of appends), so an
+acknowledged submit or delivery is on disk before the client sees the
+response.
+
+**Compaction.** :meth:`JournalWriter.write_snapshot` dumps the full
+state to ``snapshot.json.tmp``, fsyncs, atomically renames it over
+``snapshot.json``, then resets the WAL. A crash between the rename and
+the reset is safe: the snapshot stamps the ``seq`` it covers and replay
+skips WAL records at or below it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional
+
+#: schema tag stamped into every snapshot
+JOURNAL_SCHEMA = "repro.dist-journal/1"
+
+WAL_NAME = "wal.jsonl"
+SNAPSHOT_NAME = "snapshot.json"
+
+#: record kinds the coordinator journals (see coordinator._apply_journal)
+KINDS = ("sweep", "register", "agent_lost", "lease", "expire", "record")
+
+_CHECKSUM_BYTES = 8          # blake2b digest size -> 16 hex chars
+
+
+class JournalError(ValueError):
+    """A frame or snapshot failed structural validation."""
+
+
+def frame_record(payload: bytes) -> bytes:
+    """Wrap one JSON payload in the length+checksum frame."""
+    digest = hashlib.blake2b(payload,
+                             digest_size=_CHECKSUM_BYTES).hexdigest()
+    return b"%08x %s %s\n" % (len(payload), digest.encode("ascii"),
+                              payload)
+
+
+def parse_frame(line: bytes) -> dict:
+    """Decode one framed WAL line; raises :class:`JournalError` on any
+    torn, truncated, or corrupted record."""
+    if not line.endswith(b"\n"):
+        raise JournalError("torn record: missing newline terminator")
+    body = line[:-1]
+    parts = body.split(b" ", 2)
+    if len(parts) != 3:
+        raise JournalError("malformed frame: expected "
+                           "'<len> <checksum> <payload>'")
+    len_hex, checksum, payload = parts
+    try:
+        length = int(len_hex, 16)
+    except ValueError:
+        raise JournalError(f"malformed frame length {len_hex!r}")
+    if length != len(payload):
+        raise JournalError(f"frame length mismatch: header says {length}, "
+                           f"got {len(payload)} bytes (torn write?)")
+    digest = hashlib.blake2b(payload,
+                             digest_size=_CHECKSUM_BYTES).hexdigest()
+    if digest.encode("ascii") != checksum:
+        raise JournalError("frame checksum mismatch (corrupted record)")
+    try:
+        rec = json.loads(payload.decode("utf-8"))
+    except ValueError as exc:
+        raise JournalError(f"frame payload is not JSON: {exc}")
+    if not isinstance(rec, dict) or "seq" not in rec or "kind" not in rec:
+        raise JournalError("frame payload missing seq/kind")
+    return rec
+
+
+class JournalReplay:
+    """The decoded contents of a journal directory (see
+    :func:`read_journal`)."""
+
+    def __init__(self) -> None:
+        #: the snapshot document (``{"seq", "t", "state"}``) or None
+        self.snapshot: Optional[dict] = None
+        #: WAL records newer than the snapshot, in append order
+        self.records: List[dict] = []
+        #: byte offset of the last good WAL record's end
+        self.wal_offset: int = 0
+        #: a torn/corrupt record (or garbage tail) was truncated away
+        self.truncated_tail: bool = False
+        #: records skipped because the snapshot already covers them
+        self.n_covered: int = 0
+
+    @property
+    def snapshot_seq(self) -> int:
+        return 0 if self.snapshot is None else int(self.snapshot["seq"])
+
+    @property
+    def next_seq(self) -> int:
+        """The seq the writer should continue from."""
+        last = self.records[-1]["seq"] if self.records else 0
+        return max(self.snapshot_seq, last)
+
+    @property
+    def empty(self) -> bool:
+        return self.snapshot is None and not self.records
+
+
+def read_journal(root: str) -> JournalReplay:
+    """Read ``root``'s snapshot + WAL tail into a :class:`JournalReplay`.
+
+    Never raises on torn or corrupt WAL content — replay stops at the
+    first bad record (``truncated_tail`` is set) so the result is always
+    a prefix of the true history. A corrupt *snapshot* does raise
+    :class:`JournalError`: the snapshot is written atomically, so damage
+    there is not a crash artifact but real corruption the operator must
+    see.
+    """
+    out = JournalReplay()
+    snap_path = os.path.join(root, SNAPSHOT_NAME)
+    if os.path.exists(snap_path):
+        try:
+            with open(snap_path, "rb") as fh:
+                doc = json.load(fh)
+        except ValueError as exc:
+            raise JournalError(f"corrupt snapshot {snap_path}: {exc}")
+        if not isinstance(doc, dict) \
+                or doc.get("schema") != JOURNAL_SCHEMA \
+                or "seq" not in doc or "state" not in doc:
+            raise JournalError(f"bad snapshot document in {snap_path}")
+        out.snapshot = doc
+    wal_path = os.path.join(root, WAL_NAME)
+    if not os.path.exists(wal_path):
+        return out
+    floor = out.snapshot_seq
+    offset = 0
+    with open(wal_path, "rb") as fh:
+        for raw in fh:
+            try:
+                rec = parse_frame(raw)
+            except JournalError:
+                out.truncated_tail = True
+                break
+            seq = rec["seq"]
+            if not isinstance(seq, int):
+                out.truncated_tail = True
+                break
+            if seq <= floor:
+                out.n_covered += 1
+            elif out.records and seq <= out.records[-1]["seq"]:
+                # non-monotonic seq: treat like corruption, keep prefix
+                out.truncated_tail = True
+                break
+            else:
+                out.records.append(rec)
+            offset += len(raw)
+    out.wal_offset = offset
+    return out
+
+
+class JournalWriter:
+    """Appends framed records to a WAL, with fsync'd batches and
+    snapshot compaction. Not thread-safe — the coordinator serializes
+    all journal access under its own lock."""
+
+    def __init__(self, root: str, *, fsync: bool = True,
+                 start_seq: int = 0,
+                 wal_offset: Optional[int] = None) -> None:
+        self.root = root
+        self._fsync = fsync
+        self.seq = start_seq
+        os.makedirs(root, exist_ok=True)
+        self._wal_path = os.path.join(root, WAL_NAME)
+        if wal_offset is not None and os.path.exists(self._wal_path):
+            # recovery: drop any torn tail before appending
+            self._fh = open(self._wal_path, "r+b")
+            self._fh.truncate(wal_offset)
+            self._fh.seek(wal_offset)
+        else:
+            self._fh = open(self._wal_path, "ab")
+        self._dirty = False
+        self._closed = False
+        self.n_appended = 0
+        self.n_since_snapshot = 0
+        self.n_syncs = 0
+        self.n_snapshots = 0
+
+    # -- appends -------------------------------------------------------
+    def append(self, kind: str, doc: Dict[str, Any]) -> int:
+        """Buffer one record; returns its seq. Call :meth:`sync` to make
+        the batch durable before acknowledging it to a client."""
+        if self._closed:
+            raise JournalError("journal is closed")
+        self.seq += 1
+        payload = json.dumps({"seq": self.seq, "kind": kind, **doc},
+                             separators=(",", ":"),
+                             sort_keys=True).encode("utf-8")
+        self._fh.write(frame_record(payload))
+        self._dirty = True
+        self.n_appended += 1
+        self.n_since_snapshot += 1
+        return self.seq
+
+    def sync(self) -> None:
+        """Flush + fsync the batch of appends since the last sync."""
+        if not self._dirty or self._closed:
+            return
+        self._fh.flush()
+        if self._fsync:
+            os.fsync(self._fh.fileno())
+        self._dirty = False
+        self.n_syncs += 1
+
+    # -- compaction ----------------------------------------------------
+    def write_snapshot(self, state: Dict[str, Any]) -> None:
+        """Atomically replace the snapshot with ``state`` and reset the
+        WAL (see module docs for the crash-window argument)."""
+        self.sync()
+        doc = {"schema": JOURNAL_SCHEMA, "seq": self.seq,
+               "t": time.time(), "state": state}
+        snap_path = os.path.join(self.root, SNAPSHOT_NAME)
+        tmp_path = snap_path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            if self._fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp_path, snap_path)
+        self._fsync_dir()
+        # reset the WAL: everything up to self.seq is in the snapshot
+        self._fh.close()
+        self._fh = open(self._wal_path, "wb")
+        self._dirty = False
+        self.n_since_snapshot = 0
+        self.n_snapshots += 1
+
+    def _fsync_dir(self) -> None:
+        if not self._fsync:
+            return
+        try:
+            fd = os.open(self.root, os.O_RDONLY)
+        except OSError:                       # pragma: no cover (platform)
+            return
+        try:
+            os.fsync(fd)
+        except OSError:                       # pragma: no cover (platform)
+            pass
+        finally:
+            os.close(fd)
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.sync()
+        self._closed = True
+        self._fh.close()
+
+    def stats(self) -> dict:
+        return {"dir": str(self.root), "seq": self.seq,
+                "appended": self.n_appended, "syncs": self.n_syncs,
+                "snapshots": self.n_snapshots,
+                "since_snapshot": self.n_since_snapshot}
+
+
+def resume(root: str, *, fsync: bool = True
+           ) -> "tuple[JournalWriter, JournalReplay]":
+    """Open ``root`` for recovery: read what survived, position the
+    writer after the last good record (truncating any torn tail)."""
+    replay = read_journal(root)
+    writer = JournalWriter(root, fsync=fsync, start_seq=replay.next_seq,
+                           wal_offset=replay.wal_offset)
+    return writer, replay

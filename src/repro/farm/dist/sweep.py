@@ -10,19 +10,21 @@ what the chaos smoke asserts.
 
 from __future__ import annotations
 
+import http.client
 import time
 from typing import List, Optional
 
 from ...core.stats import RunStats
 from ...errors import FarmError
 from ..job import JobResult
-from .client import DistClient
+from .client import DistClient, ServeAPIError
 
 
 def dist_sweep(coordinator_url: str, jobs: List[dict], *,
                fragments: int = 0, label: str = "",
                timeout_s: float = 600.0, poll_s: float = 0.25,
                client: Optional[DistClient] = None,
+               token: Optional[str] = None,
                progress=None) -> dict:
     """Run ``jobs`` (JobSpec wire documents) through a coordinator.
 
@@ -30,17 +32,42 @@ def dist_sweep(coordinator_url: str, jobs: List[dict], *,
     "n_jobs", "results": [record, ...]}`` with one record per job in
     input order. Raises :class:`TimeoutError` when the cluster does not
     finish in ``timeout_s`` (records gathered so far are attached).
+
+    The driver rides out a coordinator restart: a connection failure
+    mid-poll retries (re-submitting is safe — submission is idempotent
+    by content address, and a journaled coordinator replays the sweep
+    anyway) until the overall deadline. ``token`` is the wire secret
+    (default: the ``REPRO_DIST_TOKEN`` environment variable).
     """
     own = client is None
-    c = client or DistClient(coordinator_url)
+    c = client or DistClient(coordinator_url, token=token)
     try:
         c.wait_ready()
-        sub = c.submit_sweep(jobs, fragments=fragments, label=label)
-        sweep_id = sub["id"]
         deadline = time.monotonic() + timeout_s
-        last_done = -1
+        sweep_id: Optional[str] = None
+        last_done, n_done = -1, 0
         while True:
-            doc = c.sweep_results(sweep_id)
+            try:
+                if sweep_id is None:
+                    sub = c.submit_sweep(jobs, fragments=fragments,
+                                         label=label)
+                    sweep_id = sub["id"]
+                doc = c.sweep_results(sweep_id)
+            except (ConnectionError, OSError,
+                    http.client.HTTPException):
+                # coordinator restart window: keep polling — a journaled
+                # coordinator comes back knowing this very sweep
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(poll_s)
+                continue
+            except ServeAPIError as exc:
+                if exc.status == 404 and sweep_id is not None:
+                    # it restarted without a journal and forgot the
+                    # sweep; submission is idempotent, so resubmit
+                    sweep_id = None
+                    continue
+                raise
             n_done = sum(1 for r in doc["results"] if r is not None)
             if progress is not None and n_done != last_done:
                 progress(n_done, doc["n_jobs"])

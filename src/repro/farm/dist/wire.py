@@ -31,6 +31,13 @@ from typing import Any, Dict, List
 #: protocol tag stamped into every coordinator response
 DIST_SCHEMA = "repro.farm-dist/1"
 
+#: environment variable holding the shared wire secret; when the
+#: coordinator is started with a token, every request must echo it
+TOKEN_ENV = "REPRO_DIST_TOKEN"
+
+#: HTTP header the token travels in (constant-time compared server-side)
+TOKEN_HEADER = "X-Repro-Token"
+
 #: delivery verdicts, per job (the coordinator's deliver response)
 ACCEPTED = "accepted"
 DUPLICATE = "duplicate"

@@ -37,7 +37,7 @@ from ..errors import ConfigError
 CHAOS_ENV = "REPRO_DIST_CHAOS"
 
 #: op classes TransportChaos keys on, derived from (method, path)
-OPS = ("register", "heartbeat", "acquire", "deliver", "other")
+OPS = ("register", "heartbeat", "acquire", "deliver", "status", "other")
 
 
 class ChaosDrop(Exception):
@@ -59,6 +59,8 @@ def classify_op(method: str, path: str) -> str:
         return "deliver"
     if path.endswith("/register"):
         return "register"
+    if "/fragments/" in path:
+        return "status"
     return "other"
 
 
@@ -154,13 +156,17 @@ class TransportChaos:
                     "ordinals": dict(self._ordinals)}
 
 
-def kill_after(pid: int, delay_s: float, *,
+def kill_after(proc, delay_s: float, *,
                sig: int = signal.SIGKILL) -> threading.Timer:
-    """SIGKILL ``pid`` after ``delay_s`` seconds (daemon timer).
+    """SIGKILL a process after ``delay_s`` seconds (daemon timer).
 
+    ``proc`` is a pid or anything with a ``.pid`` (e.g. a
+    ``subprocess.Popen`` — handy for killing a coordinator mid-sweep).
     Returns the started :class:`threading.Timer`; cancel it to call the
     chaos off. A process that exited on its own is ignored.
     """
+    pid = int(getattr(proc, "pid", proc))
+
     def _kill() -> None:
         try:
             os.kill(pid, sig)

@@ -171,11 +171,22 @@ def validate_crash_bundle(doc: dict) -> None:
     missing = [k for k in _REQUIRED_KEYS if k not in doc]
     if missing:
         raise ValueError(f"missing bundle keys: {missing}")
+    for key in ("live_tasks", "tiles", "events"):
+        if not isinstance(doc[key], list):
+            raise ValueError(
+                f"field {key!r} must be a list, "
+                f"got {type(doc[key]).__name__}")
     for i, task in enumerate(doc["live_tasks"]):
+        if not isinstance(task, dict):
+            raise ValueError(f"live_tasks[{i}] must be an object, "
+                             f"got {type(task).__name__}")
         absent = [k for k in _LIVE_TASK_KEYS if k not in task]
         if absent:
             raise ValueError(f"live_tasks[{i}] missing {absent}")
     for i, tile in enumerate(doc["tiles"]):
+        if not isinstance(tile, dict):
+            raise ValueError(f"tiles[{i}] must be an object, "
+                             f"got {type(tile).__name__}")
         absent = [k for k in _TILE_KEYS if k not in tile]
         if absent:
             raise ValueError(f"tiles[{i}] missing {absent}")
@@ -187,6 +198,47 @@ def validate_crash_bundle(doc: dict) -> None:
             raise ValueError(f"events[{i}] invalid: {e}")
 
 
+def validate_paths(paths: List[str], *, out=None) -> int:
+    """Validate each bundle file; returns the worst exit code seen.
+
+    Exit codes: 0 all valid, 1 a structurally invalid bundle, 4 a file
+    that is not readable JSON at all (missing, truncated mid-write, or
+    garbage) — each with a field-level message, never a traceback.
+    """
+    import sys
+    out = out or sys.stderr
+    worst = 0
+    for path in paths:
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except OSError as exc:
+            print(f"{path}: UNREADABLE — {exc}", file=out)
+            worst = max(worst, 4)
+            continue
+        except json.JSONDecodeError as exc:
+            print(f"{path}: INVALID JSON (truncated or garbage) — "
+                  f"{exc.msg} at line {exc.lineno} column {exc.colno}",
+                  file=out)
+            worst = max(worst, 4)
+            continue
+        except UnicodeDecodeError as exc:
+            print(f"{path}: INVALID JSON (truncated or garbage) — "
+                  f"not UTF-8 text ({exc.reason} at byte {exc.start})",
+                  file=out)
+            worst = max(worst, 4)
+            continue
+        try:
+            validate_crash_bundle(doc)
+        except ValueError as exc:
+            print(f"{path}: INVALID — {exc}", file=out)
+            worst = max(worst, 1)
+            continue
+        print(f"{path}: ok ({len(doc['events'])} buffered events, "
+              f"cycle {doc['cycle']}, reason {doc['reason']!r})")
+    return worst
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Validate crash bundle files given on the command line."""
     import sys
@@ -195,17 +247,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("usage: python -m repro.faults.crashdump BUNDLE.json ...",
               file=sys.stderr)
         return 2
-    for path in paths:
-        with open(path) as fh:
-            doc = json.load(fh)
-        try:
-            validate_crash_bundle(doc)
-        except ValueError as exc:
-            print(f"{path}: INVALID — {exc}", file=sys.stderr)
-            return 1
-        print(f"{path}: ok ({len(doc['events'])} buffered events, "
-              f"cycle {doc['cycle']}, reason {doc['reason']!r})")
-    return 0
+    return validate_paths(paths)
 
 
 if __name__ == "__main__":

@@ -97,6 +97,7 @@ class HttpJsonClient:
     """
 
     def __init__(self, base_url: str, *, api_key: str = "",
+                 token: str = "",
                  timeout: float = 60.0, retries: int = 0,
                  retry_seed: int = 0,
                  sleep: Callable[[float], None] = time.sleep) -> None:
@@ -108,6 +109,8 @@ class HttpJsonClient:
         self.host = parts.hostname or "127.0.0.1"
         self.port = parts.port or 80
         self.api_key = api_key
+        #: shared wire secret sent as X-Repro-Token ("" = none)
+        self.token = token
         self.timeout = timeout
         self.retries = retries
         self.retry_seed = retry_seed
@@ -122,6 +125,8 @@ class HttpJsonClient:
              "Accept": "application/json"}
         if self.api_key:
             h["X-API-Key"] = self.api_key
+        if self.token:
+            h["X-Repro-Token"] = self.token
         return h
 
     def _connect(self) -> http.client.HTTPConnection:

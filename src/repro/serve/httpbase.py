@@ -20,6 +20,7 @@ route logic:
 from __future__ import annotations
 
 import asyncio
+import hmac
 import json
 import threading
 from typing import Optional
@@ -30,6 +31,9 @@ from ..errors import ConfigError
 #: largest accepted request body (specs and result batches are small;
 #: this is generous)
 MAX_BODY = 8 * 1024 * 1024
+
+#: header carrying the shared-secret wire token (see ``auth_token``)
+TOKEN_HEADER = "X-Repro-Token"
 
 _REASONS = {200: "OK", 202: "Accepted", 204: "No Content",
             400: "Bad Request", 401: "Unauthorized", 404: "Not Found",
@@ -70,14 +74,20 @@ class JsonHttpServer:
     ``SCHEMA`` (when set) is stamped into every JSON response body as its
     ``schema`` field, so clients can sanity-check what they are talking
     to without a separate version endpoint.
+
+    ``auth_token`` (when non-empty) gates **every** route behind a
+    shared-secret ``X-Repro-Token`` header, compared in constant time;
+    a missing or wrong token gets a 401 before any dispatch runs.
     """
 
     #: wire-format tag injected into every response body (None = none)
     SCHEMA: Optional[str] = None
 
-    def __init__(self, host: str, port: int) -> None:
+    def __init__(self, host: str, port: int, *,
+                 auth_token: str = "") -> None:
         self.host = host
         self.configured_port = port
+        self.auth_token = auth_token
         self.port: Optional[int] = None
         self._server: Optional[asyncio.base_events.Server] = None
 
@@ -156,7 +166,26 @@ class JsonHttpServer:
                      + body)
 
     # -- routing scaffold ----------------------------------------------
+    def _authorized(self, req: Request) -> bool:
+        if not self.auth_token:
+            return True
+        presented = req.headers.get(TOKEN_HEADER.lower(), "")
+        return hmac.compare_digest(presented, self.auth_token)
+
+    def _on_auth_reject(self, req: Request) -> None:
+        """Hook for subclasses (counters, logging)."""
+
     async def _route(self, req: Request, writer) -> bool:
+        if not self._authorized(req):
+            self._on_auth_reject(req)
+            self._send(writer, 401,
+                       {"error": f"missing or invalid {TOKEN_HEADER} "
+                                 "header"})
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                return False
+            return True
         try:
             return await self._dispatch(req, writer)
         except (ConnectionError, asyncio.IncompleteReadError):

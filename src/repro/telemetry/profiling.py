@@ -235,6 +235,11 @@ def format_dist_profile(doc: Dict) -> str:
         f"{_metric_total(metrics, 'dist.result_mismatch'):>6,} "
         f"MISMATCHED",
     ]
+    auth_rejects = _metric_total(metrics, "dist.auth_reject")
+    lines.append(
+        f"  wire auth        "
+        + (f"required   {auth_rejects:>6,} rejected (401)"
+           if dist.get("auth_required") else "     off"))
     cache = dist.get("cache")
     if cache:
         lookups = cache.get("hits", 0) + cache.get("misses", 0)
@@ -244,6 +249,24 @@ def format_dist_profile(doc: Dict) -> str:
             f"{cache.get('hits', 0):>6,} hits  "
             f"{cache.get('misses', 0):>6,} misses  "
             f"(hit ratio {ratio:.1%})")
+    recovery = dist.get("recovery") or {}
+    if recovery.get("recovered"):
+        age = recovery.get("snapshot_age_s")
+        lines.append("")
+        lines.append(
+            f"  recovery         "
+            f"{recovery.get('replayed_records', 0):>8,} journal records "
+            f"replayed   snapshot seq "
+            f"{recovery.get('snapshot_seq', 0):,}"
+            + (f" ({age:,.1f}s old)" if age is not None else "")
+            + ("   TRUNCATED TAIL" if recovery.get("truncated_tail")
+               else ""))
+        lines.append(
+            f"                   "
+            f"{recovery.get('resumed_sweeps', 0):>8,} sweeps resumed   "
+            f"{recovery.get('leases_restored', 0):>3,} leases restored  "
+            f"{recovery.get('leases_discarded', 0):>3,} discarded  "
+            f"{recovery.get('cache_refills', 0):>3,} cache refills")
     if agents:
         lines.append("")
         lines.append(f"  {'agent':<16} {'capacity':>8} {'heartbeats':>10} "

@@ -1,0 +1,181 @@
+"""Wire auth (X-Repro-Token) and agent resilience to coordinator 5xx.
+
+The token gate lives in the shared HTTP scaffold, so one coordinator
+server exercises every route; the agent-side tests use a stub client to
+script coordinator failures without a network.
+"""
+
+import threading
+
+import pytest
+
+from repro.farm.dist import (AgentConfig, CoordinatorConfig, DistAgent,
+                             DistClient, TOKEN_ENV,
+                             start_coordinator_in_thread)
+from repro.serve.client import ServeAPIError
+
+FAKEAPP = "tests.farm._fakeapp"
+TOKEN = "sekrit-token"
+
+
+def job_docs():
+    return [{"app": FAKEAPP, "n_cores": 1, "input": {"n_tasks": 3}}]
+
+
+@pytest.fixture
+def coordinator():
+    cfg = CoordinatorConfig(port=0, lease_ttl_s=5.0,
+                            heartbeat_interval_s=0.5, fragments=1,
+                            cache_dir=None, auth_token=TOKEN)
+    handle = start_coordinator_in_thread(cfg)
+    yield handle
+    handle.stop()
+
+
+def counters(coord, name):
+    snap = coord.metrics_snapshot()
+    return sum(c["value"] for c in snap["counters"]
+               if c["name"] == name)
+
+
+class TestTokenGate:
+    def test_every_endpoint_401s_without_a_token(self, coordinator):
+        anon = DistClient(coordinator.url, token="")
+        calls = [
+            lambda: anon.healthz(),
+            lambda: anon.metrics(),
+            lambda: anon.submit_sweep(job_docs()),
+            lambda: anon.sweep_status("f" * 8),
+            lambda: anon.sweep_results("f" * 8),
+            lambda: anon.fragment_status("f" * 8, 0),
+            lambda: anon.register(agent="nope"),
+            lambda: anon.heartbeat("nope", []),
+            lambda: anon.acquire("nope", max_fragments=1),
+            lambda: anon.deliver("lease-1", {"agent": "nope",
+                                             "sweep": "f" * 8,
+                                             "fragment": 0, "epoch": 0,
+                                             "results": []}),
+        ]
+        for call in calls:
+            with pytest.raises(ServeAPIError) as err:
+                call()
+            assert err.value.status == 401
+        assert counters(coordinator.coordinator,
+                        "dist.auth_reject") == len(calls)
+
+    def test_wrong_token_is_also_rejected(self, coordinator):
+        with pytest.raises(ServeAPIError) as err:
+            DistClient(coordinator.url, token="not-it").healthz()
+        assert err.value.status == 401
+
+    def test_wait_ready_fails_fast_on_401(self, coordinator):
+        anon = DistClient(coordinator.url, token="")
+        with pytest.raises(ServeAPIError) as err:
+            anon.wait_ready(timeout=30.0)   # must NOT sit out 30s
+        assert err.value.status == 401
+
+    def test_valid_token_serves_a_sweep_end_to_end(self, coordinator):
+        client = DistClient(coordinator.url, token=TOKEN)
+        assert client.healthz()["ok"]
+        agent = DistAgent(AgentConfig(coordinator_url=coordinator.url,
+                                      agent_id="w1", jobs=1,
+                                      max_fragments=8,
+                                      poll_interval_s=0.05,
+                                      token=TOKEN,
+                                      exit_when_idle=True),
+                          log=lambda msg: None)
+        thread = threading.Thread(target=agent.run, daemon=True)
+        sweep_id = client.submit_sweep(job_docs())["id"]
+        thread.start()
+        try:
+            deadline_doc = None
+            import time
+            t0 = time.monotonic()
+            while time.monotonic() - t0 < 60:
+                deadline_doc = client.sweep_results(sweep_id)
+                if deadline_doc["complete"]:
+                    break
+                time.sleep(0.05)
+            assert deadline_doc["complete"]
+        finally:
+            agent.request_stop()
+            thread.join(timeout=10)
+        assert coordinator.coordinator.summary()["auth_required"]
+
+    def test_env_var_is_the_default_token(self, coordinator, monkeypatch):
+        monkeypatch.setenv(TOKEN_ENV, TOKEN)
+        assert DistClient(coordinator.url).healthz()["ok"]
+        monkeypatch.setenv(TOKEN_ENV, "wrong")
+        with pytest.raises(ServeAPIError) as err:
+            DistClient(coordinator.url).healthz()
+        assert err.value.status == 401
+
+    def test_agent_with_bad_token_exits_2(self, coordinator):
+        agent = DistAgent(AgentConfig(coordinator_url=coordinator.url,
+                                      agent_id="w1", token="wrong"),
+                          log=lambda msg: None)
+        assert agent.run() == 2
+
+
+class _FlakyCoordinatorClient:
+    """Scripted stand-in for DistClient: healthy registration, then a
+    run of 5xx acquires (a coordinator mid-restart), then idle."""
+
+    transport_fault = None
+
+    def __init__(self, n_errors=2):
+        self.n_errors = n_errors
+        self.n_acquires = 0
+
+    def wait_ready(self, timeout=10.0):
+        return {"ok": True}
+
+    def close(self):
+        pass
+
+    def register(self, **kwargs):
+        return {"agent": "w1", "lease_ttl_s": 5.0,
+                "heartbeat_interval_s": 60.0}
+
+    def heartbeat(self, agent_id, leases):
+        return {"ok": True, "expired": []}
+
+    def acquire(self, agent_id, *, max_fragments=1):
+        self.n_acquires += 1
+        if self.n_acquires <= self.n_errors:
+            raise ServeAPIError(503, {"error": "restarting"})
+        return {"leases": [], "idle": True, "draining": False}
+
+
+class TestAgentRidesOut5xx:
+    def test_acquire_5xx_is_retried_not_raised(self):
+        client = _FlakyCoordinatorClient(n_errors=2)
+        agent = DistAgent(AgentConfig(coordinator_url="http://stub",
+                                      agent_id="w1",
+                                      poll_interval_s=0.01,
+                                      exit_when_idle=True),
+                          client=client, log=lambda msg: None)
+        assert agent.run() == 0
+        assert client.n_acquires == 3
+        assert agent.n_coordinator_errors >= 2
+
+    def test_register_5xx_is_retried_not_raised(self):
+        client = _FlakyCoordinatorClient(n_errors=0)
+        fails = {"n": 2}
+        real_register = client.register
+
+        def flaky_register(**kwargs):
+            if fails["n"] > 0:
+                fails["n"] -= 1
+                raise ServeAPIError(500, {"error": "booting"})
+            return real_register(**kwargs)
+
+        client.register = flaky_register
+        agent = DistAgent(AgentConfig(coordinator_url="http://stub",
+                                      agent_id="w1",
+                                      poll_interval_s=0.01,
+                                      exit_when_idle=True),
+                          client=client, log=lambda msg: None)
+        assert agent.run() == 0
+        assert fails["n"] == 0
+        assert agent.n_coordinator_errors >= 2

@@ -24,7 +24,7 @@ from repro.core.stats import RunStats
 from repro.farm import Farm, validate_jobspec
 from repro.farm.dist import (AgentConfig, CoordinatorConfig, DistAgent,
                              dist_sweep, start_coordinator_in_thread)
-from repro.faults.chaos import TransportChaos
+from repro.faults.chaos import TransportChaos, wait_until
 
 FAKEAPP = "tests.farm._fakeapp"
 CORES = (1, 2, 4, 8)
@@ -121,12 +121,34 @@ class TestChaosSweep:
         })
         zombie = start_agent(coordinator.url, "zombie",
                              chaos=zombie_chaos)
-        healthy = start_agent(coordinator.url, "healthy")
-        try:
-            doc = dist_sweep(coordinator.url, job_docs(), timeout_s=120)
-        finally:
-            stop_agents([zombie, healthy])
         coord = coordinator.coordinator
+        # the zombie must win the first acquire race or nothing ever
+        # expires: submit in the background, wait until the zombie holds
+        # every fragment, and only then let the healthy agent in
+        result = {}
+
+        def _run_sweep():
+            try:
+                result["doc"] = dist_sweep(coordinator.url, job_docs(),
+                                           timeout_s=120)
+            except Exception as exc:       # surfaced after join
+                result["error"] = exc
+
+        sweeper = threading.Thread(target=_run_sweep, daemon=True)
+        agents = [zombie]
+        try:
+            sweeper.start()
+            assert wait_until(
+                lambda: counters(coord, "dist.leases_granted") >= 1,
+                timeout_s=30)
+            agents.append(start_agent(coordinator.url, "healthy"))
+            sweeper.join(timeout=120)
+        finally:
+            stop_agents(agents)
+        assert not sweeper.is_alive()
+        if "error" in result:
+            raise result["error"]
+        doc = result["doc"]
         assert doc["complete"]
         # the chaos actually happened: at least one lease expired and
         # its fragment was re-executed

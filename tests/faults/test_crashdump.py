@@ -110,3 +110,69 @@ class TestValidatorCli:
     def test_no_arguments_returns_two(self, capsys):
         assert main([]) == 2
         assert "usage" in capsys.readouterr().err
+
+    def test_truncated_json_returns_four_without_traceback(
+            self, tmp_path, capsys):
+        sim = _crashed_sim(tmp_path)
+        with open(sim.crash_bundle_path) as fh:
+            whole = fh.read()
+        path = tmp_path / "torn.json"
+        path.write_text(whole[:len(whole) // 2])   # crash mid-write
+        assert main([str(path)]) == 4
+        err = capsys.readouterr().err
+        assert "INVALID JSON (truncated or garbage)" in err
+        assert "line" in err and "column" in err
+        assert "Traceback" not in err
+
+    def test_garbage_bytes_return_four(self, tmp_path, capsys):
+        path = tmp_path / "garbage.json"
+        path.write_bytes(b"\x00\xff not json")
+        assert main([str(path)]) == 4
+        assert "INVALID JSON" in capsys.readouterr().err
+
+    def test_missing_file_returns_four(self, tmp_path, capsys):
+        assert main([str(tmp_path / "never-written.json")]) == 4
+        assert "UNREADABLE" in capsys.readouterr().err
+
+    def test_wrong_field_type_names_the_field(self, tmp_path, capsys):
+        sim = _crashed_sim(tmp_path)
+        with open(sim.crash_bundle_path) as fh:
+            doc = json.load(fh)
+        doc["live_tasks"] = "not-a-list"
+        path = tmp_path / "typed.json"
+        path.write_text(json.dumps(doc))
+        assert main([str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "'live_tasks' must be a list" in err
+        assert "got str" in err
+
+    def test_worst_exit_code_wins_across_files(self, tmp_path, capsys):
+        sim = _crashed_sim(tmp_path)
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "nope"}))
+        torn = tmp_path / "torn.json"
+        torn.write_text("{")
+        # every file is reported, not just the first failure
+        assert main([sim.crash_bundle_path, str(bad), str(torn)]) == 4
+        captured = capsys.readouterr()
+        assert "ok" in captured.out
+        assert "INVALID —" in captured.err
+        assert "INVALID JSON" in captured.err
+
+
+class TestCrashValidateSubcommand:
+    def test_repro_crash_validate_exits_four_on_torn_json(
+            self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+        path = tmp_path / "torn.json"
+        path.write_text('{"schema": "repro.crash/1", "run"')
+        assert cli_main(["crash-validate", str(path)]) == 4
+        err = capsys.readouterr().err
+        assert "INVALID JSON (truncated or garbage)" in err
+        assert "Traceback" not in err
+
+    def test_repro_crash_validate_ok_bundle(self, tmp_path, capsys):
+        sim = _crashed_sim(tmp_path)
+        from repro.cli import main as cli_main
+        assert cli_main(["crash-validate", sim.crash_bundle_path]) == 0
+        assert "ok" in capsys.readouterr().out
