@@ -55,6 +55,7 @@ BENCHES = [
     "bench_fig16_zooming",
     "bench_fig17_stamp",
     "bench_swarm_suite",
+    "bench_pbbs_suite",
     "bench_ablation_conflict",
     "bench_ablation_hints",
     "bench_ablation_queues",

@@ -1,0 +1,29 @@
+"""PBBS deterministic-reservation applications (``speculative_for``).
+
+Three apps built on :mod:`repro.specfor`, each with four variants:
+
+- ``flat`` — one ordered task per loop iteration (ts = iteration index):
+  the whole body runs as a single atomic transaction;
+- ``swarm`` — the same iteration decomposed into fine tasks over a
+  disjoint timestamp range per iteration (swarm-fg);
+- ``fractal`` — an ordered iteration task opening an unordered subdomain
+  for its inner work (the paper's nesting);
+- ``specfor`` — the PBBS reserve→check→commit round pipeline hosted
+  inside a fractal domain (:class:`repro.specfor.DomainSpecFor`).
+
+Every variant of every app produces **byte-identical result arrays**,
+equal to the sequential loop in iteration order — each app's ``check``
+recomputes that reference in plain Python and compares exactly, on top of
+an independent structural oracle.
+"""
+
+VARIANTS_PBBS = ("flat", "swarm", "fractal", "specfor")
+
+__all__ = ["VARIANTS_PBBS", "contract", "refine", "spanning"]
+
+
+def __getattr__(name):
+    if name in ("contract", "refine", "spanning"):
+        import importlib
+        return importlib.import_module(f".{name}", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,228 @@
+"""List contraction via deterministic reservations (PBBS
+``listContraction``).
+
+A doubly-linked list of ``n`` nodes is contracted to nothing: iteration
+``i`` splices node ``perm[i]`` out (relink neighbors, fold its value into
+the predecessor — or the successor at the head), in a seeded random
+priority order. Adjacent nodes conflict: a splice needs the node and both
+neighbors, which is the classic 3-cell reservation.
+
+The canonical result is the ``value`` array (each node's accumulated
+value at the moment it was spliced) plus the all-zero ``alive`` flags;
+both equal the sequential loop in iteration order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ...errors import AppError
+from ...specfor import DomainSpecFor, ReservationTable, SpecForPolicy
+from ...vt import Ordering
+from ..common import join_increment, require_variant, splitmix
+from . import VARIANTS_PBBS
+
+_SWARM_STRIDE = 2
+
+
+@dataclass(frozen=True)
+class ChainInput:
+    """A linked list of ``n`` nodes with seeded values and splice order."""
+
+    n: int
+    seed: int
+    values: Tuple[int, ...]
+    perm: Tuple[int, ...]   # perm[i] = node spliced by iteration i
+
+
+def make_input(n: int = 48, seed: int = 9) -> ChainInput:
+    values = tuple(splitmix(seed * 0x1000 + k) % 97 + 1 for k in range(n))
+    perm = list(range(n))
+    for k in range(n - 1, 0, -1):  # Fisher–Yates off the splitmix stream
+        j = splitmix(seed * 0x51ED2705 + k) % (k + 1)
+        perm[k], perm[j] = perm[j], perm[k]
+    return ChainInput(n=n, seed=seed, values=values, perm=tuple(perm))
+
+
+def reference_result(inp: ChainInput) -> Tuple[list, list]:
+    """Sequential splices in iteration order (plain Python)."""
+    n = inp.n
+    pred = [v - 1 for v in range(n)]
+    succ = [v + 1 if v + 1 < n else -1 for v in range(n)]
+    value = list(inp.values)
+    alive = [1] * n
+    for i in range(n):
+        v = inp.perm[i]
+        p, s = pred[v], succ[v]
+        if p >= 0:
+            succ[p] = s
+        if s >= 0:
+            pred[s] = p
+        if p >= 0:
+            value[p] += value[v]
+        elif s >= 0:
+            value[s] += value[v]
+        alive[v] = 0
+    return value, alive
+
+
+def build(host, inp: ChainInput, variant: str = "specfor",
+          granularity: int = 8) -> Dict:
+    require_variant(variant, VARIANTS_PBBS)
+    n = inp.n
+    perm = inp.perm
+    pred = host.array("contract.pred", max(n, 1),
+                      init=[v - 1 for v in range(n)] or [0])
+    succ = host.array("contract.succ", max(n, 1),
+                      init=[v + 1 if v + 1 < n else -1
+                            for v in range(n)] or [0])
+    value = host.array("contract.value", max(n, 1), init=inp.values or [0])
+    alive = host.array("contract.alive", max(n, 1), fill=1)
+    # per-iteration join counter, one cache line apart
+    scratch = host.array("contract.scratch", max(n, 1) * 8)
+    resv = ReservationTable.alloc(host, "contract.resv", n)
+
+    def splice_links(ctx, v, p, s):
+        if p >= 0:
+            succ.set(ctx, p, s)
+        if s >= 0:
+            pred.set(ctx, s, p)
+
+    def fold(ctx, v, p, s):
+        if p >= 0:
+            value.add(ctx, p, value.get(ctx, v))
+        elif s >= 0:
+            value.add(ctx, s, value.get(ctx, v))
+        alive.set(ctx, v, 0)
+
+    # --- flat: one atomic splice per iteration ------------------------
+    def op_flat(ctx, i):
+        v = perm[i]
+        p, s = pred.get(ctx, v), succ.get(ctx, v)
+        splice_links(ctx, v, p, s)
+        fold(ctx, v, p, s)
+
+    # --- fractal: relink halves in an unordered subdomain -------------
+    class _CellView:
+        __slots__ = ("addr",)
+
+        def __init__(self, addr):
+            self.addr = addr
+
+        def add(self, ctx, delta):
+            new = ctx.load(self.addr) + delta
+            ctx.store(self.addr, new)
+            return new
+
+    def relink_task(ctx, i, v, p, s, side):
+        if side == 0:
+            if p >= 0:
+                succ.set(ctx, p, s)
+        else:
+            if s >= 0:
+                pred.set(ctx, s, p)
+        if join_increment(ctx, _CellView(scratch.addr(i * 8)), 2):
+            ctx.enqueue(fold, v, p, s, hint=v, label="fold")
+
+    def op_fractal(ctx, i):
+        v = perm[i]
+        p, s = pred.get(ctx, v), succ.get(ctx, v)
+        ctx.create_subdomain(Ordering.UNORDERED)
+        ctx.enqueue_sub(relink_task, i, v, p, s, 0, hint=p, label="relink")
+        ctx.enqueue_sub(relink_task, i, v, p, s, 1, hint=s, label="relink")
+
+    # --- swarm: the same fine tasks on a disjoint timestamp range -----
+    def swarm_left(ctx, v):
+        p, s = pred.get(ctx, v), succ.get(ctx, v)
+        if p >= 0:
+            succ.set(ctx, p, s)
+
+    def swarm_right(ctx, v):
+        p, s = pred.get(ctx, v), succ.get(ctx, v)
+        if s >= 0:
+            pred.set(ctx, s, p)
+
+    def swarm_fold(ctx, v):
+        # v's own pointers are never rewritten, so they are still the
+        # pre-splice neighbors here
+        fold(ctx, v, pred.get(ctx, v), succ.get(ctx, v))
+
+    def op_swarm(ctx, i):
+        v = perm[i]
+        base = ctx.timestamp
+        ctx.enqueue(swarm_left, v, ts=base, hint=v, label="relink")
+        ctx.enqueue(swarm_right, v, ts=base, hint=v, label="relink")
+        ctx.enqueue(swarm_fold, v, ts=base + 1, hint=v, label="fold")
+
+    # --- specfor: reserve self + both neighbors -----------------------
+    class ContractStep:
+        def reserve(self, ctx, i):
+            v = perm[i]
+            p, s = pred.get(ctx, v), succ.get(ctx, v)
+            resv.write_min(ctx, v, i)
+            if p >= 0:
+                resv.write_min(ctx, p, i)
+            if s >= 0:
+                resv.write_min(ctx, s, i)
+            return True
+
+        def commit(self, ctx, i):
+            v = perm[i]
+            p, s = pred.get(ctx, v), succ.get(ctx, v)
+            if not resv.holds(ctx, v, i):
+                return False
+            if p >= 0 and not resv.holds(ctx, p, i):
+                return False
+            if s >= 0 and not resv.holds(ctx, s, i):
+                return False
+            splice_links(ctx, v, p, s)
+            fold(ctx, v, p, s)
+            # release the held cells: the neighbors stay contended and a
+            # stale winning priority would block them forever
+            resv.reset(ctx, v)
+            if p >= 0:
+                resv.reset(ctx, p)
+            if s >= 0:
+                resv.reset(ctx, s)
+            return True
+
+    if variant == "specfor":
+        engine = DomainSpecFor(host, "contract", ContractStep(), n,
+                               policy=SpecForPolicy(granularity=granularity))
+        engine.enqueue_driver(host)
+        return {"value": value, "alive": alive, "input": inp,
+                "engine": engine}
+
+    fn = {"flat": op_flat, "fractal": op_fractal, "swarm": op_swarm}[variant]
+    stride = _SWARM_STRIDE if variant == "swarm" else 1
+    for i in range(n):
+        host.enqueue_root(fn, i, ts=i * stride, hint=perm[i], label="op")
+    return {"value": value, "alive": alive, "input": inp}
+
+
+def root_ordering(variant: str) -> Ordering:
+    return Ordering.UNORDERED if variant == "specfor" else Ordering.ORDERED_32
+
+
+def result_arrays(handles: Dict) -> Dict[str, list]:
+    return {"value": handles["value"].snapshot(),
+            "alive": handles["alive"].snapshot()}
+
+
+def check(handles: Dict, inp: ChainInput) -> int:
+    """Value/alive arrays must equal the sequential reference; every
+    node must have been spliced. Returns the fold count."""
+    value = handles["value"].snapshot()
+    alive = handles["alive"].snapshot()
+    want_value, want_alive = reference_result(inp)
+    if alive != want_alive:
+        left = [v for v in range(inp.n) if alive[v]]
+        raise AppError(f"nodes never spliced: {left[:10]}")
+    if value != want_value:
+        diff = [v for v, (a, b) in enumerate(zip(value, want_value))
+                if a != b]
+        raise AppError(
+            f"value differs from the sequential reference at nodes "
+            f"{diff[:10]} ({len(diff)} total)")
+    return inp.n

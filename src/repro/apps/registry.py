@@ -32,28 +32,51 @@ APPS = {
     "astar": ("repro.apps.swarm.astar", ("swarm",)),
     "des": ("repro.apps.swarm.des", ("swarm",)),
     "nocsim": ("repro.apps.swarm.nocsim", ("swarm",)),
+    "spanning": ("repro.apps.pbbs.spanning",
+                 ("flat", "swarm", "fractal", "specfor")),
+    "contract": ("repro.apps.pbbs.contract",
+                 ("flat", "swarm", "fractal", "specfor")),
+    "refine": ("repro.apps.pbbs.refine",
+               ("flat", "swarm", "fractal", "specfor")),
 }
 
 #: module path -> short registry name (for display)
 MODULE_TO_NAME = {module: name for name, (module, _) in APPS.items()}
 
 
+class UnknownAppError(KeyError):
+    """App name not in the registry.
+
+    Subclasses ``KeyError`` so existing ``except KeyError`` callers keep
+    working, but renders a readable message (a raw ``KeyError`` turns
+    ``str(exc)`` into the repr of its argument, quotes and all).
+    """
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.name = name
+
+    def __str__(self) -> str:
+        return (f"unknown app {self.name!r}; choose one of {sorted(APPS)} "
+                f"or give a dotted module path")
+
+
 def resolve_app(name: str) -> Tuple[str, Optional[Tuple[str, ...]]]:
     """Resolve ``name`` to ``(module_path, variants-or-None)``.
 
     ``name`` is either a registry key (``"mis"``) or a dotted module path
-    (``"repro.apps.mis"``, ``"tests.farm._fakeapp"``). Unknown plain names
-    raise ``KeyError`` listing the registry.
+    (``"repro.apps.mis"``, ``"tests.farm._fakeapp"``). Dotted paths of
+    registered modules resolve to that entry's variants so they are
+    validated the same as the short name; other dotted paths return
+    ``None`` (variants unknown, not checked). Unknown plain names raise
+    :class:`UnknownAppError`.
     """
     entry = APPS.get(name)
     if entry is not None:
         return entry
     if "." in name:
-        variants = None
-        known = APPS.get(MODULE_TO_NAME.get(name, ""))
-        if known is not None:
-            variants = known[1]
-        return name, variants
-    raise KeyError(
-        f"unknown app {name!r}; choose one of {sorted(APPS)} "
-        f"or give a dotted module path")
+        short = MODULE_TO_NAME.get(name)
+        if short is not None:
+            return name, APPS[short][1]
+        return name, None
+    raise UnknownAppError(name)

@@ -708,7 +708,8 @@ def _cmd_crash_validate(args) -> int:
 
 def _cmd_apps() -> int:
     rows = [[name, module.rsplit(".", 2)[-2] if "stamp" in module
-             or "swarm" in module else "core", ", ".join(variants)]
+             or "swarm" in module or "pbbs" in module else "core",
+             ", ".join(variants)]
             for name, (module, variants) in sorted(APPS.items())]
     print(format_table(["app", "suite", "variants"], rows))
     return 0

@@ -117,6 +117,23 @@ class TaskContext:
             raise FractalError("compute cycles must be >= 0")
         self.cycles += cycles
 
+    def emit(self, event) -> None:
+        """Defer a telemetry event to this task's *commit*.
+
+        Task bodies re-execute after aborts, so emitting straight to the
+        bus from inside one would double-count. Deferred events are held
+        on the attempt (reset by :meth:`TaskDesc.begin_attempt`) and
+        published exactly once, at commit time, stamped with the commit
+        cycle; an event with a ``fold_metrics`` method also folds its
+        counters into the run's :class:`~repro.telemetry.MetricsRegistry`
+        there (metrics fold even with no bus subscribers).
+        """
+        task = self.task
+        if task.emits is None:
+            task.emits = [event]
+        else:
+            task.emits.append(event)
+
     # ------------------------------------------------------------------
     # enqueues (paper Listing 1)
     # ------------------------------------------------------------------

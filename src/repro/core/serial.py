@@ -76,6 +76,12 @@ class SerialContext:
     def compute(self, cycles: int) -> None:
         self.cycles += cycles
 
+    def emit(self, event) -> None:
+        """Deferred-event surface parity with TaskContext: serial tasks
+        commit as they run, so the event is recorded immediately (on
+        ``host.emitted``; there is no bus or metrics registry here)."""
+        self.host.emitted.append(event)
+
     # --- enqueues -------------------------------------------------------
     def enqueue(self, fn: Callable, *args, ts: Optional[int] = None,
                 hint: Optional[int] = None,
@@ -137,6 +143,7 @@ class SerialExecutor(AllocAPI):
         self._touched_lines: set = set()
         self.cycles = 0
         self.tasks_executed = 0
+        self.emitted: List[Any] = []
         self._ran = False
 
     # ------------------------------------------------------------------

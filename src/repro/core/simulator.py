@@ -799,6 +799,17 @@ class Simulator(AllocAPI):
             self._ebus.emit(tev.CommitEvent(
                 self.now, task.tid, task.label, core.cid,
                 task.dispatch_time, task.duration, depth))
+        if task.emits:
+            # deferred app events (TaskContext.emit): published exactly
+            # once, at the commit that makes the attempt's work real
+            for ev in task.emits:
+                ev.t = self.now
+                fold = getattr(ev, "fold_metrics", None)
+                if fold is not None:
+                    fold(self.metrics)
+                if self._ebus is not None:
+                    self._ebus.emit(ev)
+            task.emits = None
 
     def _promote_stalled(self, tile_id: int) -> None:
         unit = self.tiles[tile_id].unit

@@ -67,6 +67,8 @@ class TaskDesc:
         # timing (current attempt)
         "enqueue_time", "dispatch_time", "duration", "finish_time",
         "retry_after",
+        # deferred app events (ctx.emit), published at commit
+        "emits",
         # commit record
         "commit_seq", "commit_time",
         # zoom bookkeeping
@@ -113,6 +115,7 @@ class TaskDesc:
         self.duration = 0
         self.finish_time = 0
         self.retry_after = 0
+        self.emits = None
         self.commit_seq = -1
         self.commit_time = -1
         self.zoom_pending_enqueues = None
@@ -150,6 +153,7 @@ class TaskDesc:
         self.children = []
         self.subdomain = None
         self.retry_after = 0
+        self.emits = None
 
     def __repr__(self) -> str:
         vt = f" vt={self.vt!r}" if self.vt is not None else ""

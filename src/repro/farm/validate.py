@@ -217,11 +217,11 @@ def validate_jobspec(doc: Any, *,
     if not isinstance(app, str) or not app:
         errs.add("app", "required and must be a non-empty string")
     else:
-        from ..apps.registry import resolve_app
+        from ..apps.registry import UnknownAppError, resolve_app
         try:
             module_path, variants = resolve_app(app)
-        except KeyError as exc:
-            errs.add("app", str(exc).strip('"').strip("'"))
+        except UnknownAppError as exc:
+            errs.add("app", str(exc))
 
     variant = _want_str(errs, doc, "variant", "fractal")
     if (variant is not None and variants is not None

@@ -1,0 +1,31 @@
+"""repro.specfor — deterministic-reservation ``speculative_for``.
+
+The PBBS reservation pattern (reserve → check → commit rounds with
+priority-writeMin cells and keep/pack carry-over) as a reusable engine:
+
+- :mod:`reservation <repro.specfor.reservation>` — priority cells over
+  versioned memory;
+- :mod:`engine <repro.specfor.engine>` — the standalone round scheduler,
+  its policy/livelock ladder, and the sequential reference loop;
+- :mod:`adapter <repro.specfor.adapter>` — the same protocol hosted as
+  VT-ordered tasks inside a fractal domain.
+
+The :mod:`repro.apps.pbbs` family builds on all three.
+"""
+
+from .adapter import DomainSpecFor
+from .engine import (RoundRecord, SpecForLivelock, SpecForOutcome,
+                     SpecForPolicy, sequential_for, speculative_for)
+from .reservation import UNRESERVED, ReservationTable
+
+__all__ = [
+    "UNRESERVED",
+    "DomainSpecFor",
+    "ReservationTable",
+    "RoundRecord",
+    "SpecForLivelock",
+    "SpecForOutcome",
+    "SpecForPolicy",
+    "sequential_for",
+    "speculative_for",
+]

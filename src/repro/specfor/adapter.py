@@ -1,0 +1,143 @@
+"""Run a ``speculative_for`` loop as ordered tasks *inside* a fractal
+domain.
+
+:class:`DomainSpecFor` hosts the round pipeline of
+:mod:`repro.specfor.engine` on a Fractal simulator (or the serial
+reference executor): a driver task opens an ORDERED_32 subdomain and each
+round ``r`` occupies three timestamp slots —
+
+- ``3r``   one *reserve* task per active iteration (write_min claims),
+- ``3r+1`` one *commit* task per active iteration (check → apply, or
+  ``release`` for iterations the reserve step filtered),
+- ``3r+2`` the *controller*, which reads the per-iteration outcome flags,
+  packs losers ahead of fresh indices, walks the livelock ladder, emits a
+  :class:`~repro.telemetry.SpecForRoundEvent` (deferred to its commit via
+  ``ctx.emit``), and enqueues round ``r+1``.
+
+Timestamp order gives the phases the barrier semantics the PBBS loop gets
+from its ``parallel_for``s, while *within* a phase the simulator
+speculates freely — reservation conflicts abort and retry under VT order,
+which is exactly the dense conflict structure this family contributes.
+
+Round bookkeeping (batch, fresh cursor, streak, done) travels through
+immutable task *arguments*, so an aborted controller re-derives identical
+state on re-execution; the only mutable engine state is the per-iteration
+outcome array, which lives in speculative memory and rolls back with its
+writers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..telemetry.events import SpecForRoundEvent
+from ..vt import Ordering
+from .engine import SpecForLivelock, SpecForPolicy
+
+#: per-iteration outcome flags (the ``state`` array)
+_FILTERED, _CONTENDING, _COMMITTED = 0, 1, 2
+
+
+class DomainSpecFor:
+    """One speculative-for engine instance hosted in a fractal domain.
+
+    Build-time construction (allocation never happens in task bodies)::
+
+        eng = DomainSpecFor(host, "spanning", step, n_iters, policy=...)
+        eng.enqueue_driver(host)
+
+    The step follows the :mod:`repro.specfor.engine` protocol; its
+    ``reserve``/``commit``/``release`` run as separate ordered tasks, so
+    everything they touch must live in speculative memory.
+    """
+
+    def __init__(self, host, name: str, step, n: int, *,
+                 policy: Optional[SpecForPolicy] = None):
+        self.name = name
+        self.step = step
+        self.n = n
+        self.policy = policy or SpecForPolicy()
+        # per-iteration outcome of the current round; indices are unique
+        # across rounds so slots are never contended between iterations
+        self.state = host.array(f"{name}.sf_state", max(n, 1))
+
+    # ------------------------------------------------------------------
+    def enqueue_driver(self, host, *, hint: Optional[int] = None) -> None:
+        """Enqueue the root driver task (root domain may be unordered)."""
+        host.enqueue_root(self._driver, hint=hint,
+                          label=f"{self.name}.sf_driver")
+
+    # ------------------------------------------------------------------
+    # task bodies
+    # ------------------------------------------------------------------
+    def _driver(self, ctx):
+        if self.n <= 0:
+            return
+        ctx.create_subdomain(Ordering.ORDERED_32)
+        size = self.policy.size_for(0, self.n)
+        batch = tuple(range(min(size, self.n)))
+        for i in batch:
+            ctx.enqueue_sub(self._reserve, i, ts=0, hint=i,
+                            label=f"{self.name}.sf_reserve")
+            ctx.enqueue_sub(self._commit, i, ts=1, hint=i,
+                            label=f"{self.name}.sf_commit")
+        ctx.enqueue_sub(self._control, 0, batch, len(batch), len(batch),
+                        0, 0, (), ts=2, label=f"{self.name}.sf_control")
+
+    def _reserve(self, ctx, i):
+        self.state.set(ctx, i,
+                       _CONTENDING if self.step.reserve(ctx, i)
+                       else _FILTERED)
+
+    def _commit(self, ctx, i):
+        st = self.state.get(ctx, i)
+        if st == _CONTENDING:
+            if self.step.commit(ctx, i):
+                self.state.set(ctx, i, _COMMITTED)
+        else:
+            release = getattr(self.step, "release", None)
+            if release is not None:
+                release(ctx, i)
+
+    def _control(self, ctx, r, batch, fresh, next_fresh, streak, done,
+                 deferred):
+        carried = []
+        committed = filtered = 0
+        for i in batch:
+            st = self.state.get(ctx, i)
+            if st == _CONTENDING:
+                carried.append(i)
+            elif st == _COMMITTED:
+                committed += 1
+            else:
+                filtered += 1
+        done += len(batch) - len(carried)
+        streak = 0 if len(carried) < len(batch) else streak + 1
+        stage = self.policy.stage_for(streak)
+        ctx.emit(SpecForRoundEvent(
+            0, engine=self.name, round=r, size=len(batch), fresh=fresh,
+            committed=committed, filtered=filtered, carried=len(carried),
+            done=done, total=self.n, stage=stage))
+        if streak >= self.policy.max_tries:
+            raise SpecForLivelock(
+                f"specfor engine {self.name!r} made no progress for "
+                f"{streak} rounds ({done}/{self.n} done)")
+        if done >= self.n:
+            return
+        size = self.policy.size_for(stage, self.n)
+        # a shrunken rung defers excess carried iterations (same clamp
+        # as the standalone engine): the pool keeps losers-first order
+        pool = list(carried) + list(deferred)
+        active, ndeferred = pool[:size], tuple(pool[size:])
+        take = max(0, min(size - len(active), self.n - next_fresh))
+        nbatch = tuple(active) + tuple(range(next_fresh,
+                                             next_fresh + take))
+        base = 3 * (r + 1)
+        for i in nbatch:
+            ctx.enqueue(self._reserve, i, ts=base, hint=i,
+                        label=f"{self.name}.sf_reserve")
+            ctx.enqueue(self._commit, i, ts=base + 1, hint=i,
+                        label=f"{self.name}.sf_commit")
+        ctx.enqueue(self._control, r + 1, nbatch, take, next_fresh + take,
+                    streak, done, ndeferred, ts=base + 2,
+                    label=f"{self.name}.sf_control")

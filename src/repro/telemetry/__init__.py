@@ -49,6 +49,7 @@ from .events import (
     SafeModeEnterEvent,
     SafeModeExitEvent,
     ServeDrainEvent,
+    SpecForRoundEvent,
     SpillEvent,
     SquashEvent,
     WatchdogEvent,
@@ -123,6 +124,7 @@ __all__ = [
     "SafeModeEnterEvent",
     "SafeModeExitEvent",
     "ServeDrainEvent",
+    "SpecForRoundEvent",
     "SpillEvent",
     "SquashEvent",
     "ValidationError",

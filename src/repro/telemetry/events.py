@@ -495,6 +495,47 @@ class DuplicateResultEvent(Event):
     match: bool
 
 
+# --- speculative-for events (repro.specfor) ---------------------------
+
+
+@dataclass
+class SpecForRoundEvent(Event):
+    """One reserve→check→commit round of a :mod:`repro.specfor` engine.
+
+    Emitted by the round controller via the deferred ``ctx.emit`` path,
+    so ``t`` is the cycle the controller *committed* (aborted attempts
+    never publish). ``size`` = iterations active this round (``fresh``
+    of them newly injected); each is then ``committed`` (commit step
+    succeeded), ``filtered`` (reserve step declared it done without a
+    commit), or ``carried`` into the next round after losing a
+    reservation. ``done``/``total`` track overall progress and ``stage``
+    is the livelock ladder rung (0 full rounds, 1 halved, 2 serialized).
+    """
+
+    KIND: ClassVar[str] = "specfor_round"
+
+    engine: str
+    round: int
+    size: int
+    fresh: int
+    committed: int
+    filtered: int
+    carried: int
+    done: int
+    total: int
+    stage: int
+
+    def fold_metrics(self, metrics) -> None:
+        """Commit-time counter folds (see ``TaskContext.emit``)."""
+        metrics.inc("specfor_rounds", engine=self.engine)
+        if self.committed:
+            metrics.inc("specfor_commits", self.committed,
+                        engine=self.engine)
+        if self.carried:
+            metrics.inc("specfor_reserve_failures", self.carried,
+                        engine=self.engine)
+
+
 #: every concrete event class, keyed by its wire ``kind``
 EVENT_TYPES: Dict[str, Type[Event]] = {
     cls.KIND: cls
@@ -509,7 +550,8 @@ EVENT_TYPES: Dict[str, Type[Event]] = {
                 AdmissionRejectEvent, ServeDrainEvent,
                 AgentRegisteredEvent, AgentLostEvent, LeaseGrantedEvent,
                 LeaseExpiredEvent, FragmentRequeuedEvent,
-                FragmentDoneEvent, DuplicateResultEvent)
+                FragmentDoneEvent, DuplicateResultEvent,
+                SpecForRoundEvent)
 }
 
 #: kind -> required field names (the JSONL schema)

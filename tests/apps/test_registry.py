@@ -1,0 +1,42 @@
+"""Regression tests for app-registry name resolution."""
+
+import pytest
+
+from repro.apps.registry import (APPS, MODULE_TO_NAME, UnknownAppError,
+                                 resolve_app)
+
+
+class TestResolveApp:
+    def test_short_name_returns_registry_entry(self):
+        module, variants = resolve_app("mis")
+        assert module == "repro.apps.mis"
+        assert variants == ("flat", "swarm", "fractal")
+
+    def test_dotted_path_of_registered_module_returns_its_variants(self):
+        # regression: this used to round-trip through a convoluted
+        # APPS.get(MODULE_TO_NAME.get(...)) chain; the variants of a
+        # known dotted module must come back exactly as registered
+        for name, (module, variants) in APPS.items():
+            assert resolve_app(module) == (module, variants)
+
+    def test_unregistered_dotted_path_has_unknown_variants(self):
+        module, variants = resolve_app("tests.farm._fakeapp")
+        assert module == "tests.farm._fakeapp"
+        assert variants is None
+
+    def test_unknown_plain_name_raises_unknown_app_error(self):
+        with pytest.raises(UnknownAppError) as ei:
+            resolve_app("nope")
+        # KeyError subclass for old callers, readable message for new ones
+        assert isinstance(ei.value, KeyError)
+        assert str(ei.value).startswith("unknown app 'nope'")
+        assert "mis" in str(ei.value)
+
+    def test_module_to_name_covers_every_entry(self):
+        assert set(MODULE_TO_NAME.values()) == set(APPS)
+
+    def test_pbbs_family_is_registered(self):
+        for name in ("spanning", "contract", "refine"):
+            module, variants = resolve_app(name)
+            assert module == f"repro.apps.pbbs.{name}"
+            assert variants == ("flat", "swarm", "fractal", "specfor")

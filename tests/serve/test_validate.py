@@ -110,6 +110,22 @@ class TestMalformedFields:
                       "bogus": True})
         assert set(err_fields(exc)) == {"app", "n_cores", "check", "bogus"}
 
+    def test_unknown_app_message_has_no_keyerror_quoting(self):
+        # UnknownAppError renders readably; a raw KeyError would wrap
+        # the whole message in an extra layer of quotes
+        exc = reject({"app": "nope"})
+        msg = exc.errors[0]["error"]
+        assert msg.startswith("unknown app 'nope'")
+        assert not msg.startswith('"')
+
+    def test_dotted_path_of_registered_app_checks_variants(self):
+        # the registry resolves known dotted modules to their entry, so
+        # a bogus variant is rejected just like with the short name
+        exc = reject({"app": "repro.apps.pbbs.spanning",
+                      "variant": "hwq"})
+        assert err_fields(exc) == ["variant"]
+        assert "specfor" in exc.errors[0]["error"]
+
 
 class TestValidSpecs:
     def test_registry_name_resolves_to_module_path(self):

@@ -1,0 +1,155 @@
+"""DomainSpecFor inside a simulator, plus the deferred ctx.emit path."""
+
+import pytest
+
+from repro import SerialExecutor, Simulator, SystemConfig
+from repro.specfor import (DomainSpecFor, ReservationTable, SpecForLivelock,
+                           SpecForPolicy)
+from repro.telemetry import EventBus, SpecForRoundEvent
+
+
+class ClaimStep:
+    """Spec-memory cavity step: iteration i claims all cells[i] or none."""
+
+    def __init__(self, host, cavities, n_cells):
+        self.cavities = cavities
+        self.resv = ReservationTable.alloc(host, "t.resv", n_cells)
+        self.owner = host.array("t.owner", max(n_cells, 1), fill=-1)
+        self.success = host.array("t.success", max(len(cavities), 1))
+
+    def reserve(self, ctx, i):
+        if any(self.owner.get(ctx, c) >= 0 for c in self.cavities[i]):
+            return False
+        for c in self.cavities[i]:
+            self.resv.write_min(ctx, c, i)
+        return True
+
+    def commit(self, ctx, i):
+        if not all(self.resv.holds(ctx, c, i) for c in self.cavities[i]):
+            return False
+        for c in self.cavities[i]:
+            self.owner.set(ctx, c, i)
+        self.success.set(ctx, i, 1)
+        return True
+
+    def release(self, ctx, i):
+        for c in self.cavities[i]:
+            self.resv.check_release(ctx, c, i)
+
+
+CAVITIES = [(0, 1), (1, 2), (3,), (2, 3), (0, 4), (4, 5), (5,), (1, 5)]
+
+
+def greedy(cavities, n_cells):
+    owner = [-1] * n_cells
+    success = [0] * len(cavities)
+    for i, cav in enumerate(cavities):
+        if all(owner[c] < 0 for c in cav):
+            for c in cav:
+                owner[c] = i
+            success[i] = 1
+    return success, owner
+
+
+def _build(host, cavities=CAVITIES, n_cells=6, **pol):
+    step = ClaimStep(host, cavities, n_cells)
+    policy = SpecForPolicy(**pol) if pol else SpecForPolicy(granularity=4)
+    eng = DomainSpecFor(host, "t", step, len(cavities), policy=policy)
+    eng.enqueue_driver(host)
+    return step
+
+
+class TestDomainSpecFor:
+    def test_matches_greedy_on_simulator(self):
+        sim = Simulator(SystemConfig.with_cores(8))
+        step = _build(sim)
+        sim.run()
+        sim.audit()
+        want_success, want_owner = greedy(CAVITIES, 6)
+        assert step.success.snapshot() == want_success
+        assert step.owner.snapshot() == want_owner
+
+    def test_matches_greedy_on_serial_executor(self):
+        host = SerialExecutor()
+        step = _build(host)
+        host.run()
+        want_success, want_owner = greedy(CAVITIES, 6)
+        assert step.success.snapshot() == want_success
+
+    def test_empty_engine_is_a_noop(self):
+        sim = Simulator(SystemConfig.with_cores(4))
+        _build(sim, cavities=[], n_cells=1)
+        stats = sim.run()
+        assert stats.completed
+
+    def test_round_events_fold_metrics_without_a_bus(self):
+        sim = Simulator(SystemConfig.with_cores(8))
+        _build(sim)
+        sim.run()
+        rounds = sim.metrics.total("specfor_rounds", engine="t")
+        assert rounds >= 1
+        commits = sim.metrics.total("specfor_commits", engine="t")
+        assert commits == sum(greedy(CAVITIES, 6)[0])
+
+    def test_round_events_reach_the_bus_exactly_once(self):
+        events = []
+        bus = EventBus()
+        bus.subscribe(lambda e: isinstance(e, SpecForRoundEvent)
+                      and events.append(e))
+        sim = Simulator(SystemConfig.with_cores(8), bus=bus)
+        _build(sim)
+        sim.run()
+        assert events
+        assert len(events) == sim.metrics.total("specfor_rounds")
+        dones = [e.done for e in events]
+        assert dones == sorted(dones)
+        assert dones[-1] == len(CAVITIES)
+        assert all(e.total == len(CAVITIES) for e in events)
+
+    def test_livelock_raises_from_the_controller(self):
+        class Stuck:
+            def reserve(self, ctx, i):
+                return True
+
+            def commit(self, ctx, i):
+                return False
+
+        sim = Simulator(SystemConfig.with_cores(4))
+        eng = DomainSpecFor(
+            sim, "stuck", Stuck(), 4,
+            policy=SpecForPolicy(granularity=1, throttle_after=1,
+                                 serialize_after=2, max_tries=3))
+        eng.enqueue_driver(sim)
+        with pytest.raises(SpecForLivelock):
+            sim.run()
+
+
+class TestDeferredEmit:
+    def test_emit_publishes_at_commit_with_task_time(self):
+        seen = []
+        bus = EventBus()
+        bus.subscribe(lambda e: isinstance(e, SpecForRoundEvent)
+                      and seen.append(e))
+        sim = Simulator(SystemConfig.with_cores(2), bus=bus)
+
+        def body(ctx):
+            ctx.emit(SpecForRoundEvent(
+                0, engine="x", round=0, size=1, fresh=1, committed=1,
+                filtered=0, carried=0, done=1, total=1, stage=0))
+            assert not seen  # deferred: nothing published mid-task
+
+        sim.enqueue_root(body)
+        sim.run()
+        assert len(seen) == 1
+        assert seen[0].t > 0  # stamped with the commit time
+        assert sim.metrics.total("specfor_rounds", engine="x") == 1
+
+    def test_serial_executor_collects_emits(self):
+        host = SerialExecutor()
+
+        def body(ctx):
+            ctx.emit("marker")
+
+        host.enqueue_root(body)
+        host.run()
+        assert host.emitted == ["marker"]
