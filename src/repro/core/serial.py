@@ -44,6 +44,10 @@ class _SerialMemory:
         """Write a word (non-speculative semantics)."""
         self._values[addr] = value
 
+    def poke_fresh(self, addr: int, value: Any) -> None:
+        """Initialize a fresh word (no speculation to guard serially)."""
+        self._values[addr] = value
+
 
 class SerialContext:
     """The ctx object passed to task functions under serial execution."""

@@ -16,7 +16,7 @@ context.
 """
 
 from .address import AddressSpace, Region
-from .bloom import BloomSignature, H3HashFamily
+from .bloom import BloomSignature, H3HashFamily, SignatureBank
 from .undo_log import UndoLog
 from .memory import SpecMemory, AccessRecord
 from .conflicts import ConflictPolicy, BloomConflictModel, PreciseConflictModel
@@ -27,6 +27,7 @@ __all__ = [
     "Region",
     "BloomSignature",
     "H3HashFamily",
+    "SignatureBank",
     "UndoLog",
     "SpecMemory",
     "AccessRecord",

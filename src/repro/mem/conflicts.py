@@ -27,7 +27,9 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional
 
-from .bloom import BloomSignature, H3HashFamily
+import numpy as np
+
+from .bloom import BloomSignature, H3HashFamily, SignatureBank
 
 
 class ConflictPolicy:
@@ -42,6 +44,10 @@ class ConflictPolicy:
     #: peak-live-tasks gauge (installed by the simulator; None = off).
     #: register() implementations bump it inline to keep the hot path flat.
     _live_gauge = None
+
+    #: whether false_conflict() may return non-None / consume RNG.
+    #: SpecMemory elides the per-access sampler call when False.
+    samples_false_positives = True
 
     def register(self, owner) -> None:
         """Called when ``owner`` starts running speculatively."""
@@ -63,11 +69,17 @@ class ConflictPolicy:
         """
         raise NotImplementedError
 
+    def live_owners(self) -> List:
+        """Live registered owners, in registration order (used by
+        :meth:`repro.mem.memory.SpecMemory.refresh_order_keys`)."""
+        raise NotImplementedError
+
 
 class PreciseConflictModel(ConflictPolicy):
     """Idealized precise conflict detection — never a false positive."""
 
     name = "precise"
+    samples_false_positives = False
 
     def __init__(self):
         # insertion-ordered on purpose (like the simulator's _live): any
@@ -91,6 +103,9 @@ class PreciseConflictModel(ConflictPolicy):
     def false_conflict(self, owner, line: int, is_write: bool):
         return None
 
+    def live_owners(self) -> List:
+        return list(self._live)
+
     @property
     def live_count(self) -> int:
         return len(self._live)
@@ -105,11 +120,17 @@ class BloomConflictModel(ConflictPolicy):
                  exact: bool = False):
         self.family = H3HashFamily(k=ways, m_bits=bits, seed=seed)
         self._rng = random.Random(seed ^ 0xB100F)
+        self._rand = self._rng.random  # bound once: called on every access
         self.exact = exact
         # registration-ordered: the sampled victim walk and the exact
-        # pairwise probe iterate this — set iteration would make the
-        # chosen victim depend on object addresses and differ run to run
+        # probe order iterate this — set iteration would make the chosen
+        # victim depend on object addresses and differ run to run
         self._live: Dict = {}
+        # exact mode mirrors every signature into struct-of-arrays banks
+        # (one row per live task) so a probe against the whole live set is
+        # a single vectorized pass instead of a Python pair loop
+        self._bank_read = SignatureBank(self.family) if exact else None
+        self._bank_write = SignatureBank(self.family) if exact else None
         #: running sum of per-live-task false-positive rates (read+write sigs)
         self._fp_sum = 0.0
         #: spurious conflicts generated, for stats
@@ -117,6 +138,8 @@ class BloomConflictModel(ConflictPolicy):
         #: live tasks examined by victim sampling / exact probing
         #: (profiling; folded into metrics only under `repro profile`)
         self.probe_steps = 0
+        #: vectorized whole-bank probes issued (exact mode; profiling)
+        self.bank_probes = 0
 
     # ------------------------------------------------------------------
     def register(self, owner) -> None:
@@ -127,6 +150,11 @@ class BloomConflictModel(ConflictPolicy):
         owner.sig_read = BloomSignature(self.family)
         owner.sig_write = BloomSignature(self.family)
         owner._fp_cached = 0.0
+        if self.exact:
+            # both banks allocate in lockstep, so one row id serves both
+            row = self._bank_read.acquire()
+            self._bank_write.acquire()
+            owner._sig_row = row
 
     def unregister(self, owner) -> None:
         if owner in self._live:
@@ -134,9 +162,16 @@ class BloomConflictModel(ConflictPolicy):
             self._fp_sum -= owner._fp_cached
             if self._fp_sum < 0:
                 self._fp_sum = 0.0
+            if self.exact:
+                self._bank_read.release(owner._sig_row)
+                self._bank_write.release(owner._sig_row)
+                owner._sig_row = -1
 
     def note_access(self, owner, line: int, is_write: bool) -> None:
         sig = owner.sig_write if is_write else owner.sig_read
+        if self.exact:
+            bank = self._bank_write if is_write else self._bank_read
+            bank.insert(owner._sig_row, line)
         if not sig.insert(line):
             # no new bits set: both fills — and therefore the pair rate —
             # are exactly what the last access computed, so the running
@@ -165,9 +200,9 @@ class BloomConflictModel(ConflictPolicy):
         p = self._fp_sum - owner._fp_cached
         if p <= 0.0:
             return None
-        if self._rng.random() >= min(p, 1.0):
+        if self._rand() >= (p if p < 1.0 else 1.0):
             return None
-        pick = self._rng.random() * p
+        pick = self._rand() * p
         acc = 0.0
         chosen = None
         for other in self._live:
@@ -187,24 +222,39 @@ class BloomConflictModel(ConflictPolicy):
         return chosen
 
     def _probe_exact(self, owner, line: int, is_write: bool):
-        """Bit-accurate pairwise probe (quadratic; small runs only).
+        """Bit-accurate probe of every live signature (small runs only).
 
         A write probes the other task's read and write signatures; a read
         probes only its write signature — the standard RW/WW conflict
         matrix. Only lines the prober did not truly touch can be *false*
         hits; true hits are handled by the exact indices, so we report any
         signature hit and let the caller dedupe against true conflicts.
+
+        The whole live set is probed in one vectorized pass over the
+        signature banks; hits are then resolved in registration order,
+        which matches the old per-pair Python walk exactly (same first
+        match, same victim).
         """
-        for other in self._live:
-            self.probe_steps += 1
+        owners = list(self._live)
+        n = len(owners)
+        self.probe_steps += n
+        self.bank_probes += 1
+        rows = np.fromiter((o._sig_row for o in owners),
+                           dtype=np.intp, count=n)
+        hits = self._bank_write.probe_rows(line, rows)
+        if is_write:
+            hits |= self._bank_read.probe_rows(line, rows)
+        for i in np.flatnonzero(hits):
+            other = owners[i]
             if other is owner:
                 continue
-            if other.sig_write.maybe_contains(line) or (
-                    is_write and other.sig_read.maybe_contains(line)):
-                if not self._truly_touches(other, line, is_write):
-                    self.false_positives += 1
-                    return other
+            if not self._truly_touches(other, line, is_write):
+                self.false_positives += 1
+                return other
         return None
+
+    def live_owners(self) -> List:
+        return list(self._live)
 
     @staticmethod
     def _truly_touches(other, line: int, is_write: bool) -> bool:

@@ -150,8 +150,10 @@ class SpecDict:
                     f"exhausted")
             self._slots[key] = slot
             # Fresh slots are born ABSENT, non-speculatively: allocating a
-            # slot is not a memory mutation, holding a value is.
-            self.mem.poke(self.region.addr(slot * self.stride), ABSENT)
+            # slot is not a memory mutation, holding a value is. poke_fresh
+            # (not poke) because with stride < line_words the new slot can
+            # share a line with slots under live speculation.
+            self.mem.poke_fresh(self.region.addr(slot * self.stride), ABSENT)
         return self.region.addr(slot * self.stride)
 
     def get(self, ctx, key, default=None) -> Any:

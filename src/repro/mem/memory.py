@@ -19,20 +19,60 @@ speculative load/store flows through it:
 Conflict *detection* happens at cache-line granularity (real false
 sharing); versioning and dependences are word-granular.
 
+Engines
+-------
+
+Per-access semantics are load-bearing: a conflicting later task must be
+aborted *before* the accessor reads a value, so detection cannot simply be
+deferred to end-of-task. What CAN be batched is the re-probe: within one
+task body, the population of a line's reader/writer indices only changes
+when an access registers a first touch or an abort cascade scrubs a
+victim. ``SpecMemory`` therefore keeps per-line *population epochs* —
+one for reader membership, one for writer membership, each bumped on any
+change — and memoizes, per owner, the epochs at which a line was last
+probed clean. Re-accesses at unchanged epochs skip the victim scans
+entirely: a read-grade memo watches only the writer epoch (new readers
+cannot conflict with a load), a write-grade memo watches both. Since
+probes find work only when the relevant membership changed, the memoized
+decision is exactly the scalar one.
+
+Three engines share all bookkeeping and differ only in probing:
+
+- ``fast`` (default) — epoch-memoized probes as above.
+- ``scalar`` — the pre-vectorization reference: a full chain walk on
+  every access, no memoization.
+- ``audit`` — the fast engine, but every memoized skip is cross-checked
+  against a reference probe and any divergence raises
+  :class:`SimulationError` (the ``REPRO_GVT_AUDIT`` pattern).
+
+Select with the constructor's ``engine=`` or the environment:
+``REPRO_MEM_AUDIT=1`` forces ``audit``; ``REPRO_MEM_ENGINE=scalar|fast``
+overrides the default. RunStats-visible counters (loads, stores, true /
+injected conflicts) and all values, victims, and dependences are
+byte-identical across engines; only the profile-only probe counters
+(``probe_steps``, ``fast_hits``, ``slow_probes``, ``epoch_bumps``) differ.
+
+The false-positive sampler and fault hook are deliberately invoked once
+per access in *every* engine — they consume seeded RNG draws, so skipping
+them on the fast path would desynchronize Bloom-mode runs.
+
 Owners are task attempts; the protocol they must satisfy is documented on
 :class:`OwnerProtocol`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Set
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import MemoryError_, SimulationError
 from ..telemetry.events import ConflictEvent
 from .address import AddressSpace
 from .conflicts import ConflictPolicy, PreciseConflictModel
 from .undo_log import UndoLog
+
+_ENGINES = ("fast", "scalar", "audit")
 
 
 class OwnerProtocol:
@@ -42,14 +82,19 @@ class OwnerProtocol:
 
     - ``undo`` (:class:`UndoLog`), ``reads`` / ``writes`` (addr→value, for
       the serializability audit), ``read_lines`` / ``write_lines`` (sets),
-      ``deps`` / ``dependents`` (owner sets), ``sig_read`` / ``sig_write``.
+      ``deps`` / ``dependents`` (owner sets), ``sig_read`` / ``sig_write``,
+      ``_okey`` (cached ``order_key()``; refreshed by
+      :meth:`SpecMemory.refresh_order_keys` after global VT rewrites),
+      ``_line_memo`` (line → packed probe epoch, fast engine only).
 
     Methods the owner class must provide:
 
     - ``order_key()`` — current fractal-VT sort key; totally orders all
       live owners and is consistent for the lifetime of each access chain.
     - ``still_executing()`` — True while the owner's stores are conceptually
-      in flight (its finish event lies in the simulated future).
+      in flight (its finish event lies in the simulated future). May decay
+      to False during an attempt but never rises again without a fresh
+      attach (the fast engine's memoization relies on this).
     """
 
 
@@ -62,21 +107,54 @@ class AccessRecord:
     latency: int
 
 
+def _default_engine() -> str:
+    if os.environ.get("REPRO_MEM_AUDIT", "") == "1":
+        return "audit"
+    return os.environ.get("REPRO_MEM_ENGINE", "") or "fast"
+
+
 class SpecMemory:
     """The chip's shared memory with speculative versioning."""
 
     def __init__(self, space: AddressSpace,
                  conflict_model: Optional[ConflictPolicy] = None,
-                 default_value: Any = 0):
+                 default_value: Any = 0,
+                 engine: Optional[str] = None):
         self.space = space
         self.conflicts = conflict_model or PreciseConflictModel()
         self.default = default_value
+        if engine is None:
+            engine = _default_engine()
+        if engine not in _ENGINES:
+            raise MemoryError_(
+                f"unknown memory engine {engine!r} (expected one of "
+                f"{', '.join(_ENGINES)})")
+        self.engine = engine
+        self._fast = engine != "scalar"
+        self._audit = engine == "audit"
         self._values: Dict[int, Any] = {}
-        # line → live speculative readers / VT-ordered writer chains
-        self._line_readers: Dict[int, Set] = {}
+        # line → live speculative readers (insertion-ordered dict-as-set:
+        # victim enumeration must not depend on object addresses) /
+        # VT-ordered writer chains
+        self._line_readers: Dict[int, Dict] = {}
         self._line_writers: Dict[int, List] = {}
         # word → VT-ordered live speculative writer chain
         self._word_writers: Dict[int, List] = {}
+        # per-line population epochs (fast engine): bumped whenever a
+        # line's reader (_repoch) / writer (_wepoch) membership changes,
+        # so memoized clean probes invalidate with one int compare. Both
+        # only ever increase, so their sum changes iff either changes.
+        self._repoch: List[int] = [0] * 1024
+        self._wepoch: List[int] = [0] * 1024
+        # skip the per-access false-positive sampler when the model never
+        # samples (precise mode): it consumes no RNG there, so eliding the
+        # call cannot desynchronize anything
+        self._sample_fp = getattr(self.conflicts,
+                                  "samples_false_positives", True)
+        # bound once: called on every access when the model samples
+        self._false_conflict = self.conflicts.false_conflict
+        lw = space.line_words
+        self._line_shift = lw.bit_length() - 1 if lw & (lw - 1) == 0 else None
         #: abort callback installed by the simulator: abort_cascade(victims,
         #: reason) must roll every victim (and its cascade) back before
         #: returning. Standalone/serial use may leave it unset as long as
@@ -95,14 +173,20 @@ class SpecMemory:
         #: aborts the accessor as if its access had conflicted. None when
         #: injection is off — one None check per access, like ``bus``.
         self.fault_hook: Optional[Callable] = None
-        # counters
+        # counters (folded into RunStats)
         self.n_loads = 0
         self.n_stores = 0
         self.n_true_conflicts = 0
         self.n_injected_conflicts = 0
-        #: candidate owners examined by per-line conflict checks (profiling;
-        #: stays out of the metrics registry unless `repro profile` asks)
+        # profiling-only counters (out of the metrics registry unless
+        # `repro profile` asks; engines legitimately differ here)
+        #: candidate owners examined by per-line conflict checks
         self.probe_steps = 0
+        #: accesses that walked the chains (every access, under scalar);
+        #: ``fast_hits`` is derived from this — see the property below
+        self.slow_probes = 0
+        #: line-population changes observed (fast/audit engines)
+        self.epoch_bumps = 0
 
     # ------------------------------------------------------------------
     # owner lifecycle
@@ -116,20 +200,63 @@ class SpecMemory:
         owner.write_lines = set()
         owner.deps = set()
         owner.dependents = set()
+        owner._okey = owner.order_key()
+        owner._line_memo = {}
         self.conflicts.register(owner)
 
     def detach_owner(self, owner) -> None:
         """Drop conflict-model tracking (commit and abort paths)."""
         self.conflicts.unregister(owner)
 
+    def refresh_order_keys(self) -> None:
+        """Re-cache every live owner's VT sort key.
+
+        The simulator calls this after global VT rewrites (zoom,
+        tiebreaker compaction). Rewrites preserve the *relative* order of
+        live tasks, so memoized clean probes stay valid — only the cached
+        keys need recomputing.
+        """
+        for owner in self.conflicts.live_owners():
+            owner._okey = owner.order_key()
+
     # ------------------------------------------------------------------
     # non-speculative access (initialization / result inspection)
     # ------------------------------------------------------------------
     def poke(self, addr: int, value: Any) -> None:
         """Non-speculative store; only valid while no task speculates on
-        the address (initialization and between-phase setup)."""
+        the address's *line* (initialization and between-phase setup).
+
+        Conflict detection is line-granular, so a poke under a live line
+        reader or writer would mutate state those tasks have speculated
+        on without aborting them — reject all of it, not just live word
+        writers. Mid-run slot birth uses :meth:`poke_fresh` instead.
+        """
+        line = self.space.line_of(addr)
         if self._word_writers.get(addr):
             raise MemoryError_(f"poke({addr}) while speculative writers exist")
+        if self._line_readers.get(line):
+            raise MemoryError_(
+                f"poke({addr}) while line {line} has live speculative readers")
+        if self._line_writers.get(line):
+            raise MemoryError_(
+                f"poke({addr}) while line {line} has live speculative "
+                f"writers on other words")
+        self._values[addr] = value
+        if self.on_poke is not None:
+            self.on_poke(addr, value)
+
+    def poke_fresh(self, addr: int, value: Any) -> None:
+        """Non-speculative initialization of a never-touched word.
+
+        The one legal mid-run poke: giving a *newly allocated* word its
+        initial value (SpecDict slot birth). The word must hold no value
+        and no speculative writer; the rest of its line may be under live
+        speculation — allocation is not a mutation of any word a task
+        could have accessed, so line-sharing tasks are unaffected.
+        """
+        if addr in self._values or self._word_writers.get(addr):
+            raise MemoryError_(
+                f"poke_fresh({addr}) on a word that already holds a value")
         self._values[addr] = value
         if self.on_poke is not None:
             self.on_poke(addr, value)
@@ -156,28 +283,73 @@ class SpecMemory:
     def load(self, owner, addr: int) -> Any:
         """Speculative load by ``owner``; may abort later conflicting tasks."""
         self.n_loads += 1
-        line = self.space.line_of(addr)
-        key = owner.order_key()
+        shift = self._line_shift
+        line = addr >> shift if shift is not None else self.space.line_of(addr)
 
-        chain = self._line_writers.get(line)
-        if chain:
-            self.probe_steps += len(chain)
-            victims = [w for w in chain
-                       if w is not owner and w.order_key() > key]
-            if victims:
-                self.n_true_conflicts += len(victims)
-                if self.bus:
-                    self._emit_conflict("read-write", owner, victims, line)
-                self._abort(victims, "read-write conflict")
-            self._abort_if_earlier_writer_running(owner, line, key, chain)
-            if owner.aborted:
-                return self.default
+        if self._fast:
+            state = owner._line_memo.get(line)
+            hit = False
+            if state is not None:
+                # epoch lists grow in lockstep (_bump), so one IndexError
+                # guard covers both; unseen lines are at epoch 0
+                try:
+                    if state & 1:
+                        hit = (state >> 1
+                               == self._wepoch[line] + self._repoch[line])
+                    else:
+                        hit = state >> 1 == self._wepoch[line]
+                except IndexError:
+                    hit = state >> 1 == 0
+            if hit:
+                # relevant population unchanged since this owner's last
+                # clean probe of the line: a re-probe finds nothing new.
+                memo_bit = state & 1
+                if self._audit:
+                    self._audit_probe(owner, line, is_write=False)
+            else:
+                self.slow_probes += 1
+                memo_bit = 0
+                key = owner._okey
+                chain = self._line_writers.get(line)
+                if chain:
+                    self.probe_steps += len(chain)
+                    victims = [w for w in chain
+                               if w is not owner and w._okey > key]
+                    if victims:
+                        self.n_true_conflicts += len(victims)
+                        if self.bus:
+                            self._emit_conflict("read-write", owner,
+                                                victims, line)
+                        self._abort(victims, "read-write conflict")
+                    self._abort_if_earlier_writer_running(owner, line, key,
+                                                          chain)
+                    if owner.aborted:
+                        return self.default
+        else:
+            key = owner.order_key()
+            chain = self._line_writers.get(line)
+            if chain:
+                self.probe_steps += len(chain)
+                victims = [w for w in chain
+                           if w is not owner and w.order_key() > key]
+                if victims:
+                    self.n_true_conflicts += len(victims)
+                    if self.bus:
+                        self._emit_conflict("read-write", owner, victims, line)
+                    self._abort(victims, "read-write conflict")
+                self._abort_if_earlier_writer_running(owner, line, key, chain)
+                if owner.aborted:
+                    return self.default
 
-        self._sample_false_conflict(owner, line, is_write=False)
-        if owner.aborted:
-            # A sampled false positive against an earlier task killed the
-            # accessor itself; the caller unwinds via TaskAborted.
-            return self.default
+        if self._sample_fp:
+            other = self._false_conflict(owner, line, False)
+            if other is not None:
+                self._resolve_false_positive(owner, other, line)
+                if owner.aborted:
+                    # A sampled false positive against an earlier task
+                    # killed the accessor; the caller unwinds via
+                    # TaskAborted.
+                    return self.default
 
         if self.fault_hook is not None:
             self._sample_injected_conflict(owner, line, is_write=False)
@@ -189,56 +361,132 @@ class SpecMemory:
         wchain = self._word_writers.get(addr)
         if wchain:
             writer = wchain[-1]
-            if writer is not owner:
+            # deps/dependents are always updated as a pair, so membership
+            # in one implies the other — skip both set adds on re-reads
+            if writer is not owner and writer not in owner.deps:
                 owner.deps.add(writer)
                 writer.dependents.add(owner)
 
-        if addr not in owner.writes and addr not in owner.reads:
+        if addr not in owner.reads and addr not in owner.writes:
             owner.reads[addr] = value
-        self._line_readers.setdefault(line, set()).add(owner)
-        if line not in owner.read_lines:
-            owner.read_lines.add(line)
-            self.conflicts.note_access(owner, line, is_write=False)
+        if self._fast:
+            registered = line not in owner.read_lines
+            if registered:
+                owner.read_lines.add(line)
+                readers = self._line_readers.get(line)
+                if readers is None:
+                    self._line_readers[line] = {owner: None}
+                else:
+                    readers[owner] = None
+                self._bump(self._repoch, line)
+                self.conflicts.note_access(owner, line, is_write=False)
+            if registered or not hit:
+                # (Re-)memoize post-registration: epoch bumps since the
+                # probe were our own registration or cascade scrubs, both
+                # of which only shrink-or-self the population the clean
+                # probe verified. An unregistered fast hit leaves the
+                # memo exactly as it was — no write needed.
+                try:
+                    wep = self._wepoch[line]
+                    rep = self._repoch[line]
+                except IndexError:
+                    wep = rep = 0
+                if memo_bit:
+                    owner._line_memo[line] = ((wep + rep) << 1) | 1
+                else:
+                    owner._line_memo[line] = wep << 1
+        else:
+            self._line_readers.setdefault(line, {})[owner] = None
+            if line not in owner.read_lines:
+                owner.read_lines.add(line)
+                self.conflicts.note_access(owner, line, is_write=False)
         return value
 
     def store(self, owner, addr: int, value: Any) -> None:
         """Speculative store by ``owner``; aborts later readers/writers."""
         self.n_stores += 1
-        line = self.space.line_of(addr)
-        key = owner.order_key()
+        shift = self._line_shift
+        line = addr >> shift if shift is not None else self.space.line_of(addr)
 
-        victims = []
-        readers = self._line_readers.get(line)
-        if readers:
-            self.probe_steps += len(readers)
-            victims.extend(r for r in readers
-                           if r is not owner and r.order_key() > key)
-        chain = self._line_writers.get(line)
-        if chain:
-            self.probe_steps += len(chain)
-            victims.extend(w for w in chain
-                           if w is not owner and w.order_key() > key
-                           and w not in victims)
-        if victims:
-            self.n_true_conflicts += len(victims)
-            if self.bus:
-                self._emit_conflict("write", owner, victims, line)
-            self._abort(victims, "write conflict")
-        if chain:
-            self._abort_if_earlier_writer_running(owner, line, key, chain)
-            if owner.aborted:
-                return
+        if self._fast:
+            state = owner._line_memo.get(line)
+            hit = False
+            if state is not None and state & 1:
+                try:
+                    hit = (state >> 1
+                           == self._wepoch[line] + self._repoch[line])
+                except IndexError:
+                    hit = state >> 1 == 0
+            if hit:
+                # write-grade memo at unchanged epochs: the reader scan
+                # and writer-chain walk would find exactly what the last
+                # one did — nothing.
+                if self._audit:
+                    self._audit_probe(owner, line, is_write=True)
+            else:
+                self.slow_probes += 1
+                key = owner._okey
+                victims = []
+                readers = self._line_readers.get(line)
+                if readers:
+                    self.probe_steps += len(readers)
+                    victims.extend(r for r in readers
+                                   if r is not owner and r._okey > key)
+                chain = self._line_writers.get(line)
+                if chain:
+                    self.probe_steps += len(chain)
+                    victims.extend(w for w in chain
+                                   if w is not owner and w._okey > key
+                                   and w not in victims)
+                if victims:
+                    self.n_true_conflicts += len(victims)
+                    if self.bus:
+                        self._emit_conflict("write", owner, victims, line)
+                    self._abort(victims, "write conflict")
+                if chain:
+                    self._abort_if_earlier_writer_running(owner, line, key,
+                                                          chain)
+                    if owner.aborted:
+                        return
+        else:
+            key = owner.order_key()
+            victims = []
+            readers = self._line_readers.get(line)
+            if readers:
+                self.probe_steps += len(readers)
+                victims.extend(r for r in readers
+                               if r is not owner and r.order_key() > key)
+            chain = self._line_writers.get(line)
+            if chain:
+                self.probe_steps += len(chain)
+                victims.extend(w for w in chain
+                               if w is not owner and w.order_key() > key
+                               and w not in victims)
+            if victims:
+                self.n_true_conflicts += len(victims)
+                if self.bus:
+                    self._emit_conflict("write", owner, victims, line)
+                self._abort(victims, "write conflict")
+            if chain:
+                self._abort_if_earlier_writer_running(owner, line, key, chain)
+                if owner.aborted:
+                    return
 
-        self._sample_false_conflict(owner, line, is_write=True)
-        if owner.aborted:
-            return
+        if self._sample_fp:
+            other = self._false_conflict(owner, line, True)
+            if other is not None:
+                self._resolve_false_positive(owner, other, line)
+                if owner.aborted:
+                    return
 
         if self.fault_hook is not None:
             self._sample_injected_conflict(owner, line, is_write=True)
             if owner.aborted:
                 return
 
-        wchain = self._word_writers.setdefault(addr, [])
+        wchain = self._word_writers.get(addr)
+        if wchain is None:
+            wchain = self._word_writers[addr] = []
         if wchain and wchain[-1] is not owner:
             # write-after-speculative-write: conservative WAW dependence so
             # the earlier writer's abort cascades here and undo chains stay
@@ -252,14 +500,72 @@ class SpecMemory:
 
         self._values[addr] = value
         owner.writes[addr] = value
-        lchain = self._line_writers.setdefault(line, [])
-        if not lchain or lchain[-1] is not owner:
-            lchain.append(owner)
         if line not in owner.write_lines:
+            # first line touch as a writer: join the chain (an owner in
+            # the chain is always its tail here — eager aborts cleared any
+            # later writers before this store proceeded)
             owner.write_lines.add(line)
+            lchain = self._line_writers.get(line)
+            if lchain is None:
+                self._line_writers[line] = [owner]
+            else:
+                lchain.append(owner)
+            if self._fast:
+                self._bump(self._wepoch, line)
             self.conflicts.note_access(owner, line, is_write=True)
+        if self._fast and not hit:
+            # a fast hit leaves the write-grade memo current; a slow probe
+            # (or a grade upgrade) re-records it at the post-registration
+            # epochs, which only our own bump or cascade scrubs moved.
+            try:
+                eps = self._wepoch[line] + self._repoch[line]
+            except IndexError:
+                eps = 0
+            owner._line_memo[line] = (eps << 1) | 1
 
     # ------------------------------------------------------------------
+    def _bump(self, ep: List[int], line: int) -> None:
+        """Advance one line's reader or writer population epoch.
+
+        Both epoch lists grow in lockstep so the hot-path readers can
+        index them under a single IndexError guard.
+        """
+        if line >= len(ep):
+            grow = line + 1025
+            for lst in (self._repoch, self._wepoch):
+                if grow > len(lst):
+                    lst.extend([0] * (grow - len(lst)))
+        ep[line] += 1
+        self.epoch_bumps += 1
+
+    def _audit_probe(self, owner, line: int, is_write: bool) -> None:
+        """Cross-check a memoized skip against the reference probe.
+
+        The fast path claims "a re-probe of this line finds nothing"; run
+        the scalar probe and raise if it would have found victims or a
+        blocking earlier in-flight writer (``REPRO_GVT_AUDIT`` pattern).
+        """
+        key = owner.order_key()
+        if key != owner._okey:
+            raise SimulationError(
+                f"REPRO_MEM_AUDIT: stale cached order key for {owner!r} "
+                f"(cached {owner._okey!r}, live {key!r}); "
+                f"refresh_order_keys() was not called after a VT rewrite")
+        chain = self._line_writers.get(line) or ()
+        victims = [w for w in chain if w is not owner and w.order_key() > key]
+        if is_write and not victims:
+            readers = self._line_readers.get(line) or ()
+            victims = [r for r in readers
+                       if r is not owner and r.order_key() > key]
+        blockers = [w for w in chain
+                    if w is not owner and w.order_key() < key
+                    and w.still_executing()]
+        if victims or blockers:
+            raise SimulationError(
+                f"REPRO_MEM_AUDIT: fast path skipped a probe that finds "
+                f"work — {'store' if is_write else 'load'} of line {line} "
+                f"by {owner!r}: victims={victims} blockers={blockers}")
+
     def _abort_if_earlier_writer_running(self, owner, line: int,
                                          key, chain) -> None:
         """Kill the accessor when an earlier-VT task that wrote this line
@@ -327,8 +633,15 @@ class SpecMemory:
         self._abort([owner], "injected conflict")
 
     def _sample_false_conflict(self, owner, line: int, is_write: bool) -> None:
+        """Sample-and-resolve in one step (kept for tests / direct callers;
+        the hot paths inline the sampling call and only pay for resolution
+        on an actual hit)."""
         other = self.conflicts.false_conflict(owner, line, is_write)
-        if other is None or getattr(other, "aborted", False):
+        if other is not None:
+            self._resolve_false_positive(owner, other, line)
+
+    def _resolve_false_positive(self, owner, other, line: int) -> None:
+        if getattr(other, "aborted", False):
             return
         # Hardware aborts the later of the two; "both signatures matched"
         # carries no direction, so VT decides.
@@ -371,30 +684,57 @@ class SpecMemory:
         self._scrub(owner)
 
     def _scrub(self, owner) -> None:
+        """Remove ``owner`` from the line indices (commit and abort paths).
+
+        Strict: an owner whose footprint sets name a line it is not
+        actually indexed under means the bookkeeping is corrupted —
+        raising here, with the owner and line at hand, beats the distant
+        `assert_quiescent` failure the old swallow-and-continue produced.
+        """
+        fast = self._fast
         for line in owner.read_lines:
             readers = self._line_readers.get(line)
-            if readers:
-                readers.discard(owner)
-                if not readers:
-                    del self._line_readers[line]
+            if readers is None or owner not in readers:
+                raise SimulationError(
+                    f"scrub: {owner!r} missing from the reader index of "
+                    f"line {line} (memory bookkeeping corrupted)")
+            del readers[owner]
+            if not readers:
+                del self._line_readers[line]
+            if fast:
+                self._bump(self._repoch, line)
         for line in owner.write_lines:
             chain = self._line_writers.get(line)
-            if chain:
-                try:
-                    chain.remove(owner)
-                except ValueError:
-                    pass
-                if not chain:
-                    del self._line_writers[line]
+            try:
+                chain.remove(owner)
+            except (AttributeError, ValueError):
+                raise SimulationError(
+                    f"scrub: {owner!r} missing from the writer chain of "
+                    f"line {line} (memory bookkeeping corrupted)") from None
+            if not chain:
+                del self._line_writers[line]
+            if fast:
+                self._bump(self._wepoch, line)
         for dep in owner.deps:
             dep.dependents.discard(owner)
         for dependent in owner.dependents:
             dependent.deps.discard(owner)
         owner.deps = set()
         owner.dependents = set()
+        owner._line_memo = {}
         self.detach_owner(owner)
 
     # ------------------------------------------------------------------
+    @property
+    def fast_hits(self) -> int:
+        """Accesses whose probe was skipped via a valid line memo.
+
+        Every load/store is classified exactly once — memoized skip or
+        chain walk — so the count is derived rather than incremented on
+        the hot path (0 under the scalar engine, which walks every time).
+        """
+        return self.n_loads + self.n_stores - self.slow_probes
+
     @property
     def live_speculative_words(self) -> int:
         """Words currently holding uncommitted speculative values."""

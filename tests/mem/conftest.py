@@ -72,9 +72,12 @@ def space():
     return AddressSpace(line_bytes=64, n_tiles=4)
 
 
-@pytest.fixture
-def mem(space):
-    m = SpecMemory(space, PreciseConflictModel())
+@pytest.fixture(params=["fast", "scalar", "audit"])
+def mem(request, space):
+    """Every memory test runs under all three probe engines: the scalar
+    reference, the memoized fast path, and the self-checking audit engine
+    (which raises on any fast/scalar divergence as the test executes)."""
+    m = SpecMemory(space, PreciseConflictModel(), engine=request.param)
     m.abort_cascade = AbortRecorder(m)
     return m
 

@@ -143,6 +143,7 @@ class TestBloomVictimSelection:
         # cached rate even though every other live task is empty.
         model._fp_sum = owner._fp_cached + 1e-9
         model._rng = ForcedRandom([0.0, 0.0])  # pass Bernoulli; pick = 0.0
+        model._rand = model._rng.random  # hot paths bind .random once
         assert model.false_conflict(owner, 999, True) is None
         assert model.false_positives == 0
 
@@ -159,6 +160,7 @@ class TestBloomVictimSelection:
         for i, o in enumerate(others):
             model.note_access(o, 1000 + i, is_write=True)
         model._rng = ForcedRandom([0.0, 0.0])  # pass Bernoulli; pick = 0.0
+        model._rand = model._rng.random  # hot paths bind .random once
         assert model.false_conflict(owner, 999, True) is others[0]
 
     def test_exact_and_sampled_agree_on_who_must_die(self):
